@@ -1,0 +1,305 @@
+//! Programmatic native-object construction.
+//!
+//! The arena writer ([`crate::NativeWriter`]) is normally driven by the
+//! wire parser, but nothing ties it to the wire: it is a
+//! [`FieldSink`], and this builder drives the same sink from application
+//! code. That is what *response-serialization offload* needs (§III.A):
+//! the host's business logic constructs a native response object directly
+//! inside its send-buffer block — pointers crafted against the client's
+//! receive buffer — and the DPU later serializes it for the xRPC client.
+//! The response never exists in wire form on the host.
+
+use crate::table::Adt;
+use crate::writer::{NativeWriter, WriteResult, WriterConfig};
+use pbo_protowire::{DecodeError, FieldDescriptor, FieldSink, MessageDescriptor, Scalar, Schema};
+use std::sync::Arc;
+
+/// Errors raised while building.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// No field with that name in the current message.
+    NoSuchField(String),
+    /// Value kind does not match the field's declared type.
+    Kind {
+        /// The field.
+        field: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Arena exhausted or writer rejected the value.
+    Writer(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoSuchField(n) => write!(f, "no field named {n}"),
+            BuildError::Kind { field, expected } => {
+                write!(f, "field {field}: expected {expected}")
+            }
+            BuildError::Writer(m) => write!(f, "writer: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+fn werr(e: DecodeError) -> BuildError {
+    BuildError::Writer(e.to_string())
+}
+
+/// Builds one native object in an arena, field by field.
+///
+/// Repeated fields are appended by calling the setter multiple times;
+/// nested messages open with [`NativeBuilder::begin_message`] and close
+/// with [`NativeBuilder::end_message`]. Field order is free.
+pub struct NativeBuilder<'a> {
+    writer: NativeWriter<'a>,
+    schema: &'a Schema,
+    /// Descriptor stack mirroring the writer's frame stack.
+    descs: Vec<Arc<MessageDescriptor>>,
+}
+
+impl<'a> NativeBuilder<'a> {
+    /// Starts building a `root`-typed object at the front of `arena`.
+    /// `host_base` is the address `arena[0]` will occupy in the *reader's*
+    /// address space (see [`WriterConfig`]).
+    pub fn new(
+        adt: &'a Adt,
+        schema: &'a Schema,
+        root: &Arc<MessageDescriptor>,
+        arena: &'a mut [u8],
+        host_base: u64,
+    ) -> Result<Self, BuildError> {
+        let writer =
+            NativeWriter::new(adt, root, arena, WriterConfig { host_base }).map_err(werr)?;
+        Ok(Self {
+            writer,
+            schema,
+            descs: vec![root.clone()],
+        })
+    }
+
+    fn field(&self, name: &str) -> Result<FieldDescriptor, BuildError> {
+        self.descs
+            .last()
+            .expect("non-empty")
+            .field_by_name(name)
+            .cloned()
+            .ok_or_else(|| BuildError::NoSuchField(name.to_string()))
+    }
+
+    /// Sets (or appends to, for repeated fields) a scalar field.
+    pub fn scalar(&mut self, name: &str, value: Scalar) -> Result<&mut Self, BuildError> {
+        let fd = self.field(name)?;
+        self.writer.on_scalar(&fd, value).map_err(werr)?;
+        Ok(self)
+    }
+
+    /// Convenience scalar setters.
+    pub fn set_u64(&mut self, name: &str, v: u64) -> Result<&mut Self, BuildError> {
+        self.scalar(name, Scalar::U64(v))
+    }
+
+    /// Sets a signed integer field.
+    pub fn set_i64(&mut self, name: &str, v: i64) -> Result<&mut Self, BuildError> {
+        self.scalar(name, Scalar::I64(v))
+    }
+
+    /// Sets a bool field.
+    pub fn set_bool(&mut self, name: &str, v: bool) -> Result<&mut Self, BuildError> {
+        self.scalar(name, Scalar::Bool(v))
+    }
+
+    /// Sets a float field.
+    pub fn set_f32(&mut self, name: &str, v: f32) -> Result<&mut Self, BuildError> {
+        self.scalar(name, Scalar::F32(v))
+    }
+
+    /// Sets a double field.
+    pub fn set_f64(&mut self, name: &str, v: f64) -> Result<&mut Self, BuildError> {
+        self.scalar(name, Scalar::F64(v))
+    }
+
+    /// Sets (or appends) a string field.
+    pub fn set_str(&mut self, name: &str, v: &str) -> Result<&mut Self, BuildError> {
+        let fd = self.field(name)?;
+        self.writer.on_str(&fd, v).map_err(werr)?;
+        Ok(self)
+    }
+
+    /// Sets (or appends) a bytes field.
+    pub fn set_bytes(&mut self, name: &str, v: &[u8]) -> Result<&mut Self, BuildError> {
+        let fd = self.field(name)?;
+        self.writer.on_bytes(&fd, v).map_err(werr)?;
+        Ok(self)
+    }
+
+    /// Opens a nested message field (singular sets it; repeated appends an
+    /// element). Subsequent setters target the child until
+    /// [`NativeBuilder::end_message`].
+    pub fn begin_message(&mut self, name: &str) -> Result<&mut Self, BuildError> {
+        let fd = self.field(name)?;
+        if fd.ty != pbo_protowire::FieldType::Message {
+            return Err(BuildError::Kind {
+                field: name.to_string(),
+                expected: "message",
+            });
+        }
+        let child_name = fd.type_name.as_deref().expect("resolved schema");
+        let child = self
+            .schema
+            .message(child_name)
+            .expect("schema validated")
+            .clone();
+        self.writer.on_message_start(&fd, &child).map_err(werr)?;
+        self.descs.push(child);
+        Ok(self)
+    }
+
+    /// Closes the innermost nested message.
+    pub fn end_message(&mut self) -> Result<&mut Self, BuildError> {
+        if self.descs.len() <= 1 {
+            return Err(BuildError::Writer("no open nested message".into()));
+        }
+        self.writer.on_message_end().map_err(werr)?;
+        self.descs.pop();
+        Ok(self)
+    }
+
+    /// Finishes the object; returns its arena placement.
+    ///
+    /// # Panics
+    /// Panics if nested messages were left open (caller bug, symmetric
+    /// with the writer's contract).
+    pub fn finish(self) -> Result<WriteResult, BuildError> {
+        assert_eq!(self.descs.len(), 1, "unclosed nested message");
+        self.writer.finish().map_err(werr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sso::StdLib;
+    use crate::view::NativeObject;
+    use pbo_protowire::{FieldType, SchemaBuilder};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.message("Leaf")
+            .scalar("x", 1, FieldType::Int32)
+            .scalar("tag", 2, FieldType::String)
+            .finish();
+        b.message("Root")
+            .scalar("id", 1, FieldType::UInt64)
+            .scalar("name", 2, FieldType::String)
+            .repeated("nums", 3, FieldType::UInt32)
+            .message_field("leaf", 4, "Leaf")
+            .repeated_message("leaves", 5, "Leaf")
+            .scalar("ratio", 6, FieldType::Double)
+            .finish();
+        b.build()
+    }
+
+    fn aligned_arena(len: usize) -> Vec<u8> {
+        vec![0u64; len.div_ceil(8)]
+            .into_iter()
+            .flat_map(u64::to_ne_bytes)
+            .collect()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let schema = schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let root = schema.message("Root").unwrap().clone();
+        let mut arena = aligned_arena(4096);
+        let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+        let window = &mut arena[skew..];
+        let host_base = window.as_ptr() as u64;
+
+        let mut b = NativeBuilder::new(&adt, &schema, &root, window, host_base).unwrap();
+        b.set_u64("id", 42).unwrap();
+        b.set_str("name", "a response built by hand").unwrap();
+        for n in [7u64, 8, 9] {
+            b.set_u64("nums", n).unwrap();
+        }
+        b.begin_message("leaf").unwrap();
+        b.set_i64("x", -5).unwrap();
+        b.set_str("tag", "nested").unwrap();
+        b.end_message().unwrap();
+        for i in 0..2 {
+            b.begin_message("leaves").unwrap();
+            b.set_i64("x", i * 100).unwrap();
+            b.end_message().unwrap();
+        }
+        b.set_f64("ratio", 0.125).unwrap();
+        let result = b.finish().unwrap();
+        assert_eq!(result.root_offset, 0);
+
+        let class = adt.class_id("Root").unwrap();
+        let arena_ro = &arena[skew..];
+        let v = NativeObject::from_slice(&adt, class, arena_ro, 0).unwrap();
+        assert_eq!(v.get_u64(1).unwrap(), 42);
+        assert_eq!(v.get_str(2).unwrap(), "a response built by hand");
+        let nums = v.get_repeated(3).unwrap();
+        assert_eq!(nums.len(), 3);
+        assert_eq!(nums.u32_at(2).unwrap(), 9);
+        let leaf = v.get_message(4).unwrap().unwrap();
+        assert_eq!(leaf.get_i32(1).unwrap(), -5);
+        assert_eq!(leaf.get_str(2).unwrap(), "nested");
+        let leaves = v.get_repeated(5).unwrap();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves.message_at(1).unwrap().get_i32(1).unwrap(), 100);
+        assert_eq!(v.get_f64(6).unwrap(), 0.125);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let schema = schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let root = schema.message("Root").unwrap().clone();
+        let mut arena = aligned_arena(1024);
+        let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+        let window = &mut arena[skew..];
+        let host_base = window.as_ptr() as u64;
+        let mut b = NativeBuilder::new(&adt, &schema, &root, window, host_base).unwrap();
+        assert!(matches!(
+            b.set_u64("ghost", 1),
+            Err(BuildError::NoSuchField(_))
+        ));
+    }
+
+    #[test]
+    fn arena_exhaustion_is_reported() {
+        let schema = schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let root = schema.message("Root").unwrap().clone();
+        let mut tiny = aligned_arena(16); // smaller than the object
+        let skew = (8 - tiny.as_ptr() as usize % 8) % 8;
+        let window = &mut tiny[skew..];
+        let host_base = window.as_ptr() as u64;
+        assert!(matches!(
+            NativeBuilder::new(&adt, &schema, &root, window, host_base),
+            Err(BuildError::Writer(_))
+        ));
+    }
+
+    #[test]
+    fn begin_message_on_scalar_field_rejected() {
+        let schema = schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let root = schema.message("Root").unwrap().clone();
+        let mut arena = aligned_arena(1024);
+        let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+        let window = &mut arena[skew..];
+        let host_base = window.as_ptr() as u64;
+        let mut b = NativeBuilder::new(&adt, &schema, &root, window, host_base).unwrap();
+        assert!(matches!(
+            b.begin_message("id"),
+            Err(BuildError::Kind { .. })
+        ));
+        assert!(matches!(b.end_message(), Err(BuildError::Writer(_))));
+    }
+}

@@ -1,0 +1,537 @@
+//! The native layout engine: `sizeof` / `alignof` / `offsetof` for message
+//! classes.
+//!
+//! §V.A defines binary compatibility as agreement, for every field `f` of
+//! every type `T`, on `sizeof(T)`, `alignof(T)` and `offsetof(T, f)`. This
+//! module *is* that function: given a message descriptor it computes the
+//! layout a C++ protobuf message class has under the Itanium ABI —
+//! deterministically, so the host and the DPU compute identical tables
+//! (guarded further by the ABI hash in [`crate::table`]).
+//!
+//! Class layout, mirroring generated protobuf C++ (§V.B):
+//!
+//! ```text
+//! offset 0   : vptr word (8 B)  — runtime type identity; the paper copies
+//!              default-instance bytes so this is valid, and so do we
+//! offset 8   : presence bitfield (≥4 B) — "a bitfield storing field
+//!              presence" (§VI.C.3)
+//! then       : fields in field-number order, natural alignment:
+//!              bool 1, (u)int32/float 4, (u)int64/double 8,
+//!              string/bytes = std::string (32 B libstdc++),
+//!              message = pointer (8 B),
+//!              repeated = std::vector triple {begin, end, cap} (24 B)
+//! size       : rounded up to alignment 8
+//! ```
+
+use crate::sso::StdLib;
+use pbo_protowire::{Cardinality, FieldType, MessageDescriptor};
+
+/// Size of the leading vptr word.
+pub const VPTR_SIZE: usize = 8;
+
+/// Offset of the presence bitfield.
+pub const PRESENCE_OFFSET: usize = 8;
+
+/// Size of a `std::vector` header (begin/end/cap pointers).
+pub const VEC_SIZE: usize = 24;
+
+/// Identifier of a message class within an [`crate::Adt`].
+pub type ClassId = u32;
+
+/// Primitive element categories with fixed native width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NativeScalar {
+    /// C++ `bool` (1 byte).
+    Bool,
+    /// `int32_t`.
+    I32,
+    /// `uint32_t`.
+    U32,
+    /// `int64_t`.
+    I64,
+    /// `uint64_t`.
+    U64,
+    /// `float`.
+    F32,
+    /// `double`.
+    F64,
+}
+
+impl NativeScalar {
+    /// Element size in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            NativeScalar::Bool => 1,
+            NativeScalar::I32 | NativeScalar::U32 | NativeScalar::F32 => 4,
+            NativeScalar::I64 | NativeScalar::U64 | NativeScalar::F64 => 8,
+        }
+    }
+
+    /// Natural alignment (== size).
+    pub fn align(self) -> usize {
+        self.size()
+    }
+
+    /// The native scalar backing a proto field type, if the type is
+    /// scalar.
+    pub fn of(ty: FieldType) -> Option<Self> {
+        Some(match ty {
+            FieldType::Bool => NativeScalar::Bool,
+            FieldType::Int32 | FieldType::SInt32 | FieldType::SFixed32 | FieldType::Enum => {
+                NativeScalar::I32
+            }
+            FieldType::UInt32 | FieldType::Fixed32 => NativeScalar::U32,
+            FieldType::Int64 | FieldType::SInt64 | FieldType::SFixed64 => NativeScalar::I64,
+            FieldType::UInt64 | FieldType::Fixed64 => NativeScalar::U64,
+            FieldType::Float => NativeScalar::F32,
+            FieldType::Double => NativeScalar::F64,
+            FieldType::String | FieldType::Bytes | FieldType::Message => return None,
+        })
+    }
+}
+
+/// How a field is represented in the native object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NativeFieldKind {
+    /// Inline scalar.
+    Scalar(NativeScalar),
+    /// Inline `std::string` (also used for `bytes`).
+    Str,
+    /// Pointer to a child object (singular message), null when absent.
+    MessagePtr(ClassId),
+    /// Vector of scalars.
+    RepScalar(NativeScalar),
+    /// Vector of `std::string`s.
+    RepStr,
+    /// Vector of pointers to child objects.
+    RepMessage(ClassId),
+}
+
+impl NativeFieldKind {
+    /// Inline size of the field slot.
+    pub fn slot_size(self, lib: StdLib) -> usize {
+        match self {
+            NativeFieldKind::Scalar(s) => s.size(),
+            NativeFieldKind::Str => lib.string_size(),
+            NativeFieldKind::MessagePtr(_) => 8,
+            NativeFieldKind::RepScalar(_)
+            | NativeFieldKind::RepStr
+            | NativeFieldKind::RepMessage(_) => VEC_SIZE,
+        }
+    }
+
+    /// Alignment of the field slot.
+    pub fn slot_align(self, lib: StdLib) -> usize {
+        match self {
+            NativeFieldKind::Scalar(s) => s.align(),
+            NativeFieldKind::Str => lib.string_align(),
+            _ => 8,
+        }
+    }
+
+    /// Element size for repeated kinds.
+    pub fn elem_size(self, lib: StdLib) -> Option<usize> {
+        match self {
+            NativeFieldKind::RepScalar(s) => Some(s.size()),
+            NativeFieldKind::RepStr => Some(lib.string_size()),
+            NativeFieldKind::RepMessage(_) => Some(8),
+            _ => None,
+        }
+    }
+}
+
+/// Layout of one field within its class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldMeta {
+    /// Protobuf field number.
+    pub number: u32,
+    /// Native representation.
+    pub kind: NativeFieldKind,
+    /// `offsetof(T, f)`.
+    pub offset: usize,
+    /// Bit index in the presence bitfield, when the field tracks explicit
+    /// presence (optional scalars and singular messages).
+    pub presence_bit: Option<u32>,
+    /// Whether the wire value is a proto `string` (UTF-8) rather than
+    /// `bytes`; both share [`NativeFieldKind::Str`].
+    pub is_utf8: bool,
+}
+
+/// Layout of one message class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageMeta {
+    /// Class id within the ADT ("vptr" value in default instances).
+    pub class_id: ClassId,
+    /// Fully qualified message name.
+    pub name: String,
+    /// `sizeof(T)`.
+    pub size: usize,
+    /// `alignof(T)` (always 8: the vptr dominates).
+    pub align: usize,
+    /// Bytes occupied by the presence bitfield.
+    pub presence_bytes: usize,
+    /// Per-field layout, sorted by field number.
+    pub fields: Vec<FieldMeta>,
+    /// The standard-library ABI strings use.
+    pub stdlib: StdLib,
+}
+
+impl MessageMeta {
+    /// Looks up a field by number.
+    pub fn field(&self, number: u32) -> Option<&FieldMeta> {
+        self.fields
+            .binary_search_by_key(&number, |f| f.number)
+            .ok()
+            .map(|i| &self.fields[i])
+    }
+
+    /// The default instance: `size` bytes, zeroed, with the class id in
+    /// the vptr word. String fields are *not* pre-pointed here — the
+    /// writer fixes every string slot to its own SSO buffer using the
+    /// object's final host address (the part of default-instance copying
+    /// that is inherently per-location).
+    pub fn default_instance(&self) -> Vec<u8> {
+        let mut bytes = vec![0u8; self.size];
+        bytes[0..8].copy_from_slice(&(self.class_id as u64).to_le_bytes());
+        bytes
+    }
+}
+
+/// Computes the layout of `desc`. `resolve` maps a nested message type
+/// name to its class id (two-phase construction in [`crate::table`]).
+pub fn compute_layout<F>(
+    desc: &MessageDescriptor,
+    class_id: ClassId,
+    lib: StdLib,
+    mut resolve: F,
+) -> MessageMeta
+where
+    F: FnMut(&str) -> ClassId,
+{
+    // Presence bits: assigned in field order to fields with explicit
+    // presence.
+    let mut presence_bits = 0u32;
+    let mut field_presence: Vec<Option<u32>> = Vec::with_capacity(desc.fields.len());
+    for fd in &desc.fields {
+        if fd.has_presence() {
+            field_presence.push(Some(presence_bits));
+            presence_bits += 1;
+        } else {
+            field_presence.push(None);
+        }
+    }
+    // At least one 32-bit word of internal state, like protobuf's
+    // `_has_bits_` + cached size ("a minimal internal state", §VI.C.3);
+    // grows in 4-byte words.
+    let presence_bytes = std::cmp::max(4, presence_bits.div_ceil(32) as usize * 4);
+
+    let mut cursor = VPTR_SIZE + presence_bytes;
+    let mut fields = Vec::with_capacity(desc.fields.len());
+    for (fd, presence) in desc.fields.iter().zip(field_presence) {
+        let kind = native_kind(fd, &mut resolve);
+        let align = kind.slot_align(lib);
+        cursor = cursor.div_ceil(align) * align;
+        fields.push(FieldMeta {
+            number: fd.number,
+            kind,
+            offset: cursor,
+            presence_bit: presence,
+            is_utf8: fd.ty == FieldType::String,
+        });
+        cursor += kind.slot_size(lib);
+    }
+    let size = cursor.div_ceil(8) * 8;
+
+    MessageMeta {
+        class_id,
+        name: desc.name.clone(),
+        size: size.max(VPTR_SIZE + presence_bytes),
+        align: 8,
+        presence_bytes,
+        fields,
+        stdlib: lib,
+    }
+}
+
+fn native_kind<F>(fd: &pbo_protowire::FieldDescriptor, resolve: &mut F) -> NativeFieldKind
+where
+    F: FnMut(&str) -> ClassId,
+{
+    let repeated = fd.cardinality == Cardinality::Repeated;
+    match fd.ty {
+        FieldType::String | FieldType::Bytes => {
+            if repeated {
+                NativeFieldKind::RepStr
+            } else {
+                NativeFieldKind::Str
+            }
+        }
+        FieldType::Message => {
+            let child = resolve(fd.type_name.as_deref().expect("resolved schema"));
+            if repeated {
+                NativeFieldKind::RepMessage(child)
+            } else {
+                NativeFieldKind::MessagePtr(child)
+            }
+        }
+        scalar => {
+            let s = NativeScalar::of(scalar).expect("scalar type");
+            if repeated {
+                NativeFieldKind::RepScalar(s)
+            } else {
+                NativeFieldKind::Scalar(s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_protowire::workloads::paper_schema;
+    use pbo_protowire::{FieldType as FT, SchemaBuilder};
+
+    fn layout_of(schema: &pbo_protowire::Schema, name: &str) -> MessageMeta {
+        compute_layout(schema.message(name).unwrap(), 1, StdLib::Libstdcxx, |_| 0)
+    }
+
+    #[test]
+    fn small_message_is_40_bytes() {
+        // §VI.C.3: "the serialized small message takes 15 bytes on the
+        // wire, while the deserialized object size is 40 bytes."
+        let schema = paper_schema();
+        let meta = layout_of(&schema, "bench.Small");
+        assert_eq!(meta.size, 40, "{meta:#?}");
+        // vptr 8 | presence 4 | a@12 b@16 | c@24 (aligned) | d@32 | e@36.
+        assert_eq!(meta.field(1).unwrap().offset, 12);
+        assert_eq!(meta.field(2).unwrap().offset, 16);
+        assert_eq!(meta.field(3).unwrap().offset, 24);
+        assert_eq!(meta.field(4).unwrap().offset, 32);
+        assert_eq!(meta.field(5).unwrap().offset, 36);
+    }
+
+    #[test]
+    fn int_array_layout() {
+        let schema = paper_schema();
+        let meta = layout_of(&schema, "bench.IntArray");
+        // vptr 8 | presence 4 | pad | vec triple @16..40.
+        assert_eq!(meta.field(1).unwrap().offset, 16);
+        assert_eq!(meta.size, 40);
+        assert_eq!(
+            meta.field(1).unwrap().kind,
+            NativeFieldKind::RepScalar(NativeScalar::U32)
+        );
+    }
+
+    #[test]
+    fn char_array_layout() {
+        let schema = paper_schema();
+        let meta = layout_of(&schema, "bench.CharArray");
+        // vptr 8 | presence 4 | pad | string @16..48.
+        assert_eq!(meta.field(1).unwrap().offset, 16);
+        assert_eq!(meta.size, 48);
+    }
+
+    #[test]
+    fn empty_message_layout() {
+        let schema = paper_schema();
+        let meta = layout_of(&schema, "bench.Empty");
+        assert_eq!(meta.size, 16); // vptr + presence word, padded
+        assert!(meta.fields.is_empty());
+    }
+
+    #[test]
+    fn libcxx_strings_shrink_the_class() {
+        let schema = paper_schema();
+        let gnu = compute_layout(
+            schema.message("bench.CharArray").unwrap(),
+            1,
+            StdLib::Libstdcxx,
+            |_| 0,
+        );
+        let llvm = compute_layout(
+            schema.message("bench.CharArray").unwrap(),
+            1,
+            StdLib::Libcxx,
+            |_| 0,
+        );
+        assert_eq!(gnu.size - llvm.size, 8); // 32 B vs 24 B string
+    }
+
+    #[test]
+    fn presence_bits_allocated_for_optional_and_message() {
+        let mut b = SchemaBuilder::new();
+        b.message("Inner").scalar("x", 1, FT::Int32).finish();
+        b.message("M")
+            .scalar("plain", 1, FT::Int32)
+            .optional("opt", 2, FT::Int32)
+            .message_field("child", 3, "Inner")
+            .repeated("rep", 4, FT::Int32)
+            .finish();
+        let s = b.build();
+        let meta = compute_layout(s.message("M").unwrap(), 7, StdLib::Libstdcxx, |_| 3);
+        assert_eq!(meta.field(1).unwrap().presence_bit, None);
+        assert_eq!(meta.field(2).unwrap().presence_bit, Some(0));
+        assert_eq!(meta.field(3).unwrap().presence_bit, Some(1));
+        assert_eq!(meta.field(4).unwrap().presence_bit, None);
+        assert_eq!(meta.field(3).unwrap().kind, NativeFieldKind::MessagePtr(3));
+    }
+
+    #[test]
+    fn many_presence_fields_grow_the_bitfield() {
+        let mut b = SchemaBuilder::new();
+        let mut m = b.message("Wide");
+        for i in 1..=40u32 {
+            m = m.optional(&format!("f{i}"), i, FT::Int32);
+        }
+        m.finish();
+        let s = b.build();
+        let meta = compute_layout(s.message("Wide").unwrap(), 1, StdLib::Libstdcxx, |_| 0);
+        assert_eq!(meta.presence_bytes, 8); // 40 bits → 2 words
+        assert_eq!(meta.field(1).unwrap().offset, 16);
+    }
+
+    #[test]
+    fn alignment_padding_between_fields() {
+        let mut b = SchemaBuilder::new();
+        b.message("P")
+            .scalar("flag", 1, FT::Bool)
+            .scalar("big", 2, FT::Double)
+            .scalar("tail", 3, FT::Bool)
+            .finish();
+        let s = b.build();
+        let meta = compute_layout(s.message("P").unwrap(), 1, StdLib::Libstdcxx, |_| 0);
+        assert_eq!(meta.field(1).unwrap().offset, 12);
+        assert_eq!(meta.field(2).unwrap().offset, 16); // aligned to 8
+        assert_eq!(meta.field(3).unwrap().offset, 24);
+        assert_eq!(meta.size, 32);
+    }
+
+    #[test]
+    fn default_instance_carries_class_id() {
+        let schema = paper_schema();
+        let meta = compute_layout(
+            schema.message("bench.Small").unwrap(),
+            0xCAFE,
+            StdLib::Libstdcxx,
+            |_| 0,
+        );
+        let inst = meta.default_instance();
+        assert_eq!(inst.len(), 40);
+        assert_eq!(u64::from_le_bytes(inst[0..8].try_into().unwrap()), 0xCAFE);
+        assert!(inst[8..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let schema = paper_schema();
+        let a = layout_of(&schema, "bench.Small");
+        let b = layout_of(&schema, "bench.Small");
+        assert_eq!(a, b);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a random flat message descriptor: up to 24 fields of
+        /// random scalar/string types and cardinalities.
+        fn arb_message() -> impl Strategy<Value = pbo_protowire::MessageDescriptor> {
+            let field_types = prop_oneof![
+                Just(FT::Int32),
+                Just(FT::Int64),
+                Just(FT::UInt32),
+                Just(FT::UInt64),
+                Just(FT::SInt32),
+                Just(FT::SInt64),
+                Just(FT::Bool),
+                Just(FT::Fixed32),
+                Just(FT::Fixed64),
+                Just(FT::Float),
+                Just(FT::Double),
+                Just(FT::String),
+                Just(FT::Bytes),
+            ];
+            proptest::collection::vec((field_types, 0u8..3), 1..24).prop_map(|fields| {
+                let mut b = SchemaBuilder::new();
+                let mut m = b.message("P");
+                for (i, (ty, card)) in fields.iter().enumerate() {
+                    let name = format!("f{i}");
+                    let number = i as u32 + 1;
+                    m = match card {
+                        0 => m.scalar(&name, number, *ty),
+                        1 => m.optional(&name, number, *ty),
+                        _ => m.repeated(&name, number, *ty),
+                    };
+                }
+                m.finish();
+                let schema = b.build();
+                (**schema.message("P").unwrap()).clone()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Layout invariants for arbitrary messages: fields aligned
+            /// and non-overlapping, inside the object, behind the header;
+            /// size a multiple of 8.
+            #[test]
+            fn random_layouts_are_well_formed(desc in arb_message()) {
+                for lib in [StdLib::Libstdcxx, StdLib::Libcxx] {
+                    let meta = compute_layout(&desc, 1, lib, |_| 0);
+                    prop_assert_eq!(meta.size % 8, 0);
+                    prop_assert!(meta.size >= VPTR_SIZE + meta.presence_bytes);
+                    let mut spans: Vec<(usize, usize)> = meta
+                        .fields
+                        .iter()
+                        .map(|f| (f.offset, f.offset + f.kind.slot_size(lib)))
+                        .collect();
+                    spans.sort();
+                    let header_end = VPTR_SIZE + meta.presence_bytes;
+                    for (i, f) in meta.fields.iter().enumerate() {
+                        prop_assert_eq!(f.offset % f.kind.slot_align(lib), 0, "field {}", i);
+                        prop_assert!(f.offset >= header_end);
+                        prop_assert!(f.offset + f.kind.slot_size(lib) <= meta.size);
+                    }
+                    for w in spans.windows(2) {
+                        prop_assert!(w[0].1 <= w[1].0, "fields overlap: {:?}", w);
+                    }
+                    // Presence bits unique and inside the bitfield.
+                    let mut bits: Vec<u32> =
+                        meta.fields.iter().filter_map(|f| f.presence_bit).collect();
+                    bits.sort_unstable();
+                    let n = bits.len();
+                    bits.dedup();
+                    prop_assert_eq!(bits.len(), n, "duplicate presence bits");
+                    for b in bits {
+                        prop_assert!((b as usize) < meta.presence_bytes * 8);
+                    }
+                }
+            }
+
+            /// The ADT wire format is lossless for arbitrary messages.
+            #[test]
+            fn adt_wire_roundtrip_random(desc in arb_message()) {
+                let mut b = SchemaBuilder::new();
+                let m = b.message("P");
+                // Rebuild schema from the descriptor's fields.
+                let mut m = m;
+                for f in &desc.fields {
+                    let name = f.name.clone();
+                    m = match f.cardinality {
+                        pbo_protowire::Cardinality::Singular => m.scalar(&name, f.number, f.ty),
+                        pbo_protowire::Cardinality::Optional => m.optional(&name, f.number, f.ty),
+                        pbo_protowire::Cardinality::Repeated => m.repeated(&name, f.number, f.ty),
+                    };
+                }
+                m.finish();
+                let schema = b.build();
+                let adt = crate::table::Adt::from_schema(&schema, StdLib::Libstdcxx);
+                let back = crate::table::Adt::from_bytes(&adt.to_bytes()).unwrap();
+                prop_assert_eq!(back.abi_hash(), adt.abi_hash());
+                prop_assert_eq!(back, adt);
+            }
+        }
+    }
+}

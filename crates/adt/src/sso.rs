@@ -1,0 +1,256 @@
+//! `std::string` layouts with small-string optimization.
+//!
+//! §V.C: "Strings are byte containers composed of a pointer to the data, a
+//! capacity, and a size. If strings are small enough, they are stored
+//! directly in the instance without memory allocation … Both standard
+//! libraries feature this optimization but have differences in the
+//! implementation."
+//!
+//! The libstdc++ layout (Fig 6) is the paper's primary target:
+//!
+//! ```text
+//! class std::string {            // 32 bytes, align 8
+//!     char*  data;               // offset 0
+//!     size_t size;               // offset 8
+//!     union {                    // offset 16
+//!         char   sso[16];        //   inline storage (15 chars + NUL)
+//!         size_t capacity;       //   heap capacity when data != &sso
+//!     };
+//! };
+//! ```
+//!
+//! `data == &sso` ⇔ the string is inline ("If the pointer to the data is
+//! equal to the SSO buffer, no dynamic allocation is performed, storing at
+//! most 15 characters").
+//!
+//! The simplified libc++ layout (24 bytes) keeps the paper's described
+//! discriminator — "an SSO flag in the first bit of the capacity field" —
+//! with fields ordered `{capacity|flag, size, data*}` and 22 inline bytes
+//! in short mode. The real libc++ packs harder; what matters for the
+//! reproduction is that *two distinct ABIs flow through the same writer and
+//! view*, proving the layout-dispatch machinery the paper requires when
+//! "the DPU … can then choose the std::string layout to use for
+//! deserialization".
+
+/// Which C++ standard library's `std::string` ABI to emulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum StdLib {
+    /// GNU libstdc++ (32-byte string, SSO by pointer-equality). The
+    /// default: "most Linux programs are based on libstdc++" (§V.C).
+    #[default]
+    Libstdcxx,
+    /// LLVM libc++ (24-byte string, SSO flag bit in capacity), simplified.
+    Libcxx,
+}
+
+impl StdLib {
+    /// `sizeof(std::string)` under this ABI.
+    pub fn string_size(self) -> usize {
+        match self {
+            StdLib::Libstdcxx => 32,
+            StdLib::Libcxx => 24,
+        }
+    }
+
+    /// `alignof(std::string)` (8 for both).
+    pub fn string_align(self) -> usize {
+        8
+    }
+
+    /// Maximum characters stored inline.
+    pub fn sso_capacity(self) -> usize {
+        match self {
+            StdLib::Libstdcxx => 15,
+            StdLib::Libcxx => 22,
+        }
+    }
+
+    /// Writes a string struct into `struct_bytes` (exactly
+    /// [`StdLib::string_size`] long).
+    ///
+    /// * `self_addr` — the **host** virtual address the struct itself will
+    ///   occupy after the DMA copy (needed because SSO makes the struct
+    ///   self-referential).
+    /// * `data` — the string bytes. If they fit inline they are stored in
+    ///   the SSO buffer; otherwise `heap_addr` (the host address of the
+    ///   out-of-line copy the caller placed in the arena) is recorded.
+    pub fn write_string(
+        self,
+        struct_bytes: &mut [u8],
+        self_addr: u64,
+        data_len: usize,
+        heap_addr: u64,
+        inline_data: Option<&[u8]>,
+    ) {
+        assert_eq!(struct_bytes.len(), self.string_size());
+        match self {
+            StdLib::Libstdcxx => {
+                if data_len <= 15 {
+                    let inline = inline_data.expect("inline data required for SSO");
+                    assert_eq!(inline.len(), data_len);
+                    // data -> &sso (offset 16 within the struct).
+                    struct_bytes[0..8].copy_from_slice(&(self_addr + 16).to_le_bytes());
+                    struct_bytes[8..16].copy_from_slice(&(data_len as u64).to_le_bytes());
+                    struct_bytes[16..32].fill(0);
+                    struct_bytes[16..16 + data_len].copy_from_slice(inline);
+                } else {
+                    struct_bytes[0..8].copy_from_slice(&heap_addr.to_le_bytes());
+                    struct_bytes[8..16].copy_from_slice(&(data_len as u64).to_le_bytes());
+                    // capacity == size for an exactly-sized arena string.
+                    struct_bytes[16..24].copy_from_slice(&(data_len as u64).to_le_bytes());
+                    struct_bytes[24..32].fill(0);
+                }
+            }
+            StdLib::Libcxx => {
+                if data_len <= 22 {
+                    let inline = inline_data.expect("inline data required for SSO");
+                    // Short form: flag bit 0 of byte 0 set, 7-bit size,
+                    // bytes 2.. hold the data (simplified).
+                    struct_bytes.fill(0);
+                    struct_bytes[0] = ((data_len as u8) << 1) | 1;
+                    struct_bytes[2..2 + data_len].copy_from_slice(inline);
+                } else {
+                    // Long form: capacity with flag bit clear.
+                    struct_bytes[0..8].copy_from_slice(&((data_len as u64) << 1).to_le_bytes());
+                    struct_bytes[8..16].copy_from_slice(&(data_len as u64).to_le_bytes());
+                    struct_bytes[16..24].copy_from_slice(&heap_addr.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes a string struct: returns `(len, Loc)` where [`Loc`] says
+    /// whether the bytes are inline (offset within the struct) or at a heap
+    /// address.
+    pub fn read_string(self, struct_bytes: &[u8], self_addr: u64) -> (usize, Loc) {
+        assert_eq!(struct_bytes.len(), self.string_size());
+        match self {
+            StdLib::Libstdcxx => {
+                let data = u64::from_le_bytes(struct_bytes[0..8].try_into().unwrap());
+                let size = u64::from_le_bytes(struct_bytes[8..16].try_into().unwrap()) as usize;
+                if data == self_addr + 16 {
+                    (size, Loc::Inline { offset: 16 })
+                } else {
+                    (size, Loc::Heap { addr: data })
+                }
+            }
+            StdLib::Libcxx => {
+                if struct_bytes[0] & 1 == 1 {
+                    let size = (struct_bytes[0] >> 1) as usize;
+                    (size, Loc::Inline { offset: 2 })
+                } else {
+                    let size = u64::from_le_bytes(struct_bytes[8..16].try_into().unwrap()) as usize;
+                    let data = u64::from_le_bytes(struct_bytes[16..24].try_into().unwrap());
+                    (size, Loc::Heap { addr: data })
+                }
+            }
+        }
+    }
+}
+
+/// Where a string's bytes live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// Inside the struct at this byte offset (SSO).
+    Inline {
+        /// Offset of the first data byte within the string struct.
+        offset: usize,
+    },
+    /// At an absolute host address (arena).
+    Heap {
+        /// Host virtual address of the first byte.
+        addr: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libstdcxx_sso_roundtrip() {
+        let lib = StdLib::Libstdcxx;
+        let mut buf = vec![0u8; 32];
+        lib.write_string(&mut buf, 0x7000, 5, 0, Some(b"hello"));
+        let (len, loc) = lib.read_string(&buf, 0x7000);
+        assert_eq!(len, 5);
+        assert_eq!(loc, Loc::Inline { offset: 16 });
+        assert_eq!(&buf[16..21], b"hello");
+        // The data pointer literally points at the SSO buffer.
+        assert_eq!(
+            u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            0x7000 + 16
+        );
+    }
+
+    #[test]
+    fn libstdcxx_heap_roundtrip() {
+        let lib = StdLib::Libstdcxx;
+        let mut buf = vec![0u8; 32];
+        lib.write_string(&mut buf, 0x7000, 100, 0xbeef_0000, None);
+        let (len, loc) = lib.read_string(&buf, 0x7000);
+        assert_eq!(len, 100);
+        assert_eq!(loc, Loc::Heap { addr: 0xbeef_0000 });
+    }
+
+    #[test]
+    fn libstdcxx_boundary_15_vs_16() {
+        let lib = StdLib::Libstdcxx;
+        let mut buf = vec![0u8; 32];
+        let s15 = b"exactly15bytes!";
+        assert_eq!(s15.len(), 15);
+        lib.write_string(&mut buf, 0x10, 15, 0, Some(s15));
+        assert!(matches!(lib.read_string(&buf, 0x10).1, Loc::Inline { .. }));
+        lib.write_string(&mut buf, 0x10, 16, 0xabc0, None);
+        assert!(matches!(lib.read_string(&buf, 0x10).1, Loc::Heap { .. }));
+    }
+
+    #[test]
+    fn libcxx_sso_roundtrip() {
+        let lib = StdLib::Libcxx;
+        let mut buf = vec![0u8; 24];
+        lib.write_string(&mut buf, 0x500, 10, 0, Some(b"0123456789"));
+        let (len, loc) = lib.read_string(&buf, 0x500);
+        assert_eq!(len, 10);
+        assert_eq!(loc, Loc::Inline { offset: 2 });
+        assert_eq!(&buf[2..12], b"0123456789");
+    }
+
+    #[test]
+    fn libcxx_heap_roundtrip() {
+        let lib = StdLib::Libcxx;
+        let mut buf = vec![0u8; 24];
+        lib.write_string(&mut buf, 0x500, 23, 0x1234, None);
+        let (len, loc) = lib.read_string(&buf, 0x500);
+        assert_eq!(len, 23);
+        assert_eq!(loc, Loc::Heap { addr: 0x1234 });
+    }
+
+    #[test]
+    fn libcxx_boundary_22_vs_23() {
+        let lib = StdLib::Libcxx;
+        let mut buf = vec![0u8; 24];
+        let s22 = [b'x'; 22];
+        lib.write_string(&mut buf, 0, 22, 0, Some(&s22));
+        assert!(matches!(lib.read_string(&buf, 0).1, Loc::Inline { .. }));
+    }
+
+    #[test]
+    fn sizes_and_capacities() {
+        assert_eq!(StdLib::Libstdcxx.string_size(), 32);
+        assert_eq!(StdLib::Libcxx.string_size(), 24);
+        assert_eq!(StdLib::Libstdcxx.sso_capacity(), 15);
+        assert_eq!(StdLib::Libcxx.sso_capacity(), 22);
+    }
+
+    #[test]
+    fn empty_string_is_inline() {
+        for lib in [StdLib::Libstdcxx, StdLib::Libcxx] {
+            let mut buf = vec![0u8; lib.string_size()];
+            lib.write_string(&mut buf, 0x40, 0, 0, Some(b""));
+            let (len, loc) = lib.read_string(&buf, 0x40);
+            assert_eq!(len, 0);
+            assert!(matches!(loc, Loc::Inline { .. }));
+        }
+    }
+}

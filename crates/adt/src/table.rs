@@ -1,0 +1,494 @@
+//! The Accelerator Description Table.
+//!
+//! §V.B: "the ADT contains all the necessary information to deserialize any
+//! protobuf message directly into a C++ object … a list of metadata for
+//! each message type. The metadata of each class includes the default
+//! instance, each field offset, and field type, including a pointer to the
+//! child table if the field is also an object. … The ADT is transmitted
+//! from the host to the DPU at the start of the application."
+//!
+//! [`Adt::from_schema`] is the analogue of the paper's `protoc` plugin that
+//! generates `.adt.pb.{h,cc}`; [`Adt::to_bytes`] / [`Adt::from_bytes`] are
+//! the transmission format; [`Adt::abi_hash`] guards the binary-
+//! compatibility assumption (§V.A) — the host refuses to accept a DPU whose
+//! table disagrees.
+
+use crate::layout::{
+    compute_layout, ClassId, FieldMeta, MessageMeta, NativeFieldKind, NativeScalar,
+};
+use crate::sso::StdLib;
+use pbo_protowire::Schema;
+use std::collections::BTreeMap;
+
+/// Errors raised while building, encoding, or decoding an ADT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdtError {
+    /// A class id not present in the table was referenced.
+    UnknownClass(u32),
+    /// A message name not present in the table was looked up.
+    UnknownName(String),
+    /// The serialized table failed to parse.
+    Malformed(String),
+    /// The peer's table hashes differently — the two programs are not
+    /// binary compatible.
+    AbiMismatch {
+        /// Our hash.
+        ours: u64,
+        /// The peer's hash.
+        theirs: u64,
+    },
+}
+
+impl std::fmt::Display for AdtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdtError::UnknownClass(id) => write!(f, "unknown class id {id}"),
+            AdtError::UnknownName(n) => write!(f, "unknown message type {n}"),
+            AdtError::Malformed(m) => write!(f, "malformed ADT: {m}"),
+            AdtError::AbiMismatch { ours, theirs } => {
+                write!(f, "ABI mismatch: local {ours:#x}, remote {theirs:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdtError {}
+
+/// The table: one [`MessageMeta`] per class, indexed by class id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Adt {
+    classes: Vec<MessageMeta>,
+    by_name: BTreeMap<String, ClassId>,
+    stdlib: StdLib,
+}
+
+impl Adt {
+    /// Builds the table from a schema. Class ids are assigned in sorted
+    /// name order, making the construction deterministic on both sides.
+    pub fn from_schema(schema: &Schema, stdlib: StdLib) -> Self {
+        let mut by_name = BTreeMap::new();
+        for (i, m) in schema.messages().enumerate() {
+            by_name.insert(m.name.clone(), i as ClassId);
+        }
+        let classes = schema
+            .messages()
+            .enumerate()
+            .map(|(i, m)| {
+                compute_layout(m, i as ClassId, stdlib, |name| {
+                    *by_name
+                        .get(name)
+                        .unwrap_or_else(|| panic!("unresolved message reference {name}"))
+                })
+            })
+            .collect();
+        Self {
+            classes,
+            by_name,
+            stdlib,
+        }
+    }
+
+    /// The string ABI in use.
+    pub fn stdlib(&self) -> StdLib {
+        self.stdlib
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Looks up a class by id.
+    pub fn class(&self, id: ClassId) -> Result<&MessageMeta, AdtError> {
+        self.classes
+            .get(id as usize)
+            .ok_or(AdtError::UnknownClass(id))
+    }
+
+    /// Looks up a class id by message name.
+    pub fn class_id(&self, name: &str) -> Result<ClassId, AdtError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| AdtError::UnknownName(name.to_string()))
+    }
+
+    /// Looks up a class by message name.
+    pub fn class_by_name(&self, name: &str) -> Result<&MessageMeta, AdtError> {
+        self.class(self.class_id(name)?)
+    }
+
+    /// Iterates classes in id order.
+    pub fn classes(&self) -> impl Iterator<Item = &MessageMeta> {
+        self.classes.iter()
+    }
+
+    /// FNV-1a hash over every ABI-relevant number in the table: sizes,
+    /// alignments, offsets, kinds, presence bits, and the string ABI —
+    /// the paper's `sizeof`/`alignof`/`offsetof` agreement test in one
+    /// number.
+    pub fn abi_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(match self.stdlib {
+            StdLib::Libstdcxx => 1,
+            StdLib::Libcxx => 2,
+        });
+        h.u64(self.classes.len() as u64);
+        for c in &self.classes {
+            h.bytes(c.name.as_bytes());
+            h.u64(c.size as u64);
+            h.u64(c.align as u64);
+            h.u64(c.presence_bytes as u64);
+            for f in &c.fields {
+                h.u64(f.number as u64);
+                h.u64(f.offset as u64);
+                let (tag, aux) = kind_code(f.kind);
+                h.byte(tag);
+                h.u64(aux as u64);
+                h.u64(f.presence_bit.map(|b| b as u64 + 1).unwrap_or(0));
+                h.byte(f.is_utf8 as u8);
+            }
+        }
+        h.finish()
+    }
+
+    /// Verifies binary compatibility with a peer's table.
+    pub fn verify_compatible(&self, other: &Adt) -> Result<(), AdtError> {
+        let (ours, theirs) = (self.abi_hash(), other.abi_hash());
+        if ours == theirs {
+            Ok(())
+        } else {
+            Err(AdtError::AbiMismatch { ours, theirs })
+        }
+    }
+
+    /// Serializes the table for the one-time host→DPU transfer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.classes.len() * 64);
+        out.extend(b"ADT1");
+        out.push(match self.stdlib {
+            StdLib::Libstdcxx => 1,
+            StdLib::Libcxx => 2,
+        });
+        put_u32(&mut out, self.classes.len() as u32);
+        for c in &self.classes {
+            put_u32(&mut out, c.name.len() as u32);
+            out.extend(c.name.as_bytes());
+            put_u32(&mut out, c.class_id);
+            put_u32(&mut out, c.size as u32);
+            put_u32(&mut out, c.presence_bytes as u32);
+            put_u32(&mut out, c.fields.len() as u32);
+            for f in &c.fields {
+                put_u32(&mut out, f.number);
+                let (tag, aux) = kind_code(f.kind);
+                out.push(tag);
+                put_u32(&mut out, aux);
+                put_u32(&mut out, f.offset as u32);
+                put_u32(&mut out, f.presence_bit.map(|b| b + 1).unwrap_or(0));
+                out.push(f.is_utf8 as u8);
+            }
+        }
+        let mut hashed = out;
+        let mut h = Fnv::new();
+        h.bytes(&hashed);
+        let digest = h.finish();
+        hashed.extend(digest.to_le_bytes());
+        hashed
+    }
+
+    /// Parses a transmitted table.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AdtError> {
+        let malformed = |m: &str| AdtError::Malformed(m.to_string());
+        if bytes.len() < 17 || &bytes[0..4] != b"ADT1" {
+            return Err(malformed("bad magic"));
+        }
+        let (body, digest_bytes) = bytes.split_at(bytes.len() - 8);
+        let mut h = Fnv::new();
+        h.bytes(body);
+        let expect = u64::from_le_bytes(digest_bytes.try_into().unwrap());
+        if h.finish() != expect {
+            return Err(malformed("checksum mismatch"));
+        }
+
+        let mut pos = 4;
+        let stdlib = match body[pos] {
+            1 => StdLib::Libstdcxx,
+            2 => StdLib::Libcxx,
+            other => return Err(malformed(&format!("unknown stdlib {other}"))),
+        };
+        pos += 1;
+        let n = get_u32(body, &mut pos).ok_or_else(|| malformed("truncated count"))? as usize;
+        let mut classes = Vec::with_capacity(n);
+        let mut by_name = BTreeMap::new();
+        for _ in 0..n {
+            let name_len =
+                get_u32(body, &mut pos).ok_or_else(|| malformed("truncated name len"))? as usize;
+            if pos + name_len > body.len() {
+                return Err(malformed("truncated name"));
+            }
+            let name = String::from_utf8(body[pos..pos + name_len].to_vec())
+                .map_err(|_| malformed("name not UTF-8"))?;
+            pos += name_len;
+            let class_id = get_u32(body, &mut pos).ok_or_else(|| malformed("truncated id"))?;
+            let size = get_u32(body, &mut pos).ok_or_else(|| malformed("truncated size"))? as usize;
+            let presence_bytes =
+                get_u32(body, &mut pos).ok_or_else(|| malformed("truncated presence"))? as usize;
+            let nf =
+                get_u32(body, &mut pos).ok_or_else(|| malformed("truncated field count"))? as usize;
+            let mut fields = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                let number = get_u32(body, &mut pos).ok_or_else(|| malformed("truncated field"))?;
+                let tag = *body.get(pos).ok_or_else(|| malformed("truncated tag"))?;
+                pos += 1;
+                let aux = get_u32(body, &mut pos).ok_or_else(|| malformed("truncated aux"))?;
+                let offset =
+                    get_u32(body, &mut pos).ok_or_else(|| malformed("truncated offset"))? as usize;
+                let pb = get_u32(body, &mut pos).ok_or_else(|| malformed("truncated bit"))?;
+                let is_utf8 = *body.get(pos).ok_or_else(|| malformed("truncated utf8"))? != 0;
+                pos += 1;
+                fields.push(FieldMeta {
+                    number,
+                    kind: kind_decode(tag, aux)
+                        .ok_or_else(|| malformed(&format!("bad kind tag {tag}")))?,
+                    offset,
+                    presence_bit: if pb == 0 { None } else { Some(pb - 1) },
+                    is_utf8,
+                });
+            }
+            by_name.insert(name.clone(), class_id);
+            classes.push(MessageMeta {
+                class_id,
+                name,
+                size,
+                align: 8,
+                presence_bytes,
+                fields,
+                stdlib,
+            });
+        }
+        if pos != body.len() {
+            return Err(malformed("trailing bytes"));
+        }
+        // Ids must be dense and in order for index-based lookup.
+        for (i, c) in classes.iter().enumerate() {
+            if c.class_id as usize != i {
+                return Err(malformed("non-dense class ids"));
+            }
+            for f in &c.fields {
+                if let NativeFieldKind::MessagePtr(child) | NativeFieldKind::RepMessage(child) =
+                    f.kind
+                {
+                    if child as usize >= classes.len() {
+                        return Err(AdtError::UnknownClass(child));
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            classes,
+            by_name,
+            stdlib,
+        })
+    }
+}
+
+fn kind_code(kind: NativeFieldKind) -> (u8, u32) {
+    match kind {
+        NativeFieldKind::Scalar(s) => (1, scalar_code(s)),
+        NativeFieldKind::Str => (2, 0),
+        NativeFieldKind::MessagePtr(c) => (3, c),
+        NativeFieldKind::RepScalar(s) => (4, scalar_code(s)),
+        NativeFieldKind::RepStr => (5, 0),
+        NativeFieldKind::RepMessage(c) => (6, c),
+    }
+}
+
+fn kind_decode(tag: u8, aux: u32) -> Option<NativeFieldKind> {
+    Some(match tag {
+        1 => NativeFieldKind::Scalar(scalar_decode(aux)?),
+        2 => NativeFieldKind::Str,
+        3 => NativeFieldKind::MessagePtr(aux),
+        4 => NativeFieldKind::RepScalar(scalar_decode(aux)?),
+        5 => NativeFieldKind::RepStr,
+        6 => NativeFieldKind::RepMessage(aux),
+        _ => return None,
+    })
+}
+
+fn scalar_code(s: NativeScalar) -> u32 {
+    match s {
+        NativeScalar::Bool => 0,
+        NativeScalar::I32 => 1,
+        NativeScalar::U32 => 2,
+        NativeScalar::I64 => 3,
+        NativeScalar::U64 => 4,
+        NativeScalar::F32 => 5,
+        NativeScalar::F64 => 6,
+    }
+}
+
+fn scalar_decode(code: u32) -> Option<NativeScalar> {
+    Some(match code {
+        0 => NativeScalar::Bool,
+        1 => NativeScalar::I32,
+        2 => NativeScalar::U32,
+        3 => NativeScalar::I64,
+        4 => NativeScalar::U64,
+        5 => NativeScalar::F32,
+        6 => NativeScalar::F64,
+        _ => return None,
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend(v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let b = buf.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_protowire::workloads::paper_schema;
+    use pbo_protowire::{FieldType as FT, SchemaBuilder};
+
+    #[test]
+    fn builds_from_paper_schema() {
+        let adt = Adt::from_schema(&paper_schema(), StdLib::Libstdcxx);
+        assert_eq!(adt.len(), 4);
+        let small = adt.class_by_name("bench.Small").unwrap();
+        assert_eq!(small.size, 40);
+        // Ids dense and resolvable.
+        for c in adt.classes() {
+            assert_eq!(adt.class(c.class_id).unwrap().name, c.name);
+        }
+    }
+
+    #[test]
+    fn nested_references_resolve_to_child_ids() {
+        let mut b = SchemaBuilder::new();
+        b.message("Inner").scalar("x", 1, FT::Int32).finish();
+        b.message("Outer")
+            .message_field("inner", 1, "Inner")
+            .repeated_message("many", 2, "Inner")
+            .finish();
+        let adt = Adt::from_schema(&b.build(), StdLib::Libstdcxx);
+        let outer = adt.class_by_name("Outer").unwrap();
+        let inner_id = adt.class_id("Inner").unwrap();
+        assert_eq!(
+            outer.field(1).unwrap().kind,
+            NativeFieldKind::MessagePtr(inner_id)
+        );
+        assert_eq!(
+            outer.field(2).unwrap().kind,
+            NativeFieldKind::RepMessage(inner_id)
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip_is_identity() {
+        let adt = Adt::from_schema(&paper_schema(), StdLib::Libstdcxx);
+        let bytes = adt.to_bytes();
+        let back = Adt::from_bytes(&bytes).unwrap();
+        assert_eq!(back, adt);
+        assert_eq!(back.abi_hash(), adt.abi_hash());
+    }
+
+    #[test]
+    fn corrupted_bytes_rejected() {
+        let adt = Adt::from_schema(&paper_schema(), StdLib::Libstdcxx);
+        let mut bytes = adt.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            Adt::from_bytes(&bytes),
+            Err(AdtError::Malformed(_))
+        ));
+        assert!(matches!(
+            Adt::from_bytes(b"not an adt"),
+            Err(AdtError::Malformed(_))
+        ));
+        assert!(matches!(
+            Adt::from_bytes(&bytes[..10]),
+            Err(AdtError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn abi_hash_detects_layout_differences() {
+        let schema = paper_schema();
+        let gnu = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let llvm = Adt::from_schema(&schema, StdLib::Libcxx);
+        assert_ne!(gnu.abi_hash(), llvm.abi_hash());
+        assert!(matches!(
+            gnu.verify_compatible(&llvm),
+            Err(AdtError::AbiMismatch { .. })
+        ));
+        assert!(gnu
+            .verify_compatible(&Adt::from_schema(&schema, StdLib::Libstdcxx))
+            .is_ok());
+    }
+
+    #[test]
+    fn abi_hash_detects_schema_differences() {
+        let a = Adt::from_schema(&paper_schema(), StdLib::Libstdcxx);
+        let mut b = SchemaBuilder::new();
+        b.message("bench.Small")
+            .scalar("a", 1, FT::UInt32)
+            // field 2 missing: different offsets downstream
+            .scalar("c", 3, FT::UInt64)
+            .finish();
+        b.message("bench.IntArray")
+            .repeated("values", 1, FT::UInt32)
+            .finish();
+        b.message("bench.CharArray")
+            .scalar("text", 1, FT::String)
+            .finish();
+        b.message("bench.Empty").finish();
+        let other = Adt::from_schema(&b.build(), StdLib::Libstdcxx);
+        assert_ne!(a.abi_hash(), other.abi_hash());
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let adt = Adt::from_schema(&paper_schema(), StdLib::Libstdcxx);
+        assert!(matches!(
+            adt.class_by_name("Ghost"),
+            Err(AdtError::UnknownName(_))
+        ));
+        assert!(matches!(adt.class(999), Err(AdtError::UnknownClass(999))));
+    }
+}

@@ -1,0 +1,617 @@
+//! In-place arena deserialization: the DPU-side native-object writer.
+//!
+//! This is the offload's core trick (§III.B, §V.C): the DPU deserializes
+//! into its *send buffer* while crafting every pointer against the **host**
+//! address the bytes will occupy after the RDMA write — possible because
+//! the send buffer mirrors the remote receive buffer byte-for-byte, so
+//! `host_address = host_base + arena_offset`. When the block lands, the
+//! object graph is immediately valid on the host: "a request's pointer on
+//! the client side x will have the value x on the server side".
+//!
+//! The writer is a [`FieldSink`]; the stack-based wire parser
+//! ([`pbo_protowire::StackDeserializer`]) drives it. Construction details:
+//!
+//! * objects are bump-allocated ("fields are allocated from a stack, also
+//!   known as arena buffer", §II.B) and initialized from their class's
+//!   default instance (class-id word = the vptr trick of §V.B, strings
+//!   pre-pointed at their own SSO buffers);
+//! * strings ≤ SSO capacity live inline; longer ones get an arena copy and
+//!   a heap-form struct (§V.C);
+//! * repeated fields accumulate in reusable scratch space and are flushed
+//!   to a contiguous arena array when their message frame closes, yielding
+//!   `std::vector`-shaped triples.
+
+use crate::layout::{ClassId, FieldMeta, NativeFieldKind, NativeScalar};
+use crate::sso::StdLib;
+use crate::table::Adt;
+use pbo_protowire::{DecodeError, FieldDescriptor, FieldSink, MessageDescriptor, Scalar};
+use std::sync::Arc;
+
+/// Writer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WriterConfig {
+    /// Host virtual address that arena offset 0 will occupy after the DMA
+    /// copy. Must be 8-aligned (the protocol aligns payloads to 8, §IV.A).
+    pub host_base: u64,
+}
+
+/// Result of a completed deserialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteResult {
+    /// Arena offset of the root object.
+    pub root_offset: usize,
+    /// Total arena bytes consumed (objects + out-of-line data).
+    pub used: usize,
+    /// Host pointers crafted into the object graph (string data pointers,
+    /// vector triples, message pointers). This is exactly the number of
+    /// fixups a *non*-shared-address-space design would have to apply on
+    /// the receiver — the cost §III.B's mirroring eliminates.
+    pub pointers: usize,
+}
+
+enum Scratch {
+    /// Raw little-endian element bytes for repeated scalars.
+    Raw { elem: NativeScalar, bytes: Vec<u8> },
+    /// Repeated string/bytes elements: (inline bytes | arena offset, len).
+    Strs(Vec<StrElem>),
+    /// Host pointers to repeated child objects.
+    Ptrs(Vec<u64>),
+}
+
+struct StrElem {
+    /// `Ok(bytes)` when short enough for SSO; `Err(arena_off)` otherwise.
+    data: Result<Vec<u8>, usize>,
+    len: usize,
+}
+
+struct Frame {
+    class: ClassId,
+    obj_off: usize,
+    rep: Vec<(u32, Scratch)>,
+}
+
+/// The arena writer. One instance deserializes one message into one arena.
+pub struct NativeWriter<'a> {
+    adt: &'a Adt,
+    buf: &'a mut [u8],
+    cursor: usize,
+    host_base: u64,
+    frames: Vec<Frame>,
+    root_off: usize,
+    pointers: usize,
+}
+
+impl<'a> NativeWriter<'a> {
+    /// Creates a writer that will build a `root` object at the start of
+    /// `buf` (the block's payload arena).
+    pub fn new(
+        adt: &'a Adt,
+        root: &MessageDescriptor,
+        buf: &'a mut [u8],
+        cfg: WriterConfig,
+    ) -> Result<Self, DecodeError> {
+        assert_eq!(cfg.host_base % 8, 0, "host base must be 8-aligned");
+        let class = adt
+            .class_id(&root.name)
+            .map_err(|e| DecodeError::Sink(e.to_string()))?;
+        let mut w = Self {
+            adt,
+            buf,
+            cursor: 0,
+            host_base: cfg.host_base,
+            frames: Vec::with_capacity(4),
+            root_off: 0,
+            pointers: 0,
+        };
+        let obj_off = w.alloc_object(class)?;
+        w.root_off = obj_off;
+        w.frames.push(Frame {
+            class,
+            obj_off,
+            rep: Vec::new(),
+        });
+        Ok(w)
+    }
+
+    /// Completes the root object (flushing its repeated fields) and
+    /// returns where it lives.
+    pub fn finish(mut self) -> Result<WriteResult, DecodeError> {
+        assert_eq!(self.frames.len(), 1, "unbalanced message frames");
+        let frame = self.frames.pop().expect("root frame");
+        self.flush_frame(frame)?;
+        Ok(WriteResult {
+            root_offset: self.root_off,
+            used: self.cursor,
+            pointers: self.pointers,
+        })
+    }
+
+    fn stdlib(&self) -> StdLib {
+        self.adt.stdlib()
+    }
+
+    fn alloc(&mut self, size: usize, align: usize) -> Result<usize, DecodeError> {
+        let off = self.cursor.div_ceil(align) * align;
+        let end = off.checked_add(size).ok_or_else(arena_full)?;
+        if end > self.buf.len() {
+            return Err(arena_full());
+        }
+        self.cursor = end;
+        Ok(off)
+    }
+
+    /// Allocates and default-initializes one object of `class`.
+    fn alloc_object(&mut self, class: ClassId) -> Result<usize, DecodeError> {
+        // Borrow the metadata from the table's lifetime, not from `self`,
+        // so no per-object clone (and no allocation) is needed — the
+        // datapath must stay allocation-free (§VI.C.5).
+        let adt: &'a Adt = self.adt;
+        let meta = adt
+            .class(class)
+            .map_err(|e| DecodeError::Sink(e.to_string()))?;
+        let off = self.alloc(meta.size, meta.align)?;
+        let lib = self.stdlib();
+        let obj = &mut self.buf[off..off + meta.size];
+        obj.fill(0);
+        obj[0..8].copy_from_slice(&(meta.class_id as u64).to_le_bytes());
+        // Pre-point every singular string at its own SSO buffer, empty —
+        // the per-location part of default-instance initialization.
+        let mut ptrs = 0;
+        for f in &meta.fields {
+            if f.kind == NativeFieldKind::Str {
+                let self_addr = self.host_base + (off + f.offset) as u64;
+                let slot = &mut obj[f.offset..f.offset + lib.string_size()];
+                lib.write_string(slot, self_addr, 0, 0, Some(b""));
+                ptrs += 1;
+            }
+        }
+        self.pointers += ptrs;
+        Ok(off)
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("active frame")
+    }
+
+    fn field_meta(&self, number: u32) -> Result<FieldMeta, DecodeError> {
+        let meta = self
+            .adt
+            .class(self.frame().class)
+            .map_err(|e| DecodeError::Sink(e.to_string()))?;
+        // FieldMeta is plain data (no heap fields): this clone is a copy.
+        meta.field(number)
+            .cloned()
+            .ok_or_else(|| DecodeError::Sink(format!("field {number} missing from ADT")))
+    }
+
+    fn set_presence(&mut self, fm: &FieldMeta) {
+        if let Some(bit) = fm.presence_bit {
+            let obj_off = self.frame().obj_off;
+            let byte = obj_off + crate::layout::PRESENCE_OFFSET + (bit / 8) as usize;
+            self.buf[byte] |= 1 << (bit % 8);
+        }
+    }
+
+    fn scratch_for(&mut self, number: u32, make: impl FnOnce() -> Scratch) -> &mut Scratch {
+        let frame = self.frames.last_mut().expect("active frame");
+        if let Some(i) = frame.rep.iter().position(|(n, _)| *n == number) {
+            &mut frame.rep[i].1
+        } else {
+            frame.rep.push((number, make()));
+            &mut frame.rep.last_mut().expect("just pushed").1
+        }
+    }
+
+    fn write_scalar_at(buf: &mut [u8], off: usize, s: NativeScalar, v: Scalar) {
+        match (s, v) {
+            (NativeScalar::Bool, Scalar::Bool(b)) => buf[off] = b as u8,
+            (NativeScalar::I32, Scalar::I64(x)) => {
+                buf[off..off + 4].copy_from_slice(&(x as i32).to_le_bytes())
+            }
+            (NativeScalar::U32, Scalar::U64(x)) => {
+                buf[off..off + 4].copy_from_slice(&(x as u32).to_le_bytes())
+            }
+            (NativeScalar::I64, Scalar::I64(x)) => {
+                buf[off..off + 8].copy_from_slice(&x.to_le_bytes())
+            }
+            (NativeScalar::U64, Scalar::U64(x)) => {
+                buf[off..off + 8].copy_from_slice(&x.to_le_bytes())
+            }
+            (NativeScalar::F32, Scalar::F32(x)) => {
+                buf[off..off + 4].copy_from_slice(&x.to_le_bytes())
+            }
+            (NativeScalar::F64, Scalar::F64(x)) => {
+                buf[off..off + 8].copy_from_slice(&x.to_le_bytes())
+            }
+            (s, v) => unreachable!("scalar kind mismatch: {s:?} vs {v:?}"),
+        }
+    }
+
+    fn push_scalar_raw(bytes: &mut Vec<u8>, s: NativeScalar, v: Scalar) {
+        match (s, v) {
+            (NativeScalar::Bool, Scalar::Bool(b)) => bytes.push(b as u8),
+            (NativeScalar::I32, Scalar::I64(x)) => bytes.extend((x as i32).to_le_bytes()),
+            (NativeScalar::U32, Scalar::U64(x)) => bytes.extend((x as u32).to_le_bytes()),
+            (NativeScalar::I64, Scalar::I64(x)) => bytes.extend(x.to_le_bytes()),
+            (NativeScalar::U64, Scalar::U64(x)) => bytes.extend(x.to_le_bytes()),
+            (NativeScalar::F32, Scalar::F32(x)) => bytes.extend(x.to_le_bytes()),
+            (NativeScalar::F64, Scalar::F64(x)) => bytes.extend(x.to_le_bytes()),
+            (s, v) => unreachable!("scalar kind mismatch: {s:?} vs {v:?}"),
+        }
+    }
+
+    /// Writes a vector-triple header: begin/end/cap host pointers.
+    fn write_vec_header(&mut self, slot_off: usize, data_off: usize, data_len: usize) {
+        self.pointers += 3;
+        let begin = if data_len == 0 {
+            0
+        } else {
+            self.host_base + data_off as u64
+        };
+        let end = begin + data_len as u64;
+        self.buf[slot_off..slot_off + 8].copy_from_slice(&begin.to_le_bytes());
+        self.buf[slot_off + 8..slot_off + 16].copy_from_slice(&end.to_le_bytes());
+        self.buf[slot_off + 16..slot_off + 24].copy_from_slice(&end.to_le_bytes());
+    }
+
+    fn flush_frame(&mut self, frame: Frame) -> Result<(), DecodeError> {
+        let lib = self.stdlib();
+        for (number, scratch) in frame.rep {
+            let meta = self
+                .adt
+                .class(frame.class)
+                .map_err(|e| DecodeError::Sink(e.to_string()))?;
+            let fm = meta
+                .field(number)
+                .cloned()
+                .ok_or_else(|| DecodeError::Sink(format!("field {number} missing")))?;
+            let slot = frame.obj_off + fm.offset;
+            match scratch {
+                Scratch::Raw { elem, bytes } => {
+                    let off = self.alloc(bytes.len(), elem.align().max(1))?;
+                    self.buf[off..off + bytes.len()].copy_from_slice(&bytes);
+                    self.write_vec_header(slot, off, bytes.len());
+                }
+                Scratch::Ptrs(ptrs) => {
+                    let len = ptrs.len() * 8;
+                    let off = self.alloc(len, 8)?;
+                    for (i, p) in ptrs.iter().enumerate() {
+                        self.buf[off + i * 8..off + i * 8 + 8].copy_from_slice(&p.to_le_bytes());
+                    }
+                    self.write_vec_header(slot, off, len);
+                }
+                Scratch::Strs(elems) => {
+                    let ssize = lib.string_size();
+                    let len = elems.len() * ssize;
+                    self.pointers += elems.len();
+                    let off = self.alloc(len, 8)?;
+                    for (i, e) in elems.iter().enumerate() {
+                        let struct_off = off + i * ssize;
+                        let self_addr = self.host_base + struct_off as u64;
+                        let (heap_addr, inline) = match &e.data {
+                            Ok(bytes) => (0u64, Some(bytes.as_slice())),
+                            Err(arena_off) => (self.host_base + *arena_off as u64, None),
+                        };
+                        let slot_bytes = &mut self.buf[struct_off..struct_off + ssize];
+                        lib.write_string(slot_bytes, self_addr, e.len, heap_addr, inline);
+                    }
+                    self.write_vec_header(slot, off, len);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn put_string(&mut self, fd: &FieldDescriptor, bytes: &[u8]) -> Result<(), DecodeError> {
+        let fm = self.field_meta(fd.number)?;
+        let lib = self.stdlib();
+        match fm.kind {
+            NativeFieldKind::Str => {
+                self.pointers += 1;
+                let obj_off = self.frame().obj_off;
+                let slot = obj_off + fm.offset;
+                if bytes.len() <= lib.sso_capacity() {
+                    let self_addr = self.host_base + slot as u64;
+                    let data = bytes.to_vec();
+                    let slot_bytes = &mut self.buf[slot..slot + lib.string_size()];
+                    lib.write_string(slot_bytes, self_addr, data.len(), 0, Some(&data));
+                } else {
+                    let data_off = self.alloc(bytes.len(), 8)?;
+                    self.buf[data_off..data_off + bytes.len()].copy_from_slice(bytes);
+                    let heap_addr = self.host_base + data_off as u64;
+                    let self_addr = self.host_base + slot as u64;
+                    let slot_bytes = &mut self.buf[slot..slot + lib.string_size()];
+                    lib.write_string(slot_bytes, self_addr, bytes.len(), heap_addr, None);
+                }
+                self.set_presence(&fm);
+                Ok(())
+            }
+            NativeFieldKind::RepStr => {
+                let elem = if bytes.len() <= lib.sso_capacity() {
+                    StrElem {
+                        data: Ok(bytes.to_vec()),
+                        len: bytes.len(),
+                    }
+                } else {
+                    let data_off = self.alloc(bytes.len(), 8)?;
+                    self.buf[data_off..data_off + bytes.len()].copy_from_slice(bytes);
+                    StrElem {
+                        data: Err(data_off),
+                        len: bytes.len(),
+                    }
+                };
+                match self.scratch_for(fd.number, || Scratch::Strs(Vec::new())) {
+                    Scratch::Strs(v) => v.push(elem),
+                    _ => unreachable!("scratch kind mismatch"),
+                }
+                Ok(())
+            }
+            other => Err(DecodeError::Sink(format!(
+                "string wire value for non-string field {}: {other:?}",
+                fd.number
+            ))),
+        }
+    }
+}
+
+fn arena_full() -> DecodeError {
+    DecodeError::Sink("arena exhausted".to_string())
+}
+
+impl FieldSink for NativeWriter<'_> {
+    fn on_scalar(&mut self, fd: &FieldDescriptor, value: Scalar) -> Result<(), DecodeError> {
+        let fm = self.field_meta(fd.number)?;
+        match fm.kind {
+            NativeFieldKind::Scalar(s) => {
+                let off = self.frame().obj_off + fm.offset;
+                Self::write_scalar_at(self.buf, off, s, value);
+                self.set_presence(&fm);
+                Ok(())
+            }
+            NativeFieldKind::RepScalar(s) => {
+                match self.scratch_for(fd.number, || Scratch::Raw {
+                    elem: s,
+                    bytes: Vec::new(),
+                }) {
+                    Scratch::Raw { elem, bytes } => Self::push_scalar_raw(bytes, *elem, value),
+                    _ => unreachable!("scratch kind mismatch"),
+                }
+                Ok(())
+            }
+            other => Err(DecodeError::Sink(format!(
+                "scalar wire value for non-scalar field {}: {other:?}",
+                fd.number
+            ))),
+        }
+    }
+
+    fn on_str(&mut self, fd: &FieldDescriptor, s: &str) -> Result<(), DecodeError> {
+        self.put_string(fd, s.as_bytes())
+    }
+
+    fn on_bytes(&mut self, fd: &FieldDescriptor, b: &[u8]) -> Result<(), DecodeError> {
+        self.put_string(fd, b)
+    }
+
+    fn on_message_start(
+        &mut self,
+        fd: &FieldDescriptor,
+        _desc: &Arc<MessageDescriptor>,
+    ) -> Result<(), DecodeError> {
+        let fm = self.field_meta(fd.number)?;
+        match fm.kind {
+            NativeFieldKind::MessagePtr(child) => {
+                let child_off = self.alloc_object(child)?;
+                let ptr = self.host_base + child_off as u64;
+                self.pointers += 1;
+                let slot = self.frame().obj_off + fm.offset;
+                self.buf[slot..slot + 8].copy_from_slice(&ptr.to_le_bytes());
+                self.set_presence(&fm);
+                self.frames.push(Frame {
+                    class: child,
+                    obj_off: child_off,
+                    rep: Vec::new(),
+                });
+                Ok(())
+            }
+            NativeFieldKind::RepMessage(child) => {
+                let child_off = self.alloc_object(child)?;
+                let ptr = self.host_base + child_off as u64;
+                self.pointers += 1;
+                match self.scratch_for(fd.number, || Scratch::Ptrs(Vec::new())) {
+                    Scratch::Ptrs(v) => v.push(ptr),
+                    _ => unreachable!("scratch kind mismatch"),
+                }
+                self.frames.push(Frame {
+                    class: child,
+                    obj_off: child_off,
+                    rep: Vec::new(),
+                });
+                Ok(())
+            }
+            other => Err(DecodeError::Sink(format!(
+                "message wire value for non-message field {}: {other:?}",
+                fd.number
+            ))),
+        }
+    }
+
+    fn on_message_end(&mut self) -> Result<(), DecodeError> {
+        assert!(self.frames.len() > 1, "unbalanced message end");
+        let frame = self.frames.pop().expect("nested frame");
+        self.flush_frame(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Adt;
+    use pbo_protowire::workloads::{gen_small, paper_schema};
+    use pbo_protowire::{encode_message, StackDeserializer};
+
+    #[test]
+    fn small_message_writes_40_bytes() {
+        let schema = paper_schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let msg = gen_small(&schema);
+        let wire = encode_message(&msg);
+        assert_eq!(wire.len(), 15);
+
+        let mut arena = vec![0u8; 4096];
+        let desc = schema.message("bench.Small").unwrap().clone();
+        let mut w = NativeWriter::new(&adt, &desc, &mut arena, WriterConfig { host_base: 0x10000 })
+            .unwrap();
+        StackDeserializer::new(&schema)
+            .deserialize(&desc, &wire, &mut w)
+            .unwrap();
+        let res = w.finish().unwrap();
+        assert_eq!(res.root_offset, 0);
+        // §VI.C.3: 15 B wire → 40 B object. No out-of-line data.
+        assert_eq!(res.used, 40);
+
+        // Raw-byte checks against the computed layout.
+        assert_eq!(u32::from_le_bytes(arena[12..16].try_into().unwrap()), 300);
+        assert_eq!(u32::from_le_bytes(arena[16..20].try_into().unwrap()), 200);
+        assert_eq!(u64::from_le_bytes(arena[24..32].try_into().unwrap()), 77);
+        assert_eq!(f32::from_le_bytes(arena[32..36].try_into().unwrap()), 1.5);
+        assert_eq!(arena[36], 1);
+    }
+
+    #[test]
+    fn arena_exhaustion_is_an_error_not_a_panic() {
+        let schema = paper_schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let desc = schema.message("bench.Small").unwrap().clone();
+        let mut tiny = vec![0u8; 16]; // smaller than the 40-byte object
+        let err = NativeWriter::new(&adt, &desc, &mut tiny, WriterConfig { host_base: 0 })
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, DecodeError::Sink(_)));
+    }
+
+    #[test]
+    fn long_string_goes_to_arena_heap() {
+        let schema = paper_schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let desc = schema.message("bench.CharArray").unwrap().clone();
+        let mut m = pbo_protowire::DynamicMessage::of(&schema, "bench.CharArray");
+        let text = "x".repeat(100);
+        m.set(1, pbo_protowire::Value::Str(text.clone()));
+        let wire = encode_message(&m);
+
+        let mut arena = vec![0u8; 4096];
+        let host_base = 0x8000u64;
+        let mut w = NativeWriter::new(&adt, &desc, &mut arena, WriterConfig { host_base }).unwrap();
+        StackDeserializer::new(&schema)
+            .deserialize(&desc, &wire, &mut w)
+            .unwrap();
+        let res = w.finish().unwrap();
+        // 48-byte object + 100 bytes of string data.
+        assert_eq!(res.used, 48 + 100);
+        // The string struct at offset 16 points into the arena at host
+        // coordinates.
+        let ptr = u64::from_le_bytes(arena[16..24].try_into().unwrap());
+        let size = u64::from_le_bytes(arena[24..32].try_into().unwrap());
+        assert_eq!(size, 100);
+        assert_eq!(ptr, host_base + 48);
+        assert_eq!(&arena[48..148], text.as_bytes());
+    }
+
+    #[test]
+    fn short_string_is_sso_inline() {
+        let schema = paper_schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let desc = schema.message("bench.CharArray").unwrap().clone();
+        let mut m = pbo_protowire::DynamicMessage::of(&schema, "bench.CharArray");
+        m.set(1, pbo_protowire::Value::Str("short".into()));
+        let wire = encode_message(&m);
+
+        let mut arena = vec![0u8; 4096];
+        let host_base = 0x8000u64;
+        let mut w = NativeWriter::new(&adt, &desc, &mut arena, WriterConfig { host_base }).unwrap();
+        StackDeserializer::new(&schema)
+            .deserialize(&desc, &wire, &mut w)
+            .unwrap();
+        let res = w.finish().unwrap();
+        assert_eq!(res.used, 48); // no out-of-line data
+        let ptr = u64::from_le_bytes(arena[16..24].try_into().unwrap());
+        // data pointer = host address of the struct's own SSO buffer.
+        assert_eq!(ptr, host_base + 16 + 16);
+        assert_eq!(&arena[32..37], b"short");
+    }
+
+    #[test]
+    fn repeated_ints_become_contiguous_array() {
+        let schema = paper_schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let desc = schema.message("bench.IntArray").unwrap().clone();
+        let mut m = pbo_protowire::DynamicMessage::of(&schema, "bench.IntArray");
+        for v in [10u64, 20, 30, 40] {
+            m.push(1, pbo_protowire::Value::U64(v));
+        }
+        let wire = encode_message(&m);
+
+        let mut arena = vec![0u8; 4096];
+        let host_base = 0x4000u64;
+        let mut w = NativeWriter::new(&adt, &desc, &mut arena, WriterConfig { host_base }).unwrap();
+        StackDeserializer::new(&schema)
+            .deserialize(&desc, &wire, &mut w)
+            .unwrap();
+        let res = w.finish().unwrap();
+        // Object (40) + 16 bytes of u32 data.
+        assert_eq!(res.used, 56);
+        let begin = u64::from_le_bytes(arena[16..24].try_into().unwrap());
+        let end = u64::from_le_bytes(arena[24..32].try_into().unwrap());
+        assert_eq!(end - begin, 16);
+        let data_off = (begin - host_base) as usize;
+        let vals: Vec<u32> = (0..4)
+            .map(|i| {
+                u32::from_le_bytes(
+                    arena[data_off + i * 4..data_off + i * 4 + 4]
+                        .try_into()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(vals, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn empty_repeated_field_is_null_vector() {
+        let schema = paper_schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let desc = schema.message("bench.IntArray").unwrap().clone();
+        let mut arena = vec![0xffu8; 256]; // dirty memory: recycled block
+        let mut w =
+            NativeWriter::new(&adt, &desc, &mut arena, WriterConfig { host_base: 0 }).unwrap();
+        StackDeserializer::new(&schema)
+            .deserialize(&desc, &[], &mut w)
+            .unwrap();
+        w.finish().unwrap();
+        // Vector header must be zeroed despite the dirty arena.
+        assert!(arena[16..40].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn recycled_arena_is_fully_reinitialized() {
+        let schema = paper_schema();
+        let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+        let desc = schema.message("bench.Small").unwrap().clone();
+        let msg = gen_small(&schema);
+        let wire = encode_message(&msg);
+
+        let run = |arena: &mut Vec<u8>| -> Vec<u8> {
+            let mut w =
+                NativeWriter::new(&adt, &desc, arena, WriterConfig { host_base: 0x10000 }).unwrap();
+            StackDeserializer::new(&schema)
+                .deserialize(&desc, &wire, &mut w)
+                .unwrap();
+            let res = w.finish().unwrap();
+            arena[..res.used].to_vec()
+        };
+        let mut clean = vec![0u8; 512];
+        let mut dirty = vec![0xabu8; 512];
+        assert_eq!(run(&mut clean), run(&mut dirty));
+    }
+}

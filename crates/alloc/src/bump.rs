@@ -1,0 +1,165 @@
+//! Monotonic bump arena over a caller-provided region.
+//!
+//! Deserialized objects are constructed inside a protocol block "acting as
+//! an arena buffer" (§IV): fields are allocated from a stack and never
+//! individually freed, which is exactly what a bump arena provides. The
+//! arena works on *offsets within the region*, so the same arithmetic is
+//! valid on both sides of the mirrored buffers.
+
+use crate::align_up;
+
+/// A bump allocator handing out offsets within `[0, capacity)`.
+///
+/// The arena does not own any bytes: block construction writes through a
+/// separate region handle while this struct tracks the high-water mark.
+/// Keeping data and bookkeeping apart mirrors the external-state property
+/// of [`crate::OffsetAllocator`].
+#[derive(Debug, Clone)]
+pub struct BumpArena {
+    capacity: u64,
+    cursor: u64,
+}
+
+impl BumpArena {
+    /// Creates an arena over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            cursor: 0,
+        }
+    }
+
+    /// Allocates `size` bytes aligned to `align`, returning the offset, or
+    /// `None` when the arena is exhausted.
+    #[inline]
+    pub fn alloc(&mut self, size: u64, align: u64) -> Option<u64> {
+        let off = align_up(self.cursor, align);
+        let end = off.checked_add(size)?;
+        if end > self.capacity {
+            return None;
+        }
+        self.cursor = end;
+        Some(off)
+    }
+
+    /// Bytes consumed so far (including alignment padding).
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Bytes remaining (ignoring future alignment padding).
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.cursor
+    }
+
+    /// Total capacity.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Resets the arena for reuse (block recycling).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Moves the cursor to `offset`, used when a caller lays out a prefix
+    /// (e.g. a block preamble) manually.
+    ///
+    /// # Panics
+    /// Panics if `offset` exceeds capacity or rewinds the cursor.
+    pub fn advance_to(&mut self, offset: u64) {
+        assert!(offset >= self.cursor, "arena cursor cannot rewind");
+        assert!(offset <= self.capacity);
+        self.cursor = offset;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocates_sequentially() {
+        let mut a = BumpArena::new(64);
+        assert_eq!(a.alloc(8, 8), Some(0));
+        assert_eq!(a.alloc(4, 4), Some(8));
+        assert_eq!(a.alloc(8, 8), Some(16)); // 12 aligned up to 16
+        assert_eq!(a.used(), 24);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_preserves_state() {
+        let mut a = BumpArena::new(16);
+        assert_eq!(a.alloc(10, 1), Some(0));
+        assert_eq!(a.alloc(10, 1), None);
+        assert_eq!(a.used(), 10);
+        assert_eq!(a.alloc(6, 1), Some(10));
+    }
+
+    #[test]
+    fn reset_reclaims_everything() {
+        let mut a = BumpArena::new(32);
+        a.alloc(32, 1).unwrap();
+        assert_eq!(a.remaining(), 0);
+        a.reset();
+        assert_eq!(a.alloc(32, 1), Some(0));
+    }
+
+    #[test]
+    fn advance_to_reserves_prefix() {
+        let mut a = BumpArena::new(128);
+        a.advance_to(24); // preamble
+        assert_eq!(a.alloc(8, 8), Some(24));
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn advance_backwards_panics() {
+        let mut a = BumpArena::new(128);
+        a.alloc(64, 1).unwrap();
+        a.advance_to(8);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Offsets are aligned, non-overlapping, monotonically placed,
+            /// and never exceed capacity.
+            #[test]
+            fn bump_invariants(reqs in proptest::collection::vec(
+                (1u64..200, 0u32..4), 1..100)) {
+                let mut a = BumpArena::new(4096);
+                let mut prev_end = 0u64;
+                for (size, align_exp) in reqs {
+                    let align = 1u64 << align_exp;
+                    match a.alloc(size, align) {
+                        Some(off) => {
+                            prop_assert_eq!(off % align, 0);
+                            prop_assert!(off >= prev_end);
+                            prop_assert!(off + size <= a.capacity());
+                            prev_end = off + size;
+                            prop_assert_eq!(a.used(), prev_end);
+                        }
+                        None => {
+                            // Exhaustion must not corrupt state.
+                            prop_assert_eq!(a.used(), prev_end);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_guard() {
+        let mut a = BumpArena::new(u64::MAX);
+        a.advance_to(u64::MAX - 4);
+        assert_eq!(a.alloc(u64::MAX, 1), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Deterministic request-ID pool.
+//!
+//! §IV.D: "A unique ID is associated with each request … the request ID is
+//! not sent explicitly to the server. We again take advantage of the
+//! reliable connection to keep the IDs synchronized … The IDs are
+//! deterministically allocated from a pool."
+//!
+//! Both the client and the server construct an [`IdPool`] with the same
+//! capacity and replay the same *order* of frees-then-allocs per block, so
+//! the pools assign identical IDs without any wire bytes. Determinism is
+//! therefore a correctness property, not an optimization: the pool is a
+//! FIFO so that an ID freed long ago is reused before a recent one,
+//! maximizing the separation between reuse and any in-flight stragglers.
+
+use std::collections::VecDeque;
+
+/// A FIFO pool of `u16` IDs (the paper stores IDs on 2 bytes, allowing up
+/// to 2¹⁶ concurrent requests).
+#[derive(Debug, Clone)]
+pub struct IdPool {
+    free: VecDeque<u16>,
+    capacity: u32,
+    outstanding: u32,
+}
+
+impl IdPool {
+    /// Creates a pool of `capacity` IDs, `0..capacity`, available in
+    /// ascending order. `capacity` may be at most 2¹⁶.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity <= 1 << 16, "IDs are stored on 2 bytes");
+        Self {
+            free: (0..capacity).map(|i| i as u16).collect(),
+            capacity,
+            outstanding: 0,
+        }
+    }
+
+    /// Allocates the next ID, or `None` if all IDs are outstanding.
+    #[inline]
+    pub fn alloc(&mut self) -> Option<u16> {
+        let id = self.free.pop_front()?;
+        self.outstanding += 1;
+        Some(id)
+    }
+
+    /// Returns an ID to the pool.
+    ///
+    /// The caller (the protocol layer) is responsible for never freeing an
+    /// ID twice; the pool checks this in debug builds only, since the
+    /// protocol's ordering guarantees make it structurally impossible.
+    #[inline]
+    pub fn free(&mut self, id: u16) {
+        debug_assert!(
+            !self.free.contains(&id),
+            "request ID {id} freed twice — protocol desynchronization"
+        );
+        debug_assert!((id as u32) < self.capacity);
+        self.free.push_back(id);
+        self.outstanding -= 1;
+    }
+
+    /// IDs currently allocated.
+    #[inline]
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// IDs currently available.
+    #[inline]
+    pub fn available(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Total pool size.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocates_in_ascending_order_initially() {
+        let mut p = IdPool::new(4);
+        assert_eq!(p.alloc(), Some(0));
+        assert_eq!(p.alloc(), Some(1));
+        assert_eq!(p.alloc(), Some(2));
+        assert_eq!(p.alloc(), Some(3));
+        assert_eq!(p.alloc(), None);
+    }
+
+    #[test]
+    fn fifo_recycling() {
+        let mut p = IdPool::new(3);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        let _c = p.alloc().unwrap();
+        p.free(b);
+        p.free(a);
+        // b was freed first, so it is reused first.
+        assert_eq!(p.alloc(), Some(b));
+        assert_eq!(p.alloc(), Some(a));
+    }
+
+    #[test]
+    fn counts_track() {
+        let mut p = IdPool::new(10);
+        assert_eq!(p.available(), 10);
+        let x = p.alloc().unwrap();
+        assert_eq!(p.outstanding(), 1);
+        assert_eq!(p.available(), 9);
+        p.free(x);
+        assert_eq!(p.outstanding(), 0);
+        assert_eq!(p.available(), 10);
+    }
+
+    #[test]
+    fn full_capacity_u16() {
+        let mut p = IdPool::new(1 << 16);
+        for expect in 0..(1u32 << 16) {
+            assert_eq!(p.alloc(), Some(expect as u16));
+        }
+        assert_eq!(p.alloc(), None);
+    }
+
+    proptest! {
+        /// Two pools replaying the same op sequence always agree — the
+        /// determinism property the wire protocol depends on.
+        #[test]
+        fn replay_determinism(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+            let mut a = IdPool::new(64);
+            let mut b = IdPool::new(64);
+            let mut live: Vec<u16> = Vec::new();
+            for op in ops {
+                if op || live.is_empty() {
+                    let ia = a.alloc();
+                    let ib = b.alloc();
+                    prop_assert_eq!(ia, ib);
+                    if let Some(id) = ia {
+                        live.push(id);
+                    }
+                } else {
+                    let id = live.remove(0);
+                    a.free(id);
+                    b.free(id);
+                }
+                prop_assert_eq!(a.outstanding(), b.outstanding());
+            }
+        }
+    }
+}

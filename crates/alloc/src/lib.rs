@@ -1,0 +1,68 @@
+//! Memory-management substrates for the RPC-over-RDMA protocol.
+//!
+//! The paper allocates protocol *blocks* out of pinned send buffers with the
+//! Vulkan® Memory Allocator, chosen because it "permits the allocation of
+//! memory by working on a virtual address space and working purely on
+//! offsets instead of pointers" and because "the allocator state is entirely
+//! stored externally … adapted to manage remote memory" (§IV.A).
+//!
+//! This crate provides from-scratch equivalents:
+//!
+//! * [`OffsetAllocator`] — a general-purpose free-list allocator over an
+//!   abstract `[0, capacity)` offset space with full external bookkeeping,
+//!   alignment support, and neighbor coalescing. Used to place blocks inside
+//!   send buffers (which mirror remote receive buffers, so offsets are the
+//!   shared currency).
+//! * [`BumpArena`] — a monotonic arena over a byte slice for in-place object
+//!   construction during deserialization (the paper's "arena buffer").
+//! * [`IdPool`] — a deterministic FIFO ID pool. The protocol never transmits
+//!   request IDs; both sides replay identical alloc/free sequences against
+//!   identical pools and stay synchronized over the reliable connection
+//!   (§IV.D).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bump;
+mod idpool;
+mod offset_alloc;
+
+pub use bump::BumpArena;
+pub use idpool::IdPool;
+pub use offset_alloc::{AllocError, Allocation, AllocatorStats, OffsetAllocator};
+
+/// Rounds `v` up to the next multiple of `align` (a power of two).
+#[inline]
+pub fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+/// Returns true if `v` is a multiple of `align` (a power of two).
+#[inline]
+pub fn is_aligned(v: u64, align: u64) -> bool {
+    debug_assert!(align.is_power_of_two());
+    v & (align - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 1024), 1024);
+        assert_eq!(align_up(1024, 1024), 1024);
+        assert_eq!(align_up(1025, 1024), 2048);
+    }
+
+    #[test]
+    fn is_aligned_basics() {
+        assert!(is_aligned(0, 16));
+        assert!(is_aligned(32, 16));
+        assert!(!is_aligned(33, 16));
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion: real wall-clock deserialization microbenchmarks (the
+//! measured counterpart of Figure 7 on this container).
+//!
+//! Three pipelines per workload:
+//! * `decode_dynamic` — reference recursive decoder into DynamicMessage;
+//! * `stack_parse` — the custom stack parser alone (NullSink);
+//! * `stack_native` — the full offload path: stack parser + in-place
+//!   native-object writer (what runs on the DPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbo_adt::{Adt, NativeWriter, StdLib, WriterConfig};
+use pbo_protowire::workloads::{gen_char_array, gen_int_array, gen_small, paper_schema, Mt19937};
+use pbo_protowire::{decode_message, encode_message, NullSink, StackDeserializer};
+use std::hint::black_box;
+
+fn bench_deser(c: &mut Criterion) {
+    let schema = paper_schema();
+    let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+    let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+
+    let cases = vec![
+        ("small", "bench.Small", encode_message(&gen_small(&schema))),
+        (
+            "x512_ints",
+            "bench.IntArray",
+            encode_message(&gen_int_array(&schema, &mut rng, 512)),
+        ),
+        (
+            "x8000_chars",
+            "bench.CharArray",
+            encode_message(&gen_char_array(&schema, &mut rng, 8000)),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("deserialize");
+    for (name, ty, wire) in &cases {
+        let desc = schema.message(ty).unwrap().clone();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("decode_dynamic", name), wire, |b, wire| {
+            b.iter(|| black_box(decode_message(&schema, &desc, black_box(wire)).unwrap()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("stack_parse", name), wire, |b, wire| {
+            let deser = StackDeserializer::new(&schema);
+            b.iter(|| {
+                let mut sink = NullSink;
+                black_box(
+                    deser
+                        .deserialize(&desc, black_box(wire), &mut sink)
+                        .unwrap(),
+                )
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("stack_native", name), wire, |b, wire| {
+            let deser = StackDeserializer::new(&schema);
+            let mut arena = vec![0u8; wire.len() * 4 + 4096];
+            let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+            b.iter(|| {
+                let window = &mut arena[skew..];
+                let host_base = window.as_ptr() as u64;
+                let mut w =
+                    NativeWriter::new(&adt, &desc, window, WriterConfig { host_base }).unwrap();
+                deser.deserialize(&desc, black_box(wire), &mut w).unwrap();
+                black_box(w.finish().unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let schema = paper_schema();
+    let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+    let ints = gen_int_array(&schema, &mut rng, 512);
+    c.bench_function("serialize/x512_ints", |b| {
+        b.iter(|| black_box(encode_message(black_box(&ints))));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_deser, bench_serialize
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion: RPC-over-RDMA protocol microbenchmarks — block building,
+//! roundtrip cycle, and the UTF-8 / varint hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbo_core::compat::PayloadMode;
+use pbo_core::{CompatServer, OffloadClient, ServiceSchema};
+use pbo_metrics::Registry;
+use pbo_protowire::workloads::{gen_small, paper_schema, Mt19937};
+use pbo_protowire::{encode_message, utf8::validate_utf8, varint};
+use pbo_rpcrdma::{establish, Config};
+use pbo_simnet::Fabric;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let bundle = ServiceSchema::paper_bench();
+    let fabric = Fabric::new();
+    let registry = Registry::new();
+    let adt = bundle.adt_bytes();
+    let ep = establish(
+        &fabric,
+        Config::paper_client(),
+        Config::paper_server(),
+        &registry,
+        "bench",
+        Some(&adt),
+    );
+    let mut client =
+        OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref()).unwrap();
+    let mut server = CompatServer::new(ep.server, PayloadMode::Native);
+    server.register_empty_logic(&bundle, 1);
+
+    let schema = paper_schema();
+    let wire = encode_message(&gen_small(&schema));
+
+    // One full cycle: 64 offloaded small requests through the datapath.
+    c.bench_function("datapath/64_small_roundtrip", |b| {
+        b.iter(|| {
+            for _ in 0..64 {
+                client
+                    .call_offloaded(1, black_box(&wire), Box::new(|_p, _s| {}))
+                    .unwrap();
+            }
+            client.rpc().flush().unwrap();
+            server.event_loop(Duration::ZERO).unwrap();
+            client.event_loop(Duration::ZERO).unwrap();
+        });
+    });
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+
+    // Varint decoding over a packed run — the paper's dominant cost.
+    let mut packed = Vec::new();
+    for _ in 0..1024 {
+        varint::encode_varint(
+            pbo_protowire::workloads::skewed_u32(&mut rng) as u64,
+            &mut packed,
+        );
+    }
+    let mut group = c.benchmark_group("varint");
+    group.throughput(Throughput::Bytes(packed.len() as u64));
+    group.bench_function("decode_1024_skewed", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut acc = 0u64;
+            while pos < packed.len() {
+                let (v, n) = varint::decode_varint(&packed[pos..]).unwrap();
+                acc = acc.wrapping_add(v);
+                pos += n;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+
+    // UTF-8 validation: ASCII fast path vs multibyte-heavy input.
+    let ascii: String = (0..8192).map(|i| ((i % 94) as u8 + b' ') as char).collect();
+    let mixed: String = "héllo wörld → 日本語 🦀 ".repeat(256);
+    let mut group = c.benchmark_group("utf8_validate");
+    for (name, s) in [("ascii_8k", &ascii), ("multibyte", &mixed)] {
+        group.throughput(Throughput::Bytes(s.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), s, |b, s| {
+            b.iter(|| black_box(validate_utf8(black_box(s.as_bytes())).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_roundtrip, bench_primitives
+);
+criterion_main!(benches);

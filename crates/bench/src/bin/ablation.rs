@@ -1,0 +1,256 @@
+//! E9 + design-choice ablations: sweeps over the knobs the paper fixes.
+//!
+//! * `block-size` — §VI.A claims "the optimal minimal block size for the
+//!   highest throughput is around 8 KiB": sweep 1–64 KiB.
+//! * `credits` — §IV.C/§VI.A: credits must be high enough not to throttle;
+//!   sweep 1–512.
+//! * `batching` — the Nagle-style aggregation of §IV: compare the standard
+//!   batched block against one-message-per-block.
+//! * `poll-mode` — §III.C: busy polling buys ≤10% throughput for 100% CPU;
+//!   shown via the idle-poller cost model.
+//!
+//! Run: `cargo run --release -p pbo-bench --bin ablation -- [block-size|credits|batching|poll-mode|all]`
+
+use pbo_dpusim::{simulate, DatapathConfig, PaperWorkload, Scenario, WorkloadShape};
+
+fn block_size_sweep() {
+    println!("\n== ablation: minimal block size (Small message, offloaded, paper scale) ==");
+    println!("block_size_KiB,msgs_per_block,Mreq_per_s");
+    let cfg = DatapathConfig::default();
+    for kib in [1usize, 2, 4, 8, 16, 32, 64] {
+        let shape = pbo_dpusim::paper_shape(
+            PaperWorkload::Small,
+            Scenario::OffloadDpu,
+            (kib * 1024) as u64,
+        );
+        let r = simulate(&shape, Scenario::OffloadDpu, &cfg);
+        println!("{kib},{},{:.2}", shape.msgs_per_block, r.rps / 1e6);
+    }
+    println!("(throughput should rise steeply to ~8 KiB then plateau — §VI.A)");
+}
+
+fn credits_sweep() {
+    println!("\n== ablation: credits (single connection, x8000 Chars, offloaded) ==");
+    println!("credits,Mreq_per_s,credit_stalls");
+    let shape = pbo_bench::shape(PaperWorkload::Chars8000, Scenario::OffloadDpu);
+    for credits in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+        // One connection (one DPU poller, one host poller) isolates the
+        // per-connection credit budget's effect; at 16 connections the
+        // aggregate budget hides it, which is why Table I's settings show
+        // zero stall cost in fig8.
+        let cfg = DatapathConfig {
+            credits,
+            dpu_threads: 1,
+            host_threads: 1,
+            ..DatapathConfig::default()
+        };
+        let r = simulate(&shape, Scenario::OffloadDpu, &cfg);
+        println!("{credits},{:.3},{}", r.rps / 1e6, r.credit_stalls);
+    }
+    println!("(throughput climbs until the credit budget covers the pipeline depth,");
+    println!("then plateaus; Table I's 256 sits far onto the plateau)");
+}
+
+fn batching() {
+    println!("\n== ablation: Nagle-style batching (Small message, offloaded) ==");
+    let cfg = DatapathConfig::default();
+    let batched = pbo_bench::shape(PaperWorkload::Small, Scenario::OffloadDpu);
+    let r_b = simulate(&batched, Scenario::OffloadDpu, &cfg);
+    // One message per block: same per-message costs, one-block geometry.
+    let single = WorkloadShape {
+        msgs_per_block: 1,
+        req_block_bytes: 8 + 8 + 40,
+        resp_block_bytes: 8 + 8,
+        ..batched.clone()
+    };
+    let r_s = simulate(&single, Scenario::OffloadDpu, &cfg);
+    println!(
+        "batched ({} msgs/block): {:.1} Mreq/s | unbatched (1 msg/block): {:.2} Mreq/s | speedup {:.0}x",
+        batched.msgs_per_block,
+        r_b.rps / 1e6,
+        r_s.rps / 1e6,
+        r_b.rps / r_s.rps
+    );
+    println!("(\"batching is necessary, as a small size is not optimal for an RDMA two-sided");
+    println!("operation\" — §IV; without it the per-transfer link overhead dominates)");
+}
+
+fn poll_mode() {
+    println!("\n== ablation: busy polling vs poll()-sleep (§III.C) ==");
+    // §III.C: "busy polling improves the performance up to 10%, at the
+    // cost of an unacceptable 100% CPU utilization". Model: sleeping
+    // pollers add a wakeup latency per block; busy pollers do not but pin
+    // their cores.
+    let cfg = DatapathConfig::default();
+    let shape = pbo_bench::shape(PaperWorkload::Small, Scenario::OffloadDpu);
+    let busy = simulate(&shape, Scenario::OffloadDpu, &cfg);
+    // Sleep wakeups cost ~2 µs per block on the host poller: fold into the
+    // block service time via an adjusted shape (per-block share).
+    // Model the wakeup by adding latency to the link's per-transfer cost,
+    // which stands in for the notification path.
+    let sleepy_cfg = DatapathConfig {
+        link: pbo_dpusim::LinkModel {
+            per_transfer_ns: cfg.link.per_transfer_ns + 2_000.0,
+            ..cfg.link
+        },
+        ..cfg
+    };
+    let slept = simulate(&shape, Scenario::OffloadDpu, &sleepy_cfg);
+    let gain = (busy.rps / slept.rps - 1.0) * 100.0;
+    println!(
+        "busy-poll: {:.1} Mreq/s @ 100% poller CPU | poll()-sleep: {:.1} Mreq/s @ {:.0}% host cores busy",
+        busy.rps / 1e6,
+        slept.rps / 1e6,
+        slept.host_cores_used / 8.0 * 100.0
+    );
+    println!(
+        "busy-poll throughput gain: {gain:.1}% (paper: \"up to 10%\", judged not worth 100% CPU)"
+    );
+}
+
+fn latency() {
+    println!("\n== analysis: block latency under load (event-driven simulation) ==");
+    println!("(beyond the paper: the throughput-oriented credit window buys batching");
+    println!("at a latency cost — the classic trade the Nagle-style design accepts)");
+    println!(
+        "workload,scenario,mean_block_latency_us,max_block_latency_us,mean_request_latency_us"
+    );
+    let cfg = DatapathConfig {
+        blocks: 2000,
+        ..DatapathConfig::default()
+    };
+    for kind in PaperWorkload::ALL {
+        for scenario in [Scenario::OffloadDpu, Scenario::BaselineCpu] {
+            let shape = pbo_dpusim::paper_shape(kind, scenario, 8192);
+            let r = pbo_dpusim::simulate_events_full(&shape, scenario, &cfg);
+            // A request waits on average half a block-fill plus the block
+            // latency; block fill time is implicit in admission gating, so
+            // report block latency as the request-visible floor.
+            println!(
+                "{},{:?},{:.1},{:.1},{:.1}",
+                kind.label(),
+                scenario,
+                r.block_latency.mean() / 1e3,
+                r.block_latency.max() / 1e3,
+                r.block_latency.mean() / 1e3,
+            );
+        }
+    }
+}
+
+fn pointer_rebasing() {
+    println!("\n== ablation: shared address space vs receiver-side pointer rebasing ==");
+    println!("(§III.B: mirroring buffers means \"a request's pointer on the client side x");
+    println!("will have the value x on the server side\" — no receiver fixups. This run");
+    println!("counts the pointers the writer actually crafts per message and prices the");
+    println!("rebase pass a non-mirrored design would need on the host.)");
+    println!("workload,pointers_per_msg,host_rebase_ns_per_msg,extra_host_cores_at_paper_rps");
+    use pbo_adt::{Adt, NativeWriter, StdLib, WriterConfig};
+    use pbo_protowire::workloads::{self, paper_schema, Mt19937};
+    use pbo_protowire::{encode_message, StackDeserializer};
+    const REBASE_NS_PER_POINTER: f64 = 1.5; // dependent load + add + store
+
+    let schema = paper_schema();
+    let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+    let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+    let cfg = DatapathConfig::default();
+    for kind in PaperWorkload::ALL {
+        let (msg, ty) = match kind {
+            PaperWorkload::Small => (workloads::gen_small(&schema), "bench.Small"),
+            PaperWorkload::Ints512 => (
+                workloads::gen_int_array(&schema, &mut rng, 512),
+                "bench.IntArray",
+            ),
+            PaperWorkload::Chars8000 => (
+                workloads::gen_char_array(&schema, &mut rng, 8000),
+                "bench.CharArray",
+            ),
+        };
+        let wire = encode_message(&msg);
+        let desc = schema.message(ty).unwrap().clone();
+        let mut arena = vec![0u8; wire.len() * 4 + 4096];
+        let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+        let window = &mut arena[skew..];
+        let host_base = window.as_ptr() as u64;
+        let mut w = NativeWriter::new(&adt, &desc, window, WriterConfig { host_base }).unwrap();
+        StackDeserializer::new(&schema)
+            .deserialize(&desc, &wire, &mut w)
+            .unwrap();
+        let pointers = w.finish().unwrap().pointers;
+        let rebase_ns = pointers as f64 * REBASE_NS_PER_POINTER;
+        let shape = pbo_dpusim::paper_shape(kind, Scenario::OffloadDpu, 8192);
+        let rps = simulate(&shape, Scenario::OffloadDpu, &cfg).rps;
+        let extra_cores = rps * rebase_ns / 1e9;
+        println!(
+            "{},{},{:.1},{:.3}",
+            kind.label(),
+            pointers,
+            rebase_ns,
+            extra_cores
+        );
+    }
+    // A pointer-dense nested message (telemetry-style), where mirroring
+    // pays most.
+    let nested_proto = r#"
+        syntax = "proto3";
+        message Reading { uint64 t = 1; sint32 v = 2; }
+        message Series { string id = 1; repeated Reading rs = 2; }
+        message Batch { repeated Series series = 1; }
+    "#;
+    let nschema = pbo_protowire::parse_proto(nested_proto).unwrap();
+    let nadt = Adt::from_schema(&nschema, StdLib::Libstdcxx);
+    let mut batch = pbo_protowire::DynamicMessage::of(&nschema, "Batch");
+    for s_i in 0..4 {
+        let mut series = pbo_protowire::DynamicMessage::of(&nschema, "Series");
+        series.set(1, pbo_protowire::Value::Str(format!("sensor-{s_i}")));
+        for r in 0..16i64 {
+            let mut reading = pbo_protowire::DynamicMessage::of(&nschema, "Reading");
+            reading.set(1, pbo_protowire::Value::U64(1_000_000 + r as u64));
+            reading.set(2, pbo_protowire::Value::I64(r * 7 - 20));
+            series.push(2, pbo_protowire::Value::Message(Box::new(reading)));
+        }
+        batch.push(1, pbo_protowire::Value::Message(Box::new(series)));
+    }
+    let wire = encode_message(&batch);
+    let desc = nschema.message("Batch").unwrap().clone();
+    let mut arena = vec![0u8; wire.len() * 6 + 8192];
+    let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+    let window = &mut arena[skew..];
+    let host_base = window.as_ptr() as u64;
+    let mut w = NativeWriter::new(&nadt, &desc, window, WriterConfig { host_base }).unwrap();
+    StackDeserializer::new(&nschema)
+        .deserialize(&desc, &wire, &mut w)
+        .unwrap();
+    let pointers = w.finish().unwrap().pointers;
+    println!(
+        "nested telemetry batch (4 series x 16 readings): {} pointers/msg -> {:.0} ns of host rebase avoided per message",
+        pointers,
+        pointers as f64 * REBASE_NS_PER_POINTER
+    );
+    println!("(mirroring erases that host cost entirely — and the savings scale with");
+    println!("pointer-dense messages, the nested/hierarchical case the intro motivates)");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "block-size" => block_size_sweep(),
+        "credits" => credits_sweep(),
+        "batching" => batching(),
+        "poll-mode" => poll_mode(),
+        "latency" => latency(),
+        "pointer-rebasing" => pointer_rebasing(),
+        "all" => {
+            block_size_sweep();
+            credits_sweep();
+            batching();
+            poll_mode();
+            latency();
+            pointer_rebasing();
+        }
+        other => {
+            eprintln!("unknown ablation {other}");
+            std::process::exit(2);
+        }
+    }
+}

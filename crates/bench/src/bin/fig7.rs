@@ -1,0 +1,122 @@
+//! E2/E3 — Figure 7: time to deserialize a single message vs element
+//! count, int array and char array, CPU vs DPU.
+//!
+//! Two series per (message, platform) cell:
+//!
+//! * **modeled ns** — the paper-scale number: real parse work-unit counts
+//!   from this implementation × the calibrated Xeon/A78 coefficients;
+//! * **measured ns** — real wall-clock time of the full in-place
+//!   deserialization (stack parser + native writer) on *this* container,
+//!   as a sanity check of the linear shape.
+//!
+//! Run: `cargo run --release -p pbo-bench --bin fig7 [-- --asymptote]`
+
+use pbo_adt::{Adt, NativeWriter, StdLib, WriterConfig};
+use pbo_dpusim::{CostCoeffs, Platform};
+use pbo_protowire::workloads::{gen_char_array, gen_int_array, paper_schema, Mt19937};
+use pbo_protowire::{encode_message, NullSink, StackDeserializer};
+use std::time::Instant;
+
+fn measured_ns(schema: &pbo_protowire::Schema, adt: &Adt, type_name: &str, wire: &[u8]) -> f64 {
+    let desc = schema.message(type_name).unwrap().clone();
+    let mut arena = vec![0u8; wire.len() * 4 + 4096];
+    let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+    let deser = StackDeserializer::new(schema);
+    // Warm up, then time enough iterations for stable numbers.
+    let iters = (2_000_000 / wire.len().max(1)).clamp(64, 20_000);
+    for _ in 0..iters / 8 + 1 {
+        let window = &mut arena[skew..];
+        let host_base = window.as_ptr() as u64;
+        let mut w = NativeWriter::new(adt, &desc, window, WriterConfig { host_base }).unwrap();
+        deser.deserialize(&desc, wire, &mut w).unwrap();
+        std::hint::black_box(w.finish().unwrap());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let window = &mut arena[skew..];
+        let host_base = window.as_ptr() as u64;
+        let mut w = NativeWriter::new(adt, &desc, window, WriterConfig { host_base }).unwrap();
+        deser.deserialize(&desc, wire, &mut w).unwrap();
+        std::hint::black_box(w.finish().unwrap());
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let asymptote = std::env::args().any(|a| a == "--asymptote");
+    let schema = paper_schema();
+    let adt = Adt::from_schema(&schema, StdLib::Libstdcxx);
+    let cpu = CostCoeffs::for_platform(Platform::HostXeon);
+    let dpu = CostCoeffs::for_platform(Platform::DpuA78);
+
+    if asymptote {
+        // E3: the §VI.B constants.
+        let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+        let n = 65_536;
+        for (label, msg, ty, per_unit, paper) in [
+            (
+                "int array ns/element",
+                gen_int_array(&schema, &mut rng, n),
+                "bench.IntArray",
+                n as f64,
+                "2.75 (CPU)",
+            ),
+            (
+                "char array ns/1024 chars",
+                gen_char_array(&schema, &mut rng, n),
+                "bench.CharArray",
+                n as f64 / 1024.0,
+                "42.5 (CPU)",
+            ),
+        ] {
+            let wire = encode_message(&msg);
+            let desc = schema.message(ty).unwrap();
+            let stats = StackDeserializer::new(&schema)
+                .deserialize(desc, &wire, &mut NullSink)
+                .unwrap();
+            let t_cpu = cpu.deser_time_ns(&stats) / per_unit;
+            let t_dpu = dpu.deser_time_ns(&stats) / per_unit;
+            println!(
+                "{label:28} model CPU {t_cpu:7.3}  model DPU {t_dpu:7.3}  ratio {:.2}x  (paper: {paper}; ratios 1.89x int / 2.51x char)",
+                t_dpu / t_cpu
+            );
+        }
+        return;
+    }
+
+    println!("# Figure 7: single-message deserialization time vs element count");
+    println!("# message,elements,wire_bytes,model_cpu_ns,model_dpu_ns,measured_container_ns");
+    let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    for &n in &counts {
+        let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+        let msg = gen_int_array(&schema, &mut rng, n);
+        let wire = encode_message(&msg);
+        let desc = schema.message("bench.IntArray").unwrap();
+        let stats = StackDeserializer::new(&schema)
+            .deserialize(desc, &wire, &mut NullSink)
+            .unwrap();
+        println!(
+            "int,{n},{},{:.1},{:.1},{:.1}",
+            wire.len(),
+            cpu.deser_time_ns(&stats),
+            dpu.deser_time_ns(&stats),
+            measured_ns(&schema, &adt, "bench.IntArray", &wire),
+        );
+    }
+    for &n in &counts {
+        let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+        let msg = gen_char_array(&schema, &mut rng, n);
+        let wire = encode_message(&msg);
+        let desc = schema.message("bench.CharArray").unwrap();
+        let stats = StackDeserializer::new(&schema)
+            .deserialize(desc, &wire, &mut NullSink)
+            .unwrap();
+        println!(
+            "char,{n},{},{:.1},{:.1},{:.1}",
+            wire.len(),
+            cpu.deser_time_ns(&stats),
+            dpu.deser_time_ns(&stats),
+            measured_ns(&schema, &adt, "bench.CharArray", &wire),
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! E4/E5/E6 — Figure 8: RPC datapath metrics, DPU vs CPU deserialization.
+//!
+//! Paper-scale numbers (16 DPU / 8 host threads, Table I config) come from
+//! the credit-limited pipeline simulation over the real implementation's
+//! geometry; container-scale numbers come from actually running the
+//! threaded datapath (`--measured`).
+//!
+//! Run: `cargo run --release -p pbo-bench --bin fig8 -- [rps|bandwidth|cpu|all] [--measured]`
+
+use pbo_core::{run_scenario, ScenarioConfig, ScenarioKind};
+use pbo_dpusim::{simulate, DatapathConfig, PaperWorkload, Scenario};
+use pbo_protowire::workloads::WorkloadKind;
+
+fn paper_scale(panel: &str) {
+    let cfg = DatapathConfig::default();
+    let w = [12, 22, 14, 16, 16, 12];
+    println!("\n== Figure 8 ({panel}) — paper scale: 16 DPU threads, 8 host threads, Table I ==");
+    pbo_bench::row(
+        &[
+            "workload",
+            "scenario",
+            "Mreq/s",
+            "PCIe Gbit/s",
+            "host cores",
+            "DPU cores",
+        ],
+        &w,
+    );
+    pbo_bench::rule(&w);
+    for kind in PaperWorkload::ALL {
+        for scenario in [Scenario::OffloadDpu, Scenario::BaselineCpu] {
+            let shape = pbo_bench::shape(kind, scenario);
+            let r = simulate(&shape, scenario, &cfg);
+            pbo_bench::row(
+                &[
+                    kind.label(),
+                    scenario.label(),
+                    &format!("{:.2}", r.rps / 1e6),
+                    &format!("{:.1}", r.bandwidth_gbps),
+                    &format!("{:.2}", r.host_cores_used),
+                    &format!("{:.2}", r.dpu_cores_used),
+                ],
+                &w,
+            );
+        }
+        // Per-workload derived figures the paper quotes.
+        let off = simulate(
+            &pbo_bench::shape(kind, Scenario::OffloadDpu),
+            Scenario::OffloadDpu,
+            &cfg,
+        );
+        let base = simulate(
+            &pbo_bench::shape(kind, Scenario::BaselineCpu),
+            Scenario::BaselineCpu,
+            &cfg,
+        );
+        println!(
+            "  -> host-CPU reduction {:.2}x, host cores freed {:.2}, bandwidth ratio {:.2}x",
+            base.host_cores_used / off.host_cores_used,
+            base.host_cores_used - off.host_cores_used,
+            off.bandwidth_gbps / base.bandwidth_gbps
+        );
+    }
+    println!("\npaper reference points: Small offload ~90 Mreq/s; chars ~180 Gbit/s;");
+    println!("host-CPU reductions 1.8x (Small), ~8x (ints), 1.53x (chars); ~7 cores freed.");
+}
+
+fn measured_scale() {
+    println!("\n== Figure 8 — measured on this container (real threads, simulated device) ==");
+    let w = [12, 22, 12, 14, 14, 14];
+    pbo_bench::row(
+        &[
+            "workload",
+            "scenario",
+            "req/s",
+            "req MiB",
+            "resp MiB",
+            "host ns/req",
+        ],
+        &w,
+    );
+    pbo_bench::rule(&w);
+    for workload in WorkloadKind::ALL {
+        let requests = match workload {
+            WorkloadKind::Small => 40_000,
+            WorkloadKind::Ints512 => 10_000,
+            WorkloadKind::Chars8000 => 4_000,
+        };
+        for kind in [ScenarioKind::Offloaded, ScenarioKind::Baseline] {
+            let mut cfg = ScenarioConfig::quick(workload, kind);
+            cfg.requests = requests;
+            let s = run_scenario(cfg).expect("scenario");
+            pbo_bench::row(
+                &[
+                    workload.label(),
+                    kind.label(),
+                    &format!("{:.0}", s.rps),
+                    &format!("{:.2}", s.pcie.bytes_to_host as f64 / 1048576.0),
+                    &format!("{:.2}", s.pcie.bytes_to_device as f64 / 1048576.0),
+                    &format!("{:.0}", s.host_busy_per_request_ns),
+                ],
+                &w,
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let panel = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let measured = args.iter().any(|a| a == "--measured");
+    match panel {
+        "rps" | "bandwidth" | "cpu" | "all" => paper_scale(panel),
+        other => {
+            eprintln!("unknown panel {other}; use rps|bandwidth|cpu|all");
+            std::process::exit(2);
+        }
+    }
+    if measured {
+        measured_scale();
+    }
+}

@@ -1,0 +1,52 @@
+//! E1 — Table I: environment and configuration parameters.
+//!
+//! Prints the paper's table alongside what this reproduction substitutes
+//! for each row. Run: `cargo run -p pbo-bench --bin table1`
+
+use pbo_dpusim::paper_environment;
+use pbo_rpcrdma::Config;
+
+fn main() {
+    let repro: &[(&str, &str)] = &[
+        ("Hardware", "simulated RDMA device (pbo-simnet)"),
+        ("CPU", "cost model: Xeon/A78 coefficients (pbo-dpusim)"),
+        ("Cores", "16 DPU / 8 host pollers (DES pools)"),
+        ("RAM", "container-provided"),
+        ("L1d", "n/a (no cache model; see E8 substitution)"),
+        ("L1i", "n/a"),
+        ("L2", "n/a"),
+        ("L3", "alloc-tracking substitution (alloc_trace)"),
+        ("Compiler", "rustc, --release, thin LTO"),
+        ("OS", "Linux container"),
+        ("System Allocator", "Rust System + CountingAllocator"),
+        ("Threads", "16 / 8 modeled; container-scale measured"),
+        ("Credits", "256 (Config::paper_*)"),
+        ("Block Size", "8 KiB (Config::paper_*)"),
+        ("Concurrency", "1024 per connection"),
+        ("Buffer Sizes", "3 MiB client / 16 MiB server"),
+    ];
+
+    let w = [18, 30, 28, 44];
+    pbo_bench::row(
+        &[
+            "parameter",
+            "paper: client (BF-3)",
+            "paper: server (R760)",
+            "this reproduction",
+        ],
+        &w,
+    );
+    pbo_bench::rule(&w);
+    for (row_env, (name, sub)) in paper_environment().iter().zip(repro) {
+        assert_eq!(&row_env.name, name, "row order drifted");
+        pbo_bench::row(&[row_env.name, row_env.client, row_env.server, sub], &w);
+    }
+    pbo_bench::rule(&w);
+
+    let c = Config::paper_client();
+    let s = Config::paper_server();
+    println!(
+        "\nlive config check: client block={} B credits={} sbuf={} B | server block={} B credits={} sbuf={} B",
+        c.block_size, c.credits, c.sbuf_size, s.block_size, s.credits, s.sbuf_size
+    );
+}

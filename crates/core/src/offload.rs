@@ -1,0 +1,231 @@
+//! The DPU-side offload engine.
+//!
+//! [`OffloadClient`] wraps an [`RpcClient`] with the two client-side
+//! behaviours the evaluation compares:
+//!
+//! * **offloaded** — the expensive transformation runs here, on the DPU:
+//!   "this costly transformation, which essentially consists of allocating
+//!   the memory for the RPC over the RDMA request and running the
+//!   deserialization, is entirely run on the DPU" (§III.A). The wire bytes
+//!   are parsed once by the stack deserializer, which streams straight
+//!   into the block arena through the ADT native writer, crafting host
+//!   pointers against the mirrored receive buffer.
+//! * **forwarded** (baseline) — the serialized bytes are copied into the
+//!   block unchanged and the *host* deserializes, reproducing the paper's
+//!   "CPU deserialization" comparison arm.
+
+use crate::service::ServiceSchema;
+use pbo_adt::{NativeWriter, WriterConfig};
+use pbo_protowire::{DecodeError, StackDeserializer};
+use pbo_rpcrdma::client::{Continuation, PayloadError};
+use pbo_rpcrdma::{RpcClient, RpcError};
+use std::time::Duration;
+
+/// Continuation for [`OffloadClient::call_full`]: receives the serialized
+/// response bytes (or a serialization error) and the status code.
+pub type FullContinuation = Box<dyn FnOnce(Result<Vec<u8>, String>, u16) + Send>;
+
+/// DPU-side engine: one per connection/poller thread.
+pub struct OffloadClient {
+    rpc: RpcClient,
+    bundle: ServiceSchema,
+}
+
+impl OffloadClient {
+    /// Wraps an established client endpoint.
+    ///
+    /// `adt_blob`, when given, is the table received from the host during
+    /// setup; it is checked for binary compatibility against the locally
+    /// generated table (§V.A) — a mismatch means the two programs must not
+    /// exchange native objects.
+    pub fn new(
+        rpc: RpcClient,
+        bundle: ServiceSchema,
+        adt_blob: Option<&[u8]>,
+    ) -> Result<Self, pbo_adt::AdtError> {
+        if let Some(blob) = adt_blob {
+            let remote = pbo_adt::Adt::from_bytes(blob)?;
+            bundle.adt().verify_compatible(&remote)?;
+        }
+        Ok(Self { rpc, bundle })
+    }
+
+    /// The underlying RPC client (metrics, flushing).
+    pub fn rpc(&mut self) -> &mut RpcClient {
+        &mut self.rpc
+    }
+
+    /// The schema bundle.
+    pub fn bundle(&self) -> &ServiceSchema {
+        &self.bundle
+    }
+
+    /// Offloaded call: deserializes `wire` in place into the outgoing
+    /// block as a native object. The host receives a ready-built object.
+    pub fn call_offloaded(
+        &mut self,
+        proc_id: u16,
+        wire: &[u8],
+        cont: Continuation,
+    ) -> Result<(), RpcError> {
+        self.call_offloaded_md(proc_id, wire, &[], cont)
+    }
+
+    /// [`OffloadClient::call_offloaded`] with opaque call metadata, passed
+    /// along with the message in the payload as §V.D suggests. The host
+    /// handler receives it via `Request::metadata`.
+    pub fn call_offloaded_md(
+        &mut self,
+        proc_id: u16,
+        wire: &[u8],
+        metadata: &[u8],
+        cont: Continuation,
+    ) -> Result<(), RpcError> {
+        let desc = self
+            .bundle
+            .request_descriptor(proc_id)
+            .ok_or(RpcError::NoSuchProcedure(proc_id))?
+            .clone();
+        let adt = self.bundle.adt().clone();
+        let schema = self.bundle.schema().clone();
+        // Hint: native objects are usually larger than the wire form
+        // (that inflation is Fig 8b); start with 2× + slack and let
+        // NeedMore grow the block when a message defeats the estimate.
+        let hint = wire.len() * 2 + 128;
+        self.rpc.enqueue_with_meta(
+            proc_id,
+            hint,
+            metadata,
+            &mut |dst: &mut [u8], host_addr: u64| {
+                let mut writer = NativeWriter::new(
+                    &adt,
+                    &desc,
+                    dst,
+                    WriterConfig {
+                        host_base: host_addr,
+                    },
+                )
+                .map_err(map_decode_err)?;
+                StackDeserializer::new(&schema)
+                    .deserialize(&desc, wire, &mut writer)
+                    .map_err(map_decode_err)?;
+                let result = writer.finish().map_err(map_decode_err)?;
+                Ok(result.used)
+            },
+            cont,
+        )
+    }
+
+    /// Fully offloaded call: the request is deserialized here (as in
+    /// [`OffloadClient::call_offloaded`]) *and* the response arrives as a
+    /// native object that this DPU serializes to canonical proto3 before
+    /// invoking `cont` with the wire bytes — response-serialization
+    /// offload, completing §III.A's sketch. Use with a host handler
+    /// registered via `CompatServer::register_native_full`.
+    pub fn call_full(
+        &mut self,
+        proc_id: u16,
+        wire: &[u8],
+        cont: FullContinuation,
+    ) -> Result<(), RpcError> {
+        let resp_desc = self
+            .bundle
+            .response_descriptor(proc_id)
+            .ok_or(RpcError::NoSuchProcedure(proc_id))?
+            .clone();
+        let adt = self.bundle.adt().clone();
+        let schema = self.bundle.schema().clone();
+        let wrapped: Continuation = Box::new(move |payload, status| {
+            if status != 0 {
+                cont(Ok(Vec::new()), status);
+                return;
+            }
+            let class = match adt.class_id(&resp_desc.name) {
+                Ok(c) => c,
+                Err(e) => return cont(Err(e.to_string()), status),
+            };
+            // The payload slice IS the response arena: the host's writer
+            // used the payload's own client-side address as its base, so
+            // every internal pointer lands inside this slice.
+            let result = pbo_adt::NativeObject::from_slice(&adt, class, payload, 0)
+                .map_err(|e| e.to_string())
+                .and_then(|view| {
+                    crate::serialize::serialize_view(&view, &resp_desc, &schema)
+                        .map_err(|e| e.to_string())
+                });
+            cont(result, status);
+        });
+        self.call_offloaded(proc_id, wire, wrapped)
+    }
+
+    /// Baseline call: forwards the serialized bytes for host-side
+    /// deserialization.
+    pub fn call_forwarded(
+        &mut self,
+        proc_id: u16,
+        wire: &[u8],
+        cont: Continuation,
+    ) -> Result<(), RpcError> {
+        self.rpc.enqueue_bytes(proc_id, wire, cont)
+    }
+
+    /// [`OffloadClient::call_forwarded`] with call metadata attached.
+    pub fn call_forwarded_md(
+        &mut self,
+        proc_id: u16,
+        wire: &[u8],
+        metadata: &[u8],
+        cont: Continuation,
+    ) -> Result<(), RpcError> {
+        self.rpc.enqueue_with_meta(
+            proc_id,
+            wire.len(),
+            metadata,
+            &mut |dst: &mut [u8], _host_addr: u64| {
+                if dst.len() < wire.len() {
+                    return Err(PayloadError::NeedMore);
+                }
+                dst[..wire.len()].copy_from_slice(wire);
+                Ok(wire.len())
+            },
+            cont,
+        )
+    }
+
+    /// Drives the connection (flush + completions), delegating to
+    /// [`RpcClient::event_loop`].
+    pub fn event_loop(&mut self, timeout: Duration) -> Result<usize, RpcError> {
+        self.rpc.event_loop(timeout)
+    }
+}
+
+/// Maps deserialization failures onto payload-writer outcomes: arena
+/// exhaustion is retryable in a bigger block; anything else is a malformed
+/// request.
+fn map_decode_err(e: DecodeError) -> PayloadError {
+    match &e {
+        DecodeError::Sink(msg) if msg.contains("arena exhausted") => PayloadError::NeedMore,
+        _ => PayloadError::Fail(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_error_mapping() {
+        assert_eq!(
+            map_decode_err(DecodeError::Sink("arena exhausted".into())),
+            PayloadError::NeedMore
+        );
+        assert!(matches!(
+            map_decode_err(DecodeError::VarintOverflow),
+            PayloadError::Fail(_)
+        ));
+        assert!(matches!(
+            map_decode_err(DecodeError::InvalidUtf8 { at: 3 }),
+            PayloadError::Fail(_)
+        ));
+    }
+}

@@ -1,0 +1,476 @@
+//! Native-object → wire serialization: the DPU half of response-
+//! serialization offload.
+//!
+//! §III.A: "we focus on deserialization only, but serialization can be
+//! offloaded with similar techniques … this can be implemented similarly
+//! in our design." This module implements it: the host builds a *native*
+//! response object straight into its send-buffer block (with
+//! [`pbo_adt::NativeBuilder`] through
+//! [`pbo_rpcrdma::RpcServer::register_writer`]), and the DPU — on
+//! receiving the mirrored object — serializes it into canonical proto3
+//! wire format for the xRPC client. The host never runs the serializer.
+//!
+//! Canonical proto3 output: fields in ascending number order, implicit-
+//! presence defaults omitted, packable repeated fields packed — so the
+//! bytes agree exactly with [`pbo_protowire::encode_message`] on the
+//! equivalent dynamic message (asserted by tests).
+
+use pbo_adt::{NativeObject, RepeatedView, ViewError};
+use pbo_protowire::varint::{encode_varint, make_tag, zigzag_encode, WireType};
+use pbo_protowire::{Cardinality, FieldDescriptor, FieldType, MessageDescriptor, Schema};
+
+/// Serialization failures (all indicate a corrupt object or a
+/// schema/layout mismatch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SerializeError {
+    /// A view accessor failed.
+    View(ViewError),
+    /// The descriptor references an unknown nested type.
+    UnknownType(String),
+}
+
+impl From<ViewError> for SerializeError {
+    fn from(e: ViewError) -> Self {
+        SerializeError::View(e)
+    }
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::View(e) => write!(f, "view: {e}"),
+            SerializeError::UnknownType(t) => write!(f, "unknown type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// Serializes a native object to canonical proto3 bytes.
+pub fn serialize_view(
+    view: &NativeObject<'_>,
+    desc: &MessageDescriptor,
+    schema: &Schema,
+) -> Result<Vec<u8>, SerializeError> {
+    let mut out = Vec::with_capacity(view.meta().size);
+    write_message(view, desc, schema, &mut out)?;
+    Ok(out)
+}
+
+fn write_message(
+    view: &NativeObject<'_>,
+    desc: &MessageDescriptor,
+    schema: &Schema,
+    out: &mut Vec<u8>,
+) -> Result<(), SerializeError> {
+    for fd in &desc.fields {
+        match fd.cardinality {
+            Cardinality::Repeated => write_repeated(view, fd, schema, out)?,
+            _ => write_singular(view, fd, schema, out)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads the scalar as the u64 that goes into a varint, plus a "default?"
+/// flag for implicit-presence elision.
+fn varint_value(
+    view: &NativeObject<'_>,
+    fd: &FieldDescriptor,
+) -> Result<(u64, bool), SerializeError> {
+    Ok(match fd.ty {
+        FieldType::Int32 | FieldType::Enum => {
+            let v = view.get_i32(fd.number)?;
+            (v as i64 as u64, v == 0)
+        }
+        FieldType::Int64 => {
+            let v = view.get_i64(fd.number)?;
+            (v as u64, v == 0)
+        }
+        FieldType::SInt32 => {
+            let v = view.get_i32(fd.number)?;
+            (zigzag_encode(v as i64), v == 0)
+        }
+        FieldType::SInt64 => {
+            let v = view.get_i64(fd.number)?;
+            (zigzag_encode(v), v == 0)
+        }
+        FieldType::UInt32 => {
+            let v = view.get_u32(fd.number)?;
+            (v as u64, v == 0)
+        }
+        FieldType::UInt64 => {
+            let v = view.get_u64(fd.number)?;
+            (v, v == 0)
+        }
+        FieldType::Bool => {
+            let v = view.get_bool(fd.number)?;
+            (v as u64, !v)
+        }
+        _ => unreachable!("not a varint type"),
+    })
+}
+
+fn write_singular(
+    view: &NativeObject<'_>,
+    fd: &FieldDescriptor,
+    schema: &Schema,
+    out: &mut Vec<u8>,
+) -> Result<(), SerializeError> {
+    // Explicit presence: the bitfield decides; implicit: non-default does.
+    let presence_known = fd.has_presence() && fd.ty != FieldType::Message;
+    if presence_known && !view.has(fd.number)? {
+        return Ok(());
+    }
+    match fd.ty {
+        FieldType::Message => {
+            let Some(child_view) = view.get_message(fd.number)? else {
+                return Ok(());
+            };
+            let child_name = fd.type_name.as_deref().unwrap_or_default();
+            let child_desc = schema
+                .message(child_name)
+                .ok_or_else(|| SerializeError::UnknownType(child_name.to_string()))?;
+            let mut body = Vec::new();
+            write_message(&child_view, child_desc, schema, &mut body)?;
+            encode_varint(make_tag(fd.number, WireType::LengthDelimited), out);
+            encode_varint(body.len() as u64, out);
+            out.extend_from_slice(&body);
+        }
+        FieldType::String | FieldType::Bytes => {
+            let bytes = view.get_bytes(fd.number)?;
+            if bytes.is_empty() && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::LengthDelimited), out);
+            encode_varint(bytes.len() as u64, out);
+            out.extend_from_slice(bytes);
+        }
+        FieldType::Float => {
+            let v = view.get_f32(fd.number)?;
+            if v.to_bits() == 0 && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::Fixed32), out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldType::Double => {
+            let v = view.get_f64(fd.number)?;
+            if v.to_bits() == 0 && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::Fixed64), out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldType::Fixed32 => {
+            let v = view.get_u32(fd.number)?;
+            if v == 0 && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::Fixed32), out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldType::SFixed32 => {
+            let v = view.get_i32(fd.number)?;
+            if v == 0 && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::Fixed32), out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldType::Fixed64 => {
+            let v = view.get_u64(fd.number)?;
+            if v == 0 && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::Fixed64), out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldType::SFixed64 => {
+            let v = view.get_i64(fd.number)?;
+            if v == 0 && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::Fixed64), out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        _ => {
+            let (raw, is_default) = varint_value(view, fd)?;
+            if is_default && !presence_known {
+                return Ok(());
+            }
+            encode_varint(make_tag(fd.number, WireType::Varint), out);
+            encode_varint(raw, out);
+        }
+    }
+    Ok(())
+}
+
+fn packed_scalar(
+    rep: &RepeatedView<'_>,
+    fd: &FieldDescriptor,
+    i: usize,
+    body: &mut Vec<u8>,
+) -> Result<(), SerializeError> {
+    match fd.ty {
+        FieldType::Int32 | FieldType::Enum => {
+            encode_varint(rep.i32_at(i)? as i64 as u64, body);
+        }
+        FieldType::Int64 => {
+            encode_varint(rep.i64_at(i)? as u64, body);
+        }
+        FieldType::SInt32 => {
+            encode_varint(zigzag_encode(rep.i32_at(i)? as i64), body);
+        }
+        FieldType::SInt64 => {
+            encode_varint(zigzag_encode(rep.i64_at(i)?), body);
+        }
+        FieldType::UInt32 => {
+            encode_varint(rep.u32_at(i)? as u64, body);
+        }
+        FieldType::UInt64 => {
+            encode_varint(rep.u64_at(i)?, body);
+        }
+        FieldType::Bool => {
+            // Bool vectors store 1-byte elements.
+            body.push(rep.bool_at(i)? as u8);
+        }
+        FieldType::Fixed32 => body.extend_from_slice(&rep.u32_at(i)?.to_le_bytes()),
+        FieldType::SFixed32 => body.extend_from_slice(&rep.i32_at(i)?.to_le_bytes()),
+        FieldType::Float => body.extend_from_slice(&rep.f32_at(i)?.to_le_bytes()),
+        FieldType::Fixed64 => body.extend_from_slice(&rep.u64_at(i)?.to_le_bytes()),
+        FieldType::SFixed64 => body.extend_from_slice(&rep.i64_at(i)?.to_le_bytes()),
+        FieldType::Double => body.extend_from_slice(&rep.f64_at(i)?.to_le_bytes()),
+        _ => unreachable!("not a packable type"),
+    }
+    Ok(())
+}
+
+fn write_repeated(
+    view: &NativeObject<'_>,
+    fd: &FieldDescriptor,
+    schema: &Schema,
+    out: &mut Vec<u8>,
+) -> Result<(), SerializeError> {
+    let rep = view.get_repeated(fd.number)?;
+    if rep.is_empty() {
+        return Ok(());
+    }
+    match fd.ty {
+        FieldType::String | FieldType::Bytes => {
+            for i in 0..rep.len() {
+                let bytes = match fd.ty {
+                    FieldType::String => rep.str_at(i)?.as_bytes(),
+                    _ => rep.str_at(i).map(|s| s.as_bytes()).or_else(|_| {
+                        // bytes elements may not be UTF-8; read raw.
+                        rep.bytes_at(i)
+                    })?,
+                };
+                encode_varint(make_tag(fd.number, WireType::LengthDelimited), out);
+                encode_varint(bytes.len() as u64, out);
+                out.extend_from_slice(bytes);
+            }
+        }
+        FieldType::Message => {
+            let child_name = fd.type_name.as_deref().unwrap_or_default();
+            let child_desc = schema
+                .message(child_name)
+                .ok_or_else(|| SerializeError::UnknownType(child_name.to_string()))?;
+            for i in 0..rep.len() {
+                let child = rep.message_at(i)?;
+                let mut body = Vec::new();
+                write_message(&child, child_desc, schema, &mut body)?;
+                encode_varint(make_tag(fd.number, WireType::LengthDelimited), out);
+                encode_varint(body.len() as u64, out);
+                out.extend_from_slice(&body);
+            }
+        }
+        _ => {
+            // Packed, like the canonical serializer.
+            let mut body = Vec::new();
+            for i in 0..rep.len() {
+                packed_scalar(&rep, fd, i, &mut body)?;
+            }
+            encode_varint(make_tag(fd.number, WireType::LengthDelimited), out);
+            encode_varint(body.len() as u64, out);
+            out.extend_from_slice(&body);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_adt::{Adt, NativeWriter, StdLib, WriterConfig};
+    use pbo_protowire::{
+        decode_message, encode_message, parse_proto, DynamicMessage, StackDeserializer, Value,
+    };
+
+    pub(super) const PROTO: &str = r#"
+        syntax = "proto3";
+        message Inner { sint64 s = 1; string t = 2; }
+        message Outer {
+            uint32 a = 1;
+            string name = 2;
+            repeated uint32 nums = 3;
+            Inner one = 4;
+            repeated Inner many = 5;
+            double d = 6;
+            optional int32 opt = 7;
+            bytes blob = 8;
+            repeated string tags = 9;
+            fixed64 fx = 10;
+            bool flag = 11;
+        }
+    "#;
+
+    /// wire → native object → serialize_view must reproduce the canonical
+    /// re-encoding of the decoded message.
+    pub(super) fn roundtrip(msg: &DynamicMessage, schema: &Schema) {
+        let adt = Adt::from_schema(schema, StdLib::Libstdcxx);
+        let desc = schema.message(&msg.descriptor().name).unwrap().clone();
+        let wire = encode_message(msg);
+
+        let mut arena = vec![0u64; 8192]
+            .into_iter()
+            .flat_map(u64::to_ne_bytes)
+            .collect::<Vec<u8>>();
+        let skew = (8 - arena.as_ptr() as usize % 8) % 8;
+        let window = &mut arena[skew..];
+        let host_base = window.as_ptr() as u64;
+        let mut w = NativeWriter::new(&adt, &desc, window, WriterConfig { host_base }).unwrap();
+        StackDeserializer::new(schema)
+            .deserialize(&desc, &wire, &mut w)
+            .unwrap();
+        w.finish().unwrap();
+        let class = adt.class_id(&desc.name).unwrap();
+        let arena_ro = &arena[skew..];
+        let view = NativeObject::from_slice(&adt, class, arena_ro, 0).unwrap();
+
+        let reserialized = serialize_view(&view, &desc, schema).unwrap();
+        // Canonical reference: decode the original wire, normalize (proto3
+        // implicit-presence zeros are semantically absent), re-encode.
+        let mut decoded = decode_message(schema, &desc, &wire).unwrap();
+        decoded.normalize();
+        let canonical = encode_message(&decoded);
+        assert_eq!(reserialized, canonical, "msg: {msg:?}");
+    }
+
+    #[test]
+    fn all_field_kinds_roundtrip() {
+        let schema = parse_proto(PROTO).unwrap();
+        let mut inner = DynamicMessage::of(&schema, "Inner");
+        inner.set(1, Value::I64(-42));
+        inner.set(2, Value::Str("in λ".into()));
+        let mut m = DynamicMessage::of(&schema, "Outer");
+        m.set(1, Value::U64(300));
+        m.set(
+            2,
+            Value::Str("a long string beyond the SSO boundary!".into()),
+        );
+        for v in [0u64, 1, 127, 128, 1 << 20] {
+            m.push(3, Value::U64(v));
+        }
+        m.set(4, Value::Message(Box::new(inner.clone())));
+        m.push(5, Value::Message(Box::new(inner.clone())));
+        m.push(
+            5,
+            Value::Message(Box::new(DynamicMessage::of(&schema, "Inner"))),
+        );
+        m.set(6, Value::F64(-0.5));
+        m.set(7, Value::I64(0)); // optional explicitly set to default
+        m.set(8, Value::Bytes(vec![0, 1, 254, 255]));
+        m.push(9, Value::Str("tag-1".into()));
+        m.push(9, Value::Str(String::new()));
+        m.set(10, Value::U64(u64::MAX));
+        m.set(11, Value::Bool(true));
+        roundtrip(&m, &schema);
+    }
+
+    #[test]
+    fn empty_message_serializes_to_nothing() {
+        let schema = parse_proto(PROTO).unwrap();
+        let m = DynamicMessage::of(&schema, "Outer");
+        roundtrip(&m, &schema);
+    }
+
+    #[test]
+    fn implicit_defaults_are_elided() {
+        let schema = parse_proto(PROTO).unwrap();
+        let mut m = DynamicMessage::of(&schema, "Outer");
+        // Set then rely on proto3 canonicalization: explicitly zero values
+        // of implicit-presence fields vanish on the wire roundtrip.
+        m.set(1, Value::U64(0));
+        m.set(11, Value::Bool(false));
+        roundtrip(&m, &schema);
+    }
+
+    #[test]
+    fn optional_presence_survives_reserialization() {
+        let schema = parse_proto(PROTO).unwrap();
+        let desc = schema.message("Outer").unwrap().clone();
+        let mut m = DynamicMessage::of(&schema, "Outer");
+        m.set(7, Value::I64(0)); // present, value 0 — must stay on the wire
+        let wire = encode_message(&m);
+        assert!(!wire.is_empty());
+        roundtrip(&m, &schema);
+        let _ = desc;
+    }
+
+    mod properties {
+        use super::{roundtrip, PROTO};
+        use pbo_protowire::{parse_proto, DynamicMessage, Value};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Random messages through writer → view → serialize_view must
+            /// reproduce canonical proto3 bytes.
+            #[test]
+            fn random_messages_reserialize_canonically(
+                a in any::<u32>(),
+                name in "\\PC{0,60}",
+                nums in proptest::collection::vec(any::<u32>(), 0..30),
+                d in any::<f64>(),
+                opt in proptest::option::of(any::<i32>()),
+                blob in proptest::collection::vec(any::<u8>(), 0..50),
+                tags in proptest::collection::vec("\\PC{0,20}", 0..5),
+                fx in any::<u64>(),
+                flag in any::<bool>(),
+                inner_s in any::<i64>(),
+            ) {
+                let schema = parse_proto(PROTO).unwrap();
+                let mut m = DynamicMessage::of(&schema, "Outer");
+                if a != 0 { m.set(1, Value::U64(a as u64)); }
+                if !name.is_empty() { m.set(2, Value::Str(name)); }
+                for v in nums { m.push(3, Value::U64(v as u64)); }
+                if inner_s != 0 {
+                    let mut inner = DynamicMessage::of(&schema, "Inner");
+                    inner.set(1, Value::I64(inner_s));
+                    m.set(4, Value::Message(Box::new(inner)));
+                }
+                if d != 0.0 && !d.is_nan() { m.set(6, Value::F64(d)); }
+                if let Some(o) = opt { m.set(7, Value::I64(o as i64)); }
+                if !blob.is_empty() { m.set(8, Value::Bytes(blob)); }
+                for t in tags { m.push(9, Value::Str(t)); }
+                if fx != 0 { m.set(10, Value::U64(fx)); }
+                if flag { m.set(11, Value::Bool(true)); }
+                roundtrip(&m, &schema);
+            }
+        }
+    }
+
+    #[test]
+    fn sso_boundary_strings() {
+        let schema = parse_proto(PROTO).unwrap();
+        for len in [0usize, 1, 14, 15, 16, 17, 100] {
+            let mut m = DynamicMessage::of(&schema, "Outer");
+            if len > 0 {
+                m.set(2, Value::Str("x".repeat(len)));
+            }
+            roundtrip(&m, &schema);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Service schema bundles — the `protoc` plugin analogue.
+//!
+//! The paper's custom protobuf plugin emits, per `.proto` file, both the
+//! ADT (`.adt.pb.{h,cc}`) and "introspection code to allow the inspection
+//! of gRPC service classes, such as mapping procedure IDs to the service's
+//! callback function" (§V.B, §V.D). [`ServiceSchema`] is the runtime form
+//! of that generated artifact: the message schema, the service descriptor
+//! with stable procedure ids, and the generated [`Adt`] — everything both
+//! sides need, validated for consistency at construction.
+
+use pbo_adt::{Adt, StdLib};
+use pbo_grpc::{MethodDescriptor, ServiceDescriptor};
+use pbo_protowire::{MessageDescriptor, Schema};
+use std::sync::Arc;
+
+/// A validated bundle of schema + service + ADT.
+#[derive(Clone)]
+pub struct ServiceSchema {
+    schema: Arc<Schema>,
+    service: ServiceDescriptor,
+    adt: Arc<Adt>,
+}
+
+impl ServiceSchema {
+    /// Builds the bundle, generating the ADT from the schema.
+    ///
+    /// # Panics
+    /// Panics if any method references a request or response type missing
+    /// from the schema — generated code is validated at generation time,
+    /// and so is this.
+    pub fn new(schema: Schema, service: ServiceDescriptor, stdlib: StdLib) -> Self {
+        for m in &service.methods {
+            assert!(
+                schema.message(&m.request_type).is_some(),
+                "method {} requests unknown type {}",
+                m.name,
+                m.request_type
+            );
+            assert!(
+                schema.message(&m.response_type).is_some(),
+                "method {} returns unknown type {}",
+                m.name,
+                m.response_type
+            );
+        }
+        let adt = Adt::from_schema(&schema, stdlib);
+        Self {
+            schema: Arc::new(schema),
+            service,
+            adt: Arc::new(adt),
+        }
+    }
+
+    /// The protobuf schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The service descriptor.
+    pub fn service(&self) -> &ServiceDescriptor {
+        &self.service
+    }
+
+    /// The generated Accelerator Description Table.
+    pub fn adt(&self) -> &Arc<Adt> {
+        &self.adt
+    }
+
+    /// Serialized ADT bytes for the one-time host→DPU transfer.
+    pub fn adt_bytes(&self) -> Vec<u8> {
+        self.adt.to_bytes()
+    }
+
+    /// Resolves a procedure id to its method descriptor.
+    pub fn method(&self, proc_id: u16) -> Option<&MethodDescriptor> {
+        self.service.find_id(proc_id)
+    }
+
+    /// Resolves a procedure id to its request message descriptor.
+    pub fn request_descriptor(&self, proc_id: u16) -> Option<&Arc<MessageDescriptor>> {
+        let m = self.method(proc_id)?;
+        self.schema.message(&m.request_type)
+    }
+
+    /// Resolves a procedure id to its response message descriptor.
+    pub fn response_descriptor(&self, proc_id: u16) -> Option<&Arc<MessageDescriptor>> {
+        let m = self.method(proc_id)?;
+        self.schema.message(&m.response_type)
+    }
+
+    /// The benchmark service used throughout the evaluation: one method
+    /// per synthetic workload, all returning `bench.Empty` ("the server
+    /// responds with an empty message", §VI.C).
+    pub fn paper_bench() -> Self {
+        let schema = pbo_protowire::workloads::paper_schema();
+        let service = ServiceDescriptor::new("bench.Bench")
+            .method("Small", 1, "bench.Small", "bench.Empty")
+            .method("Ints", 2, "bench.IntArray", "bench.Empty")
+            .method("Chars", 3, "bench.CharArray", "bench.Empty");
+        Self::new(schema, service, StdLib::Libstdcxx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bench_bundle_is_consistent() {
+        let s = ServiceSchema::paper_bench();
+        assert_eq!(s.service().methods.len(), 3);
+        assert_eq!(s.method(1).unwrap().name, "Small");
+        assert_eq!(s.request_descriptor(2).unwrap().name, "bench.IntArray");
+        assert_eq!(s.response_descriptor(3).unwrap().name, "bench.Empty");
+        assert!(s.method(99).is_none());
+        // ADT round-trips and matches.
+        let adt2 = Adt::from_bytes(&s.adt_bytes()).unwrap();
+        assert!(s.adt().verify_compatible(&adt2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown type")]
+    fn dangling_method_type_panics() {
+        let schema = pbo_protowire::workloads::paper_schema();
+        let service =
+            ServiceDescriptor::new("bad.Svc").method("M", 1, "bench.Small", "bench.Ghost");
+        let _ = ServiceSchema::new(schema, service, StdLib::Libstdcxx);
+    }
+}

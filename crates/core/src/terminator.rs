@@ -1,0 +1,323 @@
+//! The DPU-side xRPC terminator.
+//!
+//! "The DPU sits in between the host and the xRPC client as a middle-man.
+//! Since the DPU now handles all the xRPC client connections and
+//! multiplexes them to the host, it can alleviate the burden of managing
+//! multiple xRPC sessions and network connections, often TCP/IP" (§III.A).
+//!
+//! Threading: the gRPC-like server spawns one thread per xRPC connection;
+//! those threads *cannot* touch the single-owner RPC-over-RDMA client
+//! (§III.C: one poller per connection). Instead they hand requests to the
+//! poller thread over a channel and block on a per-call response slot —
+//! the many-to-one-to-one model of §III.C.
+
+use crate::offload::OffloadClient;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use pbo_grpc::{spawn_server, ServerHandle, ServiceRegistry};
+use pbo_rpcrdma::RpcError;
+use pbo_simnet::TcpFabric;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which client-side behaviour the terminator uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardMode {
+    /// Deserialize on the DPU (the paper's offload).
+    Offload,
+    /// Forward serialized bytes (the CPU-deserialization baseline).
+    Forward,
+}
+
+/// One request in flight from an xRPC connection thread to the poller.
+pub struct ForwardRequest {
+    /// Procedure id.
+    pub proc_id: u16,
+    /// Serialized request bytes from the xRPC client.
+    pub wire: Vec<u8>,
+    /// Encoded call metadata to forward host-ward (empty = none).
+    pub metadata: Vec<u8>,
+    /// Completion slot: `(status, response bytes)`.
+    pub resp_tx: Sender<(u16, Vec<u8>)>,
+}
+
+/// Builds the gRPC-side registry whose handlers forward into the poller
+/// channel. One handler per service method.
+pub fn forwarding_registry(
+    bundle: &crate::service::ServiceSchema,
+    tx: Sender<ForwardRequest>,
+) -> ServiceRegistry {
+    let registry = ServiceRegistry::new();
+    for m in &bundle.service().methods {
+        let tx = tx.clone();
+        let id = m.id;
+        registry.add_raw(
+            id,
+            Arc::new(move |metadata, wire, out| {
+                // The DPU is the gRPC server now: connection-level metadata
+                // concerns (auth, deadlines) are handled HERE, off the host
+                // (§III.A). A rejected call never touches the RDMA path.
+                if metadata.get("authorization") == Some(b"deny" as &[u8]) {
+                    return 16; // UNAUTHENTICATED, decided on the DPU
+                }
+                let (resp_tx, resp_rx) = bounded(1);
+                if tx
+                    .send(ForwardRequest {
+                        proc_id: id,
+                        wire: wire.to_vec(),
+                        metadata: if metadata.is_empty() {
+                            Vec::new()
+                        } else {
+                            metadata.encode()
+                        },
+                        resp_tx,
+                    })
+                    .is_err()
+                {
+                    return 14; // UNAVAILABLE: poller gone
+                }
+                match resp_rx.recv() {
+                    Ok((status, bytes)) => {
+                        out.extend_from_slice(&bytes);
+                        status
+                    }
+                    Err(_) => 14,
+                }
+            }),
+        );
+    }
+    registry
+}
+
+/// The running terminator: the xRPC listener plus the RPC-over-RDMA
+/// poller thread.
+pub struct XrpcTerminator {
+    grpc: ServerHandle,
+    poller: Option<std::thread::JoinHandle<Result<(), RpcError>>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl XrpcTerminator {
+    /// Binds the xRPC server at `addr` on `fabric` and starts the poller
+    /// thread that owns `client`.
+    pub fn spawn(fabric: &TcpFabric, addr: &str, client: OffloadClient, mode: ForwardMode) -> Self {
+        let (tx, rx) = bounded::<ForwardRequest>(4096);
+        let registry = forwarding_registry(client.bundle(), tx);
+        let listener = fabric.bind(addr);
+        let grpc = spawn_server(listener, registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let poller = std::thread::spawn(move || poller_loop(client, rx, mode, stop2));
+        Self {
+            grpc,
+            poller: Some(poller),
+            stop,
+        }
+    }
+
+    /// xRPC calls served so far.
+    pub fn calls_served(&self) -> u64 {
+        self.grpc.calls_served()
+    }
+
+    /// Stops both halves and joins the poller.
+    pub fn shutdown(mut self) -> Result<(), RpcError> {
+        self.stop.store(true, Ordering::Release);
+        self.grpc.stop();
+        match self.poller.take() {
+            Some(h) => h.join().expect("poller panicked"),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for XrpcTerminator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.grpc.stop();
+        if let Some(h) = self.poller.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The poller loop: drains forwarded requests into the RPC-over-RDMA
+/// client, retries on backpressure (credits / send-buffer), and drives the
+/// event loop. Public so measured-mode harnesses can run it on a thread
+/// they control.
+pub fn poller_loop(
+    mut client: OffloadClient,
+    rx: Receiver<ForwardRequest>,
+    mode: ForwardMode,
+    stop: Arc<AtomicBool>,
+) -> Result<(), RpcError> {
+    let mut backlog: VecDeque<ForwardRequest> = VecDeque::new();
+    loop {
+        // Refill the backlog ("the user is responsible for queueing enough
+        // requests to fill a block before calling the event loop", §IV).
+        loop {
+            match rx.try_recv() {
+                Ok(req) => backlog.push_back(req),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if backlog.is_empty() && stop.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                    break;
+                }
+            }
+            if backlog.len() >= 512 {
+                break;
+            }
+        }
+        // Enqueue as much of the backlog as backpressure allows.
+        while let Some(req) = backlog.pop_front() {
+            let resp_tx = req.resp_tx.clone();
+            let cont: pbo_rpcrdma::client::Continuation = Box::new(move |payload, status| {
+                let _ = resp_tx.send((status, payload.to_vec()));
+            });
+            let result = match mode {
+                ForwardMode::Offload => {
+                    client.call_offloaded_md(req.proc_id, &req.wire, &req.metadata, cont)
+                }
+                ForwardMode::Forward => {
+                    client.call_forwarded_md(req.proc_id, &req.wire, &req.metadata, cont)
+                }
+            };
+            match result {
+                Ok(()) => {}
+                Err(RpcError::NoCredits)
+                | Err(RpcError::SendBufferFull)
+                | Err(RpcError::TooManyOutstanding) => {
+                    backlog.push_front(req);
+                    break;
+                }
+                Err(RpcError::PayloadWriter(_)) | Err(RpcError::NoSuchProcedure(_)) => {
+                    // Malformed request: answer the xRPC client with an
+                    // error status instead of killing the poller.
+                    let _ = req.resp_tx.send((3, Vec::new()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        client.event_loop(Duration::from_millis(1))?;
+        if stop.load(Ordering::Acquire)
+            && backlog.is_empty()
+            && client.rpc().outstanding() == 0
+            && rx.is_empty()
+        {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::{CompatServer, PayloadMode};
+    use crate::service::ServiceSchema;
+    use pbo_grpc::GrpcChannel;
+    use pbo_metrics::Registry;
+    use pbo_protowire::encode_message;
+    use pbo_protowire::workloads::{gen_small, paper_schema};
+    use pbo_rpcrdma::{establish, Config};
+    use pbo_simnet::Fabric;
+
+    /// Full Figure 1 topology: xRPC client → (TCP) → DPU terminator →
+    /// (RDMA) → host compat server.
+    #[test]
+    fn end_to_end_xrpc_through_dpu_to_host() {
+        let bundle = ServiceSchema::paper_bench();
+        let rdma = Fabric::new();
+        let tcp = TcpFabric::new();
+        let registry = Registry::new();
+        let adt_bytes = bundle.adt_bytes();
+        let ep = establish(
+            &rdma,
+            Config::test_small(),
+            Config::test_small(),
+            &registry,
+            "e2e",
+            Some(&adt_bytes),
+        );
+        let client =
+            OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref()).unwrap();
+        let mut server = CompatServer::new(ep.server, PayloadMode::Native);
+        server.register_empty_logic(&bundle, 1);
+        server.register_empty_logic(&bundle, 2);
+        server.register_empty_logic(&bundle, 3);
+
+        // Host poller thread.
+        let host_stop = Arc::new(AtomicBool::new(false));
+        let hs = host_stop.clone();
+        let host = std::thread::spawn(move || {
+            while !hs.load(Ordering::Acquire) {
+                server.event_loop(Duration::from_millis(1)).unwrap();
+            }
+            server
+        });
+
+        let terminator = XrpcTerminator::spawn(&tcp, "dpu:50051", client, ForwardMode::Offload);
+
+        // Plain xRPC client pointed at the DPU's address (§III.A: only the
+        // address changes).
+        let schema = paper_schema();
+        let wire = encode_message(&gen_small(&schema));
+        let mut ch = GrpcChannel::connect(&tcp, "dpu:50051").unwrap();
+        for _ in 0..25 {
+            let (status, resp) = ch.call_raw(1, &wire).unwrap();
+            assert_eq!(status, 0);
+            assert!(resp.is_empty());
+        }
+        assert_eq!(terminator.calls_served(), 25);
+
+        terminator.shutdown().unwrap();
+        host_stop.store(true, Ordering::Release);
+        let server = host.join().unwrap();
+        assert_eq!(server.snapshot().requests, 25);
+    }
+
+    #[test]
+    fn malformed_xrpc_request_gets_error_status_not_poison() {
+        let bundle = ServiceSchema::paper_bench();
+        let rdma = Fabric::new();
+        let tcp = TcpFabric::new();
+        let registry = Registry::new();
+        let ep = establish(
+            &rdma,
+            Config::test_small(),
+            Config::test_small(),
+            &registry,
+            "bad",
+            None,
+        );
+        let client = OffloadClient::new(ep.client, bundle.clone(), None).unwrap();
+        let mut server = CompatServer::new(ep.server, PayloadMode::Native);
+        server.register_empty_logic(&bundle, 3);
+        let host_stop = Arc::new(AtomicBool::new(false));
+        let hs = host_stop.clone();
+        let host = std::thread::spawn(move || {
+            while !hs.load(Ordering::Acquire) {
+                server.event_loop(Duration::from_millis(1)).unwrap();
+            }
+        });
+        let terminator = XrpcTerminator::spawn(&tcp, "dpu:1", client, ForwardMode::Offload);
+        let mut ch = GrpcChannel::connect(&tcp, "dpu:1").unwrap();
+        // Invalid UTF-8 string for CharArray (method 3): rejected on the
+        // DPU during deserialization.
+        let (status, _) = ch.call_raw(3, &[0x0a, 0x02, 0xC0, 0xAF]).unwrap();
+        assert_eq!(status, 3);
+        // The connection still serves good requests afterwards.
+        let schema = paper_schema();
+        let mut rng = pbo_protowire::workloads::Mt19937::new(2);
+        let good = encode_message(&pbo_protowire::workloads::gen_char_array(
+            &schema, &mut rng, 100,
+        ));
+        let (status, _) = ch.call_raw(3, &good).unwrap();
+        assert_eq!(status, 0);
+        terminator.shutdown().unwrap();
+        host_stop.store(true, Ordering::Release);
+        host.join().unwrap();
+    }
+}

@@ -1,0 +1,312 @@
+//! The event-driven core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Cancellation token for a scheduled event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Token(u64);
+
+/// The system under simulation: one object owning all model state,
+/// dispatching on its own event type. Keeping the model monolithic (rather
+/// than actor-per-entity) sidesteps shared-mutability plumbing and keeps
+/// handlers free to touch any part of the system.
+pub trait Model {
+    /// The event alphabet.
+    type Event;
+
+    /// Handles one event at virtual time `now`, scheduling follow-ups via
+    /// `sched`.
+    fn handle(&mut self, now: u64, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Entry<E> {
+    time: u64,
+    seq: u64,
+    token: Token,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest time first; FIFO among equal times via seq.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Schedule interface handed to [`Model::handle`].
+pub struct Scheduler<E> {
+    now: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<Token>,
+    next_seq: u64,
+    next_token: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Self {
+            now: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            next_token: 0,
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `ev` at absolute time `at` (must be ≥ now).
+    pub fn schedule_at(&mut self, at: u64, ev: E) -> Token {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let token = Token(self.next_token);
+        self.next_token += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            token,
+            ev,
+        }));
+        token
+    }
+
+    /// Schedules `ev` after `delay` nanoseconds.
+    pub fn schedule_in(&mut self, delay: u64, ev: E) -> Token {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, ev)
+    }
+
+    /// Cancels a scheduled event. Cancelling an already-fired or already-
+    /// cancelled event is a no-op.
+    pub fn cancel(&mut self, token: Token) {
+        self.cancelled.insert(token);
+    }
+
+    /// Number of pending (non-cancelled, best-effort) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    fn pop(&mut self) -> Option<(u64, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.token) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.ev));
+        }
+        None
+    }
+}
+
+/// Drives a [`Model`] through its event stream.
+pub struct Simulation<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    events_processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Wraps a model with an empty schedule at t = 0.
+    pub fn new(model: M) -> Self {
+        Self {
+            model,
+            sched: Scheduler::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Access to the model (for seeding initial events via
+    /// [`Simulation::scheduler`], inspecting results, …).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The scheduler, e.g. for priming initial events before running.
+    pub fn scheduler(&mut self) -> &mut Scheduler<M::Event> {
+        &mut self.sched
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.sched.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs until the event queue empties or virtual time would pass
+    /// `until`. Events at exactly `until` still fire. Returns the number of
+    /// events processed by this call.
+    pub fn run_until(&mut self, until: u64) -> u64 {
+        let mut n = 0;
+        loop {
+            // Peek: stop before consuming an event beyond the horizon.
+            let next_time = loop {
+                match self.sched.heap.peek() {
+                    Some(Reverse(e)) if self.sched.cancelled.contains(&e.token) => {
+                        let Reverse(e) = self.sched.heap.pop().expect("peeked");
+                        self.sched.cancelled.remove(&e.token);
+                    }
+                    Some(Reverse(e)) => break Some(e.time),
+                    None => break None,
+                }
+            };
+            match next_time {
+                Some(t) if t <= until => {
+                    let (now, ev) = self.sched.pop().expect("peeked");
+                    self.model.handle(now, ev, &mut self.sched);
+                    self.events_processed += 1;
+                    n += 1;
+                }
+                _ => {
+                    // Advance the clock to the horizon even if idle.
+                    if self.sched.now < until {
+                        self.sched.now = until;
+                    }
+                    return n;
+                }
+            }
+        }
+    }
+
+    /// Runs to quiescence, bounded by `max_events` as a runaway guard.
+    ///
+    /// # Panics
+    /// Panics if the budget is exhausted — an unbounded event cascade is a
+    /// model bug that must not look like success.
+    pub fn run_to_completion(&mut self, max_events: u64) {
+        let mut n = 0u64;
+        while let Some((now, ev)) = self.sched.pop() {
+            self.model.handle(now, ev, &mut self.sched);
+            self.events_processed += 1;
+            n += 1;
+            assert!(
+                n <= max_events,
+                "event budget {max_events} exhausted at t={now} — runaway model?"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that records (time, id) pairs and optionally chains events.
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+        chain_until: u64,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: u64, ev: u32, sched: &mut Scheduler<u32>) {
+            self.log.push((now, ev));
+            if ev == 999 && now < self.chain_until {
+                sched.schedule_in(10, 999);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain_until: 0,
+        });
+        sim.scheduler().schedule_at(30, 3);
+        sim.scheduler().schedule_at(10, 1);
+        sim.scheduler().schedule_at(20, 2);
+        sim.scheduler().schedule_at(10, 4); // same time as 1, scheduled later
+        sim.run_to_completion(100);
+        assert_eq!(sim.model().log, vec![(10, 1), (10, 4), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn cancellation_suppresses_delivery() {
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain_until: 0,
+        });
+        let t = sim.scheduler().schedule_at(5, 7);
+        sim.scheduler().schedule_at(6, 8);
+        sim.scheduler().cancel(t);
+        sim.run_to_completion(10);
+        assert_eq!(sim.model().log, vec![(6, 8)]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain_until: 1000,
+        });
+        sim.scheduler().schedule_at(0, 999);
+        let n = sim.run_until(55);
+        // Events at 0, 10, 20, 30, 40, 50.
+        assert_eq!(n, 6);
+        assert_eq!(sim.now(), 55);
+        let n2 = sim.run_until(100);
+        assert_eq!(n2, 5); // 60..=100
+    }
+
+    #[test]
+    fn chained_events_advance_time() {
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain_until: 45,
+        });
+        sim.scheduler().schedule_at(0, 999);
+        sim.run_to_completion(1000);
+        let times: Vec<u64> = sim.model().log.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn runaway_model_trips_budget() {
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain_until: u64::MAX,
+        });
+        sim.scheduler().schedule_at(0, 999);
+        sim.run_to_completion(50);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain_until: 0,
+        });
+        sim.scheduler().schedule_at(100, 1);
+        sim.run_to_completion(10);
+        // now == 100; this must panic:
+        sim.scheduler().schedule_at(50, 2);
+    }
+}

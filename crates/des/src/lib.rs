@@ -1,0 +1,32 @@
+//! A deterministic discrete-event simulation (DES) engine.
+//!
+//! The paper's datapath experiments run 16 DPU cores against 8 host cores
+//! over a PCIe link — a configuration the reproduction container cannot
+//! host natively. `pbo-dpusim` therefore replays the protocol logic under
+//! this engine at paper scale: virtual time, deterministic event ordering,
+//! and exact utilization accounting, so every figure is reproducible
+//! bit-for-bit.
+//!
+//! Components:
+//!
+//! * [`Simulation`]/[`Model`]/[`Scheduler`] — a minimal event-driven core.
+//!   The whole system under study is one [`Model`] handling its own event
+//!   enum; the engine provides the clock, the event heap (with a tie-break
+//!   sequence number for determinism), and cancellation.
+//! * [`MultiServer`] — an analytic FIFO multi-server queue (c identical
+//!   servers): submit jobs with arrival and service times, get exact start
+//!   and completion times plus busy-time accounting. Models core pools and
+//!   DMA engines without individual events per job.
+//! * [`TallyStat`] / [`TimeWeightedStat`] — observation and time-weighted
+//!   statistics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod server;
+mod stats;
+
+pub use engine::{Model, Scheduler, Simulation, Token};
+pub use server::{Completion, MultiServer};
+pub use stats::{TallyStat, TimeWeightedStat};

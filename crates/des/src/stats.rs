@@ -1,0 +1,208 @@
+//! Simulation statistics.
+
+/// Running statistics over discrete observations (Welford's algorithm for
+/// numerically stable variance).
+#[derive(Clone, Debug, Default)]
+pub struct TallyStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl TallyStat {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Self::default()
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample variance (NaN with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (queue length,
+/// credits available, in-flight blocks, …).
+#[derive(Clone, Debug)]
+pub struct TimeWeightedStat {
+    last_t: u64,
+    value: f64,
+    area: f64,
+    start_t: u64,
+    max: f64,
+}
+
+impl TimeWeightedStat {
+    /// Starts tracking at time `t0` with initial value `v0`.
+    pub fn new(t0: u64, v0: f64) -> Self {
+        Self {
+            last_t: t0,
+            value: v0,
+            area: 0.0,
+            start_t: t0,
+            max: v0,
+        }
+    }
+
+    /// Records that the signal changed to `v` at time `t` (non-decreasing).
+    pub fn set(&mut self, t: u64, v: f64) {
+        assert!(t >= self.last_t, "time must not go backwards");
+        self.area += self.value * (t - self.last_t) as f64;
+        self.last_t = t;
+        self.value = v;
+        self.max = self.max.max(v);
+    }
+
+    /// Adds `dv` to the signal at time `t`.
+    pub fn add(&mut self, t: u64, dv: f64) {
+        let v = self.value + dv;
+        self.set(t, v);
+    }
+
+    /// Current value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted mean over `[start, t]`.
+    pub fn mean_until(&self, t: u64) -> f64 {
+        assert!(t >= self.last_t);
+        let total = (t - self.start_t) as f64;
+        if total == 0.0 {
+            return self.value;
+        }
+        (self.area + self.value * (t - self.last_t) as f64) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_mean_var() {
+        let mut t = TallyStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.observe(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert!((t.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_empty_is_nan() {
+        let t = TallyStat::new();
+        assert!(t.mean().is_nan());
+        assert!(t.variance().is_nan());
+        assert!(t.min().is_nan());
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut s = TimeWeightedStat::new(0, 0.0);
+        s.set(10, 4.0); // 0 for [0,10)
+        s.set(30, 2.0); // 4 for [10,30)
+                        // 2 for [30,40)
+        let mean = s.mean_until(40);
+        // (0*10 + 4*20 + 2*10)/40 = 100/40 = 2.5
+        assert!((mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.current(), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut s = TimeWeightedStat::new(0, 1.0);
+        s.add(10, 2.0);
+        s.add(20, -3.0);
+        assert_eq!(s.current(), 0.0);
+        // (1*10 + 3*10)/20 = 2.0
+        assert!((s.mean_until(20) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_mean_is_current() {
+        let s = TimeWeightedStat::new(5, 7.0);
+        assert_eq!(s.mean_until(5), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn backwards_time_panics() {
+        let mut s = TimeWeightedStat::new(10, 0.0);
+        s.set(5, 1.0);
+    }
+}

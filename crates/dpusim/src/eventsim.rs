@@ -1,0 +1,232 @@
+//! Event-driven cross-validation of the datapath pipeline.
+//!
+//! [`crate::datapath::simulate`] computes the pipeline analytically
+//! (closed-form FIFO multi-server chains). This module models the *same*
+//! system as a discrete-event simulation on [`pbo_des::Simulation`]:
+//! blocks are admitted by events, stages hold explicit queues and busy
+//! counts, and completions cascade through the event heap. The two
+//! implementations share nothing but the input parameters — agreement on
+//! the makespan (asserted exactly in tests) validates both.
+
+use crate::cost::{CostCoeffs, Platform};
+use crate::datapath::{DatapathConfig, Scenario, WorkloadShape};
+use crate::platform::RpcOverheads;
+use pbo_des::{Model, Scheduler, Simulation, TallyStat};
+use std::collections::VecDeque;
+
+const STAGES: usize = 4; // DPU cores → PCIe TX → host cores → PCIe RX
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Block becomes admissible (its gate released).
+    Admit(u32),
+    /// Block finishes service at a stage.
+    Done { stage: u8, block: u32 },
+}
+
+struct Pipeline {
+    service: [u64; STAGES],
+    capacity: [usize; STAGES],
+    busy: [usize; STAGES],
+    queue: [VecDeque<u32>; STAGES],
+    resp_done: Vec<u64>,
+    admitted_at: Vec<u64>,
+    latency: TallyStat,
+    completed: u64,
+    blocks: u32,
+    /// A block's admission is gated on block `i - gate` completing.
+    gate: u32,
+}
+
+impl Pipeline {
+    fn enqueue(&mut self, stage: usize, block: u32, sched: &mut Scheduler<Ev>) {
+        if self.busy[stage] < self.capacity[stage] {
+            self.busy[stage] += 1;
+            sched.schedule_in(
+                self.service[stage],
+                Ev::Done {
+                    stage: stage as u8,
+                    block,
+                },
+            );
+        } else {
+            self.queue[stage].push_back(block);
+        }
+    }
+}
+
+impl Model for Pipeline {
+    type Event = Ev;
+
+    fn handle(&mut self, now: u64, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Admit(block) => {
+                self.admitted_at[block as usize] = now;
+                self.enqueue(0, block, sched);
+            }
+            Ev::Done { stage, block } => {
+                let s = stage as usize;
+                self.busy[s] -= 1;
+                if let Some(next) = self.queue[s].pop_front() {
+                    self.busy[s] += 1;
+                    sched.schedule_in(self.service[s], Ev::Done { stage, block: next });
+                }
+                if s + 1 < STAGES {
+                    self.enqueue(s + 1, block, sched);
+                } else {
+                    self.resp_done[block as usize] = now;
+                    self.latency
+                        .observe((now - self.admitted_at[block as usize]) as f64);
+                    self.completed += 1;
+                    // Release the block whose admission gated on us.
+                    let waiting = block + self.gate;
+                    if waiting < self.blocks {
+                        sched.schedule_in(0, Ev::Admit(waiting));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Event-simulation outputs: makespan plus per-block latency statistics
+/// (admission to response), which the analytic model cannot produce.
+#[derive(Clone, Debug)]
+pub struct EventSimResult {
+    /// Virtual makespan, ns.
+    pub makespan_ns: u64,
+    /// Block latency distribution (admission → response completion), ns.
+    pub block_latency: TallyStat,
+}
+
+/// Event-driven equivalent of [`crate::datapath::simulate`]; returns the
+/// virtual makespan in nanoseconds.
+pub fn simulate_events(shape: &WorkloadShape, scenario: Scenario, cfg: &DatapathConfig) -> u64 {
+    simulate_events_full(shape, scenario, cfg).makespan_ns
+}
+
+/// Full event-driven run with latency statistics.
+pub fn simulate_events_full(
+    shape: &WorkloadShape,
+    scenario: Scenario,
+    cfg: &DatapathConfig,
+) -> EventSimResult {
+    // Identical service-time derivation to the analytic model.
+    let dpu_cost = CostCoeffs::for_platform(Platform::DpuA78);
+    let host_cost = CostCoeffs::for_platform(Platform::HostXeon);
+    let dpu_ov = RpcOverheads::dpu_a78();
+    let host_ov = RpcOverheads::host_xeon();
+    let k = shape.msgs_per_block as f64;
+    let client_msg_ns = match scenario {
+        Scenario::OffloadDpu => dpu_cost.deser_time_ns(&shape.deser_stats_per_msg),
+        Scenario::BaselineCpu => dpu_cost.memcpy_ns(shape.wire_bytes_per_msg),
+    };
+    let host_msg_ns = match scenario {
+        Scenario::OffloadDpu => 0.0,
+        Scenario::BaselineCpu => host_cost.deser_time_ns(&shape.deser_stats_per_msg),
+    };
+    let t_dpu = (dpu_ov.per_block_ns + k * (dpu_ov.per_request_ns + client_msg_ns)).ceil() as u64;
+    let t_host = (host_ov.per_block_ns + k * (host_ov.per_request_ns + host_msg_ns)).ceil() as u64;
+    let occupancy = |bytes: u64| -> u64 {
+        (cfg.link.per_transfer_ns + bytes as f64 / cfg.link.bytes_per_ns).ceil() as u64
+    };
+
+    let conc_blocks = (cfg.concurrency as usize * cfg.dpu_threads)
+        .div_ceil(shape.msgs_per_block)
+        .max(1);
+    let credit_blocks = (cfg.credits as usize).saturating_mul(cfg.dpu_threads);
+    let gate = conc_blocks.min(credit_blocks).min(u32::MAX as usize) as u32;
+
+    let blocks = cfg.blocks as u32;
+    let model = Pipeline {
+        service: [
+            t_dpu,
+            occupancy(shape.req_block_bytes),
+            t_host,
+            occupancy(shape.resp_block_bytes),
+        ],
+        capacity: [cfg.dpu_threads, 1, cfg.host_threads, 1],
+        busy: [0; STAGES],
+        queue: std::array::from_fn(|_| VecDeque::new()),
+        resp_done: vec![0; blocks as usize],
+        admitted_at: vec![0; blocks as usize],
+        latency: TallyStat::new(),
+        completed: 0,
+        blocks,
+        gate,
+    };
+    let mut sim = Simulation::new(model);
+    // Admit the initial window; the rest are gated on completions.
+    for i in 0..(gate as u64).min(blocks as u64) {
+        sim.scheduler().schedule_at(0, Ev::Admit(i as u32));
+    }
+    // Budget: every block fires one Admit + STAGES Done events (plus
+    // slack for zero-delay gate releases).
+    sim.run_to_completion(blocks as u64 * (STAGES as u64 + 3) + 64);
+    assert_eq!(sim.model().completed, blocks as u64, "all blocks completed");
+    EventSimResult {
+        makespan_ns: *sim.model().resp_done.last().expect("blocks > 0"),
+        block_latency: sim.model().latency.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::{paper_shape, simulate, PaperWorkload};
+
+    #[test]
+    fn event_model_agrees_with_analytic_model_exactly() {
+        let cfg = DatapathConfig {
+            blocks: 800,
+            ..DatapathConfig::default()
+        };
+        for kind in PaperWorkload::ALL {
+            for scenario in [Scenario::OffloadDpu, Scenario::BaselineCpu] {
+                let shape = paper_shape(kind, scenario, 8192);
+                let analytic = simulate(&shape, scenario, &cfg).makespan_ns;
+                let events = simulate_events(&shape, scenario, &cfg);
+                assert_eq!(
+                    events,
+                    analytic,
+                    "{} / {:?}: event {events} vs analytic {analytic}",
+                    kind.label(),
+                    scenario
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_model_agrees_under_tight_credits() {
+        let cfg = DatapathConfig {
+            blocks: 400,
+            credits: 1,
+            dpu_threads: 1,
+            host_threads: 1,
+            ..DatapathConfig::default()
+        };
+        let shape = paper_shape(PaperWorkload::Chars8000, Scenario::OffloadDpu, 8192);
+        let analytic = simulate(&shape, Scenario::OffloadDpu, &cfg).makespan_ns;
+        let events = simulate_events(&shape, Scenario::OffloadDpu, &cfg);
+        assert_eq!(events, analytic);
+    }
+
+    #[test]
+    fn event_model_agrees_across_thread_counts() {
+        for (d, h) in [(1, 1), (2, 1), (16, 8), (32, 4)] {
+            let cfg = DatapathConfig {
+                blocks: 300,
+                dpu_threads: d,
+                host_threads: h,
+                ..DatapathConfig::default()
+            };
+            let shape = paper_shape(PaperWorkload::Small, Scenario::OffloadDpu, 8192);
+            assert_eq!(
+                simulate_events(&shape, Scenario::OffloadDpu, &cfg),
+                simulate(&shape, Scenario::OffloadDpu, &cfg).makespan_ns,
+                "threads {d}/{h}"
+            );
+        }
+    }
+}

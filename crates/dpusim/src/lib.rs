@@ -1,0 +1,36 @@
+//! Platform cost model and paper-scale datapath simulation.
+//!
+//! The container running this reproduction has neither a BlueField-3 nor a
+//! 64-core Xeon host, so absolute timings cannot be measured. What *can*
+//! be reproduced exactly is the paper's measured cost structure:
+//!
+//! * §VI.B: on the host CPU, deserialization costs ≈2.75 ns per int-array
+//!   element and ≈42.5 ns per 1024 chars; the DPU takes 1.89× longer for
+//!   the int array and 2.51× longer for the char array.
+//!
+//! [`cost`] encodes those constants as per-work-unit coefficients applied
+//! to the *real* work-unit counts produced by the real deserializer
+//! ([`pbo_protowire::DeserStats`]) — so everything except the final
+//! nanosecond scaling comes from executing the actual implementation.
+//!
+//! [`datapath`] then runs the full RPC-over-RDMA pipeline at paper scale
+//! (16 DPU cores, 8 host cores, a full-duplex PCIe link) over
+//! [`pbo_des::MultiServer`] pools, for both scenarios (DPU-offloaded vs
+//! host/CPU deserialization), producing the requests-per-second, PCIe
+//! bandwidth, and host-CPU-usage series of Figure 8.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod datapath;
+pub mod eventsim;
+pub mod platform;
+
+pub use cost::{CostCoeffs, Platform};
+pub use datapath::{
+    paper_shape, simulate, DatapathConfig, DatapathResult, LinkModel, PaperWorkload, Scenario,
+    WorkloadShape,
+};
+pub use eventsim::{simulate_events, simulate_events_full, EventSimResult};
+pub use platform::{paper_environment, EnvRow, RpcOverheads};

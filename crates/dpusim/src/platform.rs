@@ -1,0 +1,161 @@
+//! The paper's hardware/software environment (Table I) and the per-request
+//! RPC datapath overheads of each platform.
+
+/// One row of the Table I reproduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvRow {
+    /// Row label.
+    pub name: &'static str,
+    /// Client (BlueField-3) value.
+    pub client: &'static str,
+    /// Server (PowerEdge R760) value.
+    pub server: &'static str,
+}
+
+/// Table I, verbatim: environment and configuration parameters of the
+/// client and server applications, plus what this reproduction substitutes
+/// for each (the third column of `table1`'s printed output is produced by
+/// the bench binary).
+pub fn paper_environment() -> Vec<EnvRow> {
+    vec![
+        EnvRow {
+            name: "Hardware",
+            client: "BlueField-3",
+            server: "PowerEdge R760",
+        },
+        EnvRow {
+            name: "CPU",
+            client: "Cortex-A78AE",
+            server: "2x Intel Xeon Gold 6430",
+        },
+        EnvRow {
+            name: "Cores",
+            client: "16",
+            server: "64",
+        },
+        EnvRow {
+            name: "RAM",
+            client: "30 GiB",
+            server: "251 GiB",
+        },
+        EnvRow {
+            name: "L1d",
+            client: "1 MiB",
+            server: "4 MiB",
+        },
+        EnvRow {
+            name: "L1i",
+            client: "1 MiB",
+            server: "2 MiB",
+        },
+        EnvRow {
+            name: "L2",
+            client: "8 MiB",
+            server: "128 MiB",
+        },
+        EnvRow {
+            name: "L3",
+            client: "16 MiB",
+            server: "120 MiB",
+        },
+        EnvRow {
+            name: "Compiler",
+            client: "gcc -O3 -flto -march=native",
+            server: "(same)",
+        },
+        EnvRow {
+            name: "OS",
+            client: "Ubuntu",
+            server: "Ubuntu",
+        },
+        EnvRow {
+            name: "System Allocator",
+            client: "TCMalloc 4.2",
+            server: "(same)",
+        },
+        EnvRow {
+            name: "Threads",
+            client: "16",
+            server: "8",
+        },
+        EnvRow {
+            name: "Credits",
+            client: "256",
+            server: "256",
+        },
+        EnvRow {
+            name: "Block Size",
+            client: "8 KiB",
+            server: "8 KiB",
+        },
+        EnvRow {
+            name: "Concurrency",
+            client: "1024",
+            server: "n/a",
+        },
+        EnvRow {
+            name: "Buffer Sizes",
+            client: "3 MiB",
+            server: "16 MiB",
+        },
+    ]
+}
+
+/// Per-request / per-block RPC datapath overheads, by platform. These
+/// cover everything outside deserialization: block building or parsing,
+/// header writes, completion handling, continuation dispatch. Calibrated
+/// so that the Small-message offloaded datapath saturates near the paper's
+/// ≈9×10⁷ requests/s at 16 DPU threads (§VI.C.2) while preserving the
+/// 2-DPU-cores-per-CPU-core equivalence.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcOverheads {
+    /// Per request handled on this platform (enqueue or dispatch), ns.
+    pub per_request_ns: f64,
+    /// Per block built or parsed on this platform, ns.
+    pub per_block_ns: f64,
+}
+
+impl RpcOverheads {
+    /// Host (Xeon) datapath overheads.
+    pub fn host_xeon() -> Self {
+        Self {
+            per_request_ns: 50.0,
+            per_block_ns: 630.0,
+        }
+    }
+
+    /// DPU (A78) datapath overheads — roughly the 2× per-core factor.
+    pub fn dpu_a78() -> Self {
+        Self {
+            per_request_ns: 100.0,
+            per_block_ns: 1260.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_the_paper_rows() {
+        let rows = paper_environment();
+        let find = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(find("Cores").client, "16");
+        assert_eq!(find("Cores").server, "64");
+        assert_eq!(find("Threads").server, "8");
+        assert_eq!(find("Credits").client, "256");
+        assert_eq!(find("Block Size").client, "8 KiB");
+        assert_eq!(find("Concurrency").client, "1024");
+        assert_eq!(find("Buffer Sizes").client, "3 MiB");
+        assert_eq!(find("Buffer Sizes").server, "16 MiB");
+    }
+
+    #[test]
+    fn dpu_overheads_are_about_twice_host() {
+        let h = RpcOverheads::host_xeon();
+        let d = RpcOverheads::dpu_a78();
+        assert!((d.per_request_ns / h.per_request_ns - 2.0).abs() < 0.2);
+        assert!((d.per_block_ns / h.per_block_ns - 2.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Wire framing for unary calls.
+//!
+//! Requests and responses travel as length-prefixed frames:
+//!
+//! ```text
+//! [ u32 payload_len | u16 method_id (req) / status (resp) | u16 call_tag ]
+//! [ payload … ]
+//! ```
+//!
+//! `call_tag` lets a client pipeline several calls on one connection and
+//! match responses (gRPC multiplexes with HTTP/2 stream ids; a 16-bit tag
+//! plays that role here).
+
+use std::io::{self, Read, Write};
+
+/// Hard frame-size cap — a malformed length prefix must not allocate
+/// gigabytes.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Decoded frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Payload length.
+    pub len: u32,
+    /// Method id in requests; status code in responses.
+    pub selector: u16,
+    /// Client-chosen tag echoed in the response.
+    pub call_tag: u16,
+}
+
+/// Framing errors.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying stream error.
+    Io(io::Error),
+    /// Peer announced a frame larger than [`MAX_FRAME`].
+    TooLarge(u32),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    selector: u16,
+    call_tag: u16,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    let mut head = [0u8; 8];
+    head[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[4..6].copy_from_slice(&selector.to_le_bytes());
+    head[6..8].copy_from_slice(&call_tag.to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(FrameHeader, Vec<u8>)>, FrameError> {
+    let mut head = [0u8; 8];
+    // Distinguish clean EOF (zero bytes) from a torn header.
+    let mut filled = 0;
+    while filled < head.len() {
+        let n = r.read(&mut head[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "torn frame header",
+            )));
+        }
+        filled += n;
+    }
+    let header = FrameHeader {
+        len: u32::from_le_bytes(head[0..4].try_into().unwrap()),
+        selector: u16::from_le_bytes(head[4..6].try_into().unwrap()),
+        call_tag: u16::from_le_bytes(head[6..8].try_into().unwrap()),
+    };
+    if header.len as usize > MAX_FRAME {
+        return Err(FrameError::TooLarge(header.len));
+    }
+    let mut payload = vec![0u8; header.len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((header, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_simnet::SimTcpStream;
+
+    #[test]
+    fn frame_roundtrip() {
+        let (mut a, mut b) = SimTcpStream::pair();
+        write_frame(&mut a, 7, 42, b"payload bytes").unwrap();
+        let (h, p) = read_frame(&mut b).unwrap().unwrap();
+        assert_eq!(h.selector, 7);
+        assert_eq!(h.call_tag, 42);
+        assert_eq!(p, b"payload bytes");
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let (mut a, mut b) = SimTcpStream::pair();
+        write_frame(&mut a, 1, 0, b"").unwrap();
+        let (h, p) = read_frame(&mut b).unwrap().unwrap();
+        assert_eq!(h.len, 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let (a, mut b) = SimTcpStream::pair();
+        drop(a);
+        assert!(read_frame(&mut b).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_header_is_an_error() {
+        let (mut a, mut b) = SimTcpStream::pair();
+        use std::io::Write;
+        a.write_all(&[1, 2, 3]).unwrap(); // partial header
+        drop(a);
+        assert!(read_frame(&mut b).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let (mut a, mut b) = SimTcpStream::pair();
+        use std::io::Write;
+        let mut head = [0u8; 8];
+        head[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        a.write_all(&head).unwrap();
+        match read_frame(&mut b) {
+            Err(FrameError::TooLarge(n)) => assert_eq!(n, u32::MAX),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use pbo_simnet::SimTcpStream;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary frame sequences roundtrip losslessly.
+            #[test]
+            fn frames_roundtrip(frames in proptest::collection::vec(
+                (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..500)),
+                0..12)) {
+                let (mut a, mut b) = SimTcpStream::pair();
+                for (sel, tag, payload) in &frames {
+                    write_frame(&mut a, *sel, *tag, payload).unwrap();
+                }
+                drop(a);
+                for (sel, tag, payload) in &frames {
+                    let (h, p) = read_frame(&mut b).unwrap().expect("frame present");
+                    prop_assert_eq!(h.selector, *sel);
+                    prop_assert_eq!(h.call_tag, *tag);
+                    prop_assert_eq!(&p, payload);
+                }
+                prop_assert!(read_frame(&mut b).unwrap().is_none(), "clean EOF");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let (mut a, mut b) = SimTcpStream::pair();
+        for i in 0..10u16 {
+            write_frame(&mut a, i, i * 2, &vec![i as u8; i as usize]).unwrap();
+        }
+        for i in 0..10u16 {
+            let (h, p) = read_frame(&mut b).unwrap().unwrap();
+            assert_eq!(h.selector, i);
+            assert_eq!(h.call_tag, i * 2);
+            assert_eq!(p.len(), i as usize);
+        }
+    }
+}

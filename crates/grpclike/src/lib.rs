@@ -1,0 +1,35 @@
+//! A minimal gRPC-like RPC framework (the paper's *xRPC*).
+//!
+//! Figure 1's xRPC clients speak an ordinary RPC protocol over TCP. This
+//! crate supplies that protocol for the reproduction: unary calls, a
+//! service/method registry generated from protobuf schemas (the analogue
+//! of `protoc`-generated service stubs plus the paper's "introspection
+//! code to allow the inspection of gRPC service classes, such as mapping
+//! procedure IDs to the service's callback function", §V.D), and a
+//! threaded server.
+//!
+//! Two deployments use it:
+//!
+//! * **Baseline** ("CPU deserialization"): the server runs on the host and
+//!   deserializes each request itself, with the same custom stack-based
+//!   deserializer the offload path uses (§VI.A's fairness rule).
+//! * **Offloaded**: the *DPU* runs this server merely as a protocol
+//!   terminator; `pbo-core` intercepts the raw request bytes and forwards
+//!   them over RPC-over-RDMA ("From the xRPC client's point of view, there
+//!   is no difference, and no code needs to be changed. The only
+//!   configuration change is to modify the xRPC server address", §III.A).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod frame;
+pub mod metadata;
+pub mod service;
+
+pub use channel::{CallError, GrpcChannel};
+pub use frame::{read_frame, write_frame, FrameError, FrameHeader, MAX_FRAME};
+pub use metadata::{Metadata, MetadataError, METADATA_FLAG};
+pub use service::{
+    spawn_server, MethodDescriptor, RawHandler, ServerHandle, ServiceDescriptor, ServiceRegistry,
+};

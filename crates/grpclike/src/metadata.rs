@@ -1,0 +1,192 @@
+//! Call metadata — the gRPC context the paper simplifies away.
+//!
+//! §V.D: "For the gRPC context, we use a null pointer for simplicity, but
+//! metadata can also be passed along with the message in the payload."
+//! This module implements that: key/value metadata is encoded as a
+//! length-prefixed section travelling *inside the frame payload*, flagged
+//! by the method selector's top bit, so the base framing stays unchanged
+//! and metadata-free calls pay zero bytes.
+//!
+//! The DPU terminator — which *is* the gRPC server in the offloaded
+//! deployment — consumes metadata for connection-level concerns
+//! (authentication, deadlines, routing), exactly the work §III.A moves off
+//! the host. Forwarding entries onward to host business logic rides the
+//! same encoding inside the RPC-over-RDMA payload, as the paper suggests.
+
+use std::fmt;
+
+/// The selector bit marking "payload starts with a metadata section".
+pub const METADATA_FLAG: u16 = 0x8000;
+
+/// Ordered key/value call metadata (keys may repeat, as in gRPC).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metadata {
+    entries: Vec<(String, Vec<u8>)>,
+}
+
+/// Errors from metadata decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetadataError(pub String);
+
+impl fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "metadata: {}", self.0)
+    }
+}
+
+impl std::error::Error for MetadataError {}
+
+impl Metadata {
+    /// Empty metadata.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn insert(&mut self, key: &str, value: impl Into<Vec<u8>>) -> &mut Self {
+        assert!(key.len() <= u16::MAX as usize, "metadata key too long");
+        self.entries.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// First value for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// First value for `key` as UTF-8.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        std::str::from_utf8(self.get(key)?).ok()
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[(String, Vec<u8>)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Encodes the section: `[u16 count] ( [u16 klen][u16 vlen][k][v] )*`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            2 + self
+                .entries
+                .iter()
+                .map(|(k, v)| 4 + k.len() + v.len())
+                .sum::<usize>(),
+        );
+        out.extend((self.entries.len() as u16).to_le_bytes());
+        for (k, v) in &self.entries {
+            assert!(v.len() <= u16::MAX as usize, "metadata value too long");
+            out.extend((k.len() as u16).to_le_bytes());
+            out.extend((v.len() as u16).to_le_bytes());
+            out.extend(k.as_bytes());
+            out.extend(v);
+        }
+        out
+    }
+
+    /// Decodes a section from the front of `buf`; returns the metadata and
+    /// the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), MetadataError> {
+        let err = |m: &str| MetadataError(m.to_string());
+        if buf.len() < 2 {
+            return Err(err("truncated count"));
+        }
+        let count = u16::from_le_bytes(buf[0..2].try_into().unwrap()) as usize;
+        let mut pos = 2;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.len() < pos + 4 {
+                return Err(err("truncated entry header"));
+            }
+            let klen = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
+            let vlen = u16::from_le_bytes(buf[pos + 2..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if buf.len() < pos + klen + vlen {
+                return Err(err("truncated entry body"));
+            }
+            let key = std::str::from_utf8(&buf[pos..pos + klen])
+                .map_err(|_| err("key not UTF-8"))?
+                .to_string();
+            pos += klen;
+            let value = buf[pos..pos + vlen].to_vec();
+            pos += vlen;
+            entries.push((key, value));
+        }
+        Ok((Self { entries }, pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let mut m = Metadata::new();
+        m.insert("authorization", b"Bearer xyz".to_vec());
+        m.insert("deadline-ms", b"250".to_vec());
+        m.insert("authorization", b"second".to_vec()); // repeats allowed
+        let enc = m.encode();
+        let (back, used) = Metadata::decode(&enc).unwrap();
+        assert_eq!(used, enc.len());
+        assert_eq!(back, m);
+        assert_eq!(back.get_str("deadline-ms"), Some("250"));
+        // get returns the FIRST value.
+        assert_eq!(back.get("authorization"), Some(&b"Bearer xyz"[..]));
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn empty_metadata_is_two_bytes() {
+        let m = Metadata::new();
+        assert_eq!(m.encode(), vec![0, 0]);
+        let (back, used) = Metadata::decode(&[0, 0, 0xde, 0xad]).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(used, 2); // trailing bytes belong to the message
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        assert!(Metadata::decode(&[]).is_err());
+        assert!(Metadata::decode(&[1, 0]).is_err()); // claims 1 entry, no body
+        assert!(Metadata::decode(&[1, 0, 2, 0, 3, 0, b'a']).is_err());
+    }
+
+    #[test]
+    fn non_utf8_key_rejected() {
+        // count=1, klen=1, vlen=0, key=0xFF.
+        let bad = [1, 0, 1, 0, 0, 0, 0xFF];
+        assert!(Metadata::decode(&bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(entries in proptest::collection::vec(
+            ("[a-z\\-]{1,20}", proptest::collection::vec(any::<u8>(), 0..50)), 0..10)) {
+            let mut m = Metadata::new();
+            for (k, v) in &entries {
+                m.insert(k, v.clone());
+            }
+            let mut enc = m.encode();
+            let orig_len = enc.len();
+            enc.extend_from_slice(b"message bytes follow");
+            let (back, used) = Metadata::decode(&enc).unwrap();
+            prop_assert_eq!(used, orig_len);
+            prop_assert_eq!(back.entries(), m.entries());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Monotonic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// Cloning a `Counter` yields a handle to the same underlying value, so the
+/// datapath can hold a cheap clone while the [`crate::Registry`] retains the
+/// canonical instance for exposition.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero. Prometheus counters never decrease in production;
+    /// this is provided for test isolation and benchmark warmup discard.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_up() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.inc_by(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counter::new();
+        let d = c.clone();
+        c.inc_by(5);
+        d.inc_by(2);
+        assert_eq!(c.get(), 7);
+        assert_eq!(d.get(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = Counter::new();
+        c.inc_by(123);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Gauges: values that can go up and down.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// An integer gauge.
+///
+/// Used for instantaneous quantities such as in-flight requests, available
+/// credits, or bytes currently allocated in a send buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn can_go_negative() {
+        let g = Gauge::new();
+        g.sub(4);
+        assert_eq!(g.get(), -4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Cumulative histograms with fixed bucket boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default latency-oriented buckets, in nanoseconds (16 ns .. ~67 ms,
+/// powers of four). Chosen to straddle both single-message deserialization
+/// times (tens of ns) and full-datapath round trips (µs–ms).
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0,
+    16777216.0, 67108864.0,
+];
+
+struct Inner {
+    bounds: Vec<f64>,
+    /// One cumulative-style slot per bound plus the +Inf slot at the end.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum stored as f64 bit pattern, updated by CAS loop.
+    sum_bits: AtomicU64,
+}
+
+/// A histogram of `f64` observations.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; the final entry is
+    /// the +Inf bucket.
+    pub buckets: Vec<u64>,
+    /// Total observation count.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing finite bucket
+    /// upper bounds. A +Inf bucket is appended implicitly.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(Inner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        // Bucket index by binary search: first bound >= v, else +Inf slot.
+        let idx = self
+            .inner
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.inner.bounds.len());
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Captures a consistent-enough snapshot for reporting. Individual slots
+    /// are read with relaxed ordering; for offline analysis after a quiesce
+    /// this is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
+    /// Approximate quantile from the bucketed data (linear interpolation
+    /// within the winning bucket, Prometheus-style).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let snap = self.snapshot();
+        snap.quantile(q)
+    }
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile `q` in `[0, 1]` using linear interpolation
+    /// within the containing bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let next = seen + n;
+            if (next as f64) >= rank && n > 0 {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // +Inf bucket: report its lower bound.
+                    return lo;
+                };
+                let frac = (rank - seen as f64) / n as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            seen = next;
+        }
+        *self.bounds.last().unwrap()
+    }
+
+    /// Mean of all observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_fill_correctly() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary counts into the <=1.0 bucket
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(5000.0); // +Inf
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 5056.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_sane() {
+        let h = Histogram::new(&[10.0, 20.0, 30.0]);
+        for _ in 0..100 {
+            h.observe(15.0);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 10.0 && p50 <= 20.0, "p50={p50}");
+    }
+
+    #[test]
+    fn mean_matches() {
+        let h = Histogram::new(DEFAULT_BUCKETS);
+        h.observe(10.0);
+        h.observe(30.0);
+        assert!((h.snapshot().mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_quantile_is_nan() {
+        let h = Histogram::new(&[1.0]);
+        assert!(h.quantile(0.5).is_nan());
+    }
+}

@@ -1,0 +1,320 @@
+//! Named metric registry and text exposition.
+
+use crate::{Counter, Gauge, Histogram};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An ordered set of label name/value pairs identifying one time series
+/// within a metric family.
+pub type LabelSet = BTreeMap<String, String>;
+
+/// The kind of a metric family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Bucketed histogram.
+    Histogram,
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A family of series sharing one metric name and help string.
+pub struct MetricFamily {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+impl MetricFamily {
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The metric kind.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+}
+
+/// A threadsafe registry of metric families.
+///
+/// Registration is idempotent: asking for the same name + labels returns a
+/// handle to the existing series, so library components can register their
+/// instruments without coordinating.
+#[derive(Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<String, MetricFamily>>,
+}
+
+fn labels_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T: Clone, F: FnOnce() -> Series, G: Fn(&Series) -> Option<T>>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: F,
+        extract: G,
+    ) -> T {
+        let key = labels_key(labels);
+        let mut fams = self.families.write();
+        let fam = fams
+            .entry(name.to_string())
+            .or_insert_with(|| MetricFamily {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                series: BTreeMap::new(),
+            });
+        assert_eq!(
+            fam.kind, kind,
+            "metric {name} already registered with a different kind"
+        );
+        let series = fam.series.entry(key).or_insert_with(make);
+        extract(series).expect("metric kind mismatch within family")
+    }
+
+    /// Returns (registering if needed) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.get_or_insert(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            || Series::Counter(Counter::new()),
+            |s| match s {
+                Series::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Returns (registering if needed) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.get_or_insert(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            || Series::Gauge(Gauge::new()),
+            |s| match s {
+                Series::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Returns (registering if needed) a histogram series.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        self.get_or_insert(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            || Series::Histogram(Histogram::new(bounds)),
+            |s| match s {
+                Series::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Reads the current value of a counter series, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = labels_key(labels);
+        let fams = self.families.read();
+        match fams.get(name)?.series.get(&key)? {
+            Series::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Reads the current value of a gauge series, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let key = labels_key(labels);
+        let fams = self.families.read();
+        match fams.get(name)?.series.get(&key)? {
+            Series::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Sums a counter family across all label sets (aggregate-over-cores, as
+    /// the paper reports its datapath metrics).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        let fams = self.families.read();
+        fams.get(name)
+            .map(|f| {
+                f.series
+                    .values()
+                    .map(|s| match s {
+                        Series::Counter(c) => c.get(),
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn expose(&self) -> String {
+        fn fmt_labels(out: &mut String, key: &[(String, String)], extra: Option<(&str, &str)>) {
+            if key.is_empty() && extra.is_none() {
+                return;
+            }
+            out.push('{');
+            let mut first = true;
+            for (k, v) in key {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}=\"{v}\"");
+                first = false;
+            }
+            if let Some((k, v)) = extra {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}=\"{v}\"");
+            }
+            out.push('}');
+        }
+
+        let fams = self.families.read();
+        let mut out = String::new();
+        for fam in fams.values() {
+            let kind = match fam.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, kind);
+            for (key, series) in &fam.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&fam.name);
+                        fmt_labels(&mut out, key, None);
+                        let _ = writeln!(out, " {}", c.get());
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&fam.name);
+                        fmt_labels(&mut out, key, None);
+                        let _ = writeln!(out, " {}", g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, n) in snap.buckets.iter().enumerate() {
+                            cumulative += n;
+                            let le = if i < snap.bounds.len() {
+                                format!("{}", snap.bounds[i])
+                            } else {
+                                "+Inf".to_string()
+                            };
+                            let _ = write!(out, "{}_bucket", fam.name);
+                            fmt_labels(&mut out, key, Some(("le", &le)));
+                            let _ = writeln!(out, " {cumulative}");
+                        }
+                        let _ = write!(out, "{}_sum", fam.name);
+                        fmt_labels(&mut out, key, None);
+                        let _ = writeln!(out, " {}", snap.sum);
+                        let _ = write!(out, "{}_count", fam.name);
+                        fmt_labels(&mut out, key, None);
+                        let _ = writeln!(out, " {}", snap.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotent_registration_shares_series() {
+        let reg = Registry::new();
+        let a = reg.counter("x", "x", &[("t", "1")]);
+        let b = reg.counter("x", "x", &[("t", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter_value("x", &[("t", "1")]), Some(2));
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = Registry::new();
+        let a = reg.counter("x", "x", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("x", "x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn counter_sum_aggregates_over_labels() {
+        let reg = Registry::new();
+        reg.counter("req", "r", &[("core", "0")]).inc_by(10);
+        reg.counter("req", "r", &[("core", "1")]).inc_by(32);
+        assert_eq!(reg.counter_sum("req"), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("y", "y", &[]);
+        let _ = reg.gauge("y", "y", &[]);
+    }
+
+    #[test]
+    fn exposition_contains_histogram_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", "latency", &[("q", "0")], &[1.0, 2.0]);
+        h.observe(1.5);
+        let text = reg.expose();
+        assert!(text.contains("lat_bucket{q=\"0\",le=\"2\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{q=\"0\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn missing_series_reads_none() {
+        let reg = Registry::new();
+        assert_eq!(reg.counter_value("nope", &[]), None);
+        assert_eq!(reg.gauge_value("nope", &[]), None);
+        assert_eq!(reg.counter_sum("nope"), 0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Reference (recursive) deserializer to [`DynamicMessage`].
+//!
+//! This is the correctness oracle: simple, obviously-right recursive
+//! descent. The production path is [`crate::stackdeser`]; property tests
+//! assert the two agree on arbitrary messages.
+
+use crate::descriptor::{Cardinality, FieldType, MessageDescriptor, Schema};
+use crate::error::DecodeError;
+use crate::utf8::validate_utf8;
+use crate::value::{DynamicMessage, Value};
+use crate::varint::{
+    decode_fixed32, decode_fixed64, decode_varint, split_tag, zigzag_decode, WireType,
+};
+use std::sync::Arc;
+
+/// Maximum nesting depth, matching protobuf's default recursion limit.
+pub const RECURSION_LIMIT: usize = 100;
+
+/// Decodes `buf` as a message of type `desc`.
+pub fn decode_message(
+    schema: &Schema,
+    desc: &Arc<MessageDescriptor>,
+    buf: &[u8],
+) -> Result<DynamicMessage, DecodeError> {
+    decode_at_depth(schema, desc, buf, 0)
+}
+
+fn decode_at_depth(
+    schema: &Schema,
+    desc: &Arc<MessageDescriptor>,
+    buf: &[u8],
+    depth: usize,
+) -> Result<DynamicMessage, DecodeError> {
+    if depth > RECURSION_LIMIT {
+        return Err(DecodeError::TooDeep {
+            limit: RECURSION_LIMIT,
+        });
+    }
+    let mut msg = DynamicMessage::new(desc.clone());
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let (tag, n) = decode_varint(&buf[pos..])?;
+        pos += n;
+        let (field, wt) = split_tag(tag)?;
+        match desc.field(field) {
+            None => pos += skip_field(&buf[pos..], wt)?,
+            Some(fd) => {
+                // Packed repeated scalars arrive length-delimited even
+                // though the element wire type differs.
+                if fd.cardinality == Cardinality::Repeated
+                    && fd.ty.packable()
+                    && wt == WireType::LengthDelimited
+                {
+                    let (len, n) = decode_varint(&buf[pos..])?;
+                    pos += n;
+                    let end = pos
+                        .checked_add(len as usize)
+                        .filter(|&e| e <= buf.len())
+                        .ok_or(DecodeError::BadLength {
+                            len,
+                            remaining: buf.len() - pos,
+                        })?;
+                    while pos < end {
+                        let (v, n) = decode_scalar(fd.ty, &buf[pos..end])?;
+                        pos += n;
+                        msg.push(field, v);
+                    }
+                    continue;
+                }
+                let expected = fd.ty.wire_type();
+                if wt != expected {
+                    return Err(DecodeError::WireTypeMismatch {
+                        field,
+                        got: wt as u8,
+                        want: expected as u8,
+                    });
+                }
+                let value;
+                match fd.ty {
+                    FieldType::String => {
+                        let (bytes, n) = take_len_delimited(&buf[pos..])?;
+                        validate_utf8(bytes).map_err(|e| shift_utf8_error(e, 0))?;
+                        value = Value::Str(
+                            std::str::from_utf8(bytes)
+                                .expect("validated above")
+                                .to_string(),
+                        );
+                        pos += n;
+                    }
+                    FieldType::Bytes => {
+                        let (bytes, n) = take_len_delimited(&buf[pos..])?;
+                        value = Value::Bytes(bytes.to_vec());
+                        pos += n;
+                    }
+                    FieldType::Message => {
+                        let (bytes, n) = take_len_delimited(&buf[pos..])?;
+                        let child_name = fd
+                            .type_name
+                            .as_deref()
+                            .ok_or_else(|| DecodeError::UnknownMessageType(String::new()))?;
+                        let child_desc = schema.require_message(child_name)?.clone();
+                        let child = decode_at_depth(schema, &child_desc, bytes, depth + 1)?;
+                        value = Value::Message(Box::new(child));
+                        pos += n;
+                    }
+                    _ => {
+                        let (v, n) = decode_scalar(fd.ty, &buf[pos..])?;
+                        value = v;
+                        pos += n;
+                    }
+                }
+                if fd.cardinality == Cardinality::Repeated {
+                    msg.push(field, value);
+                } else {
+                    // proto3 last-one-wins for duplicate singular fields.
+                    msg.set(field, value);
+                }
+            }
+        }
+    }
+    Ok(msg)
+}
+
+fn shift_utf8_error(e: DecodeError, base: usize) -> DecodeError {
+    match e {
+        DecodeError::InvalidUtf8 { at } => DecodeError::InvalidUtf8 { at: at + base },
+        other => other,
+    }
+}
+
+fn take_len_delimited(buf: &[u8]) -> Result<(&[u8], usize), DecodeError> {
+    let (len, n) = decode_varint(buf)?;
+    let end = n
+        .checked_add(len as usize)
+        .filter(|&e| e <= buf.len())
+        .ok_or(DecodeError::BadLength {
+            len,
+            remaining: buf.len().saturating_sub(n),
+        })?;
+    Ok((&buf[n..end], end))
+}
+
+/// Decodes one scalar of type `ty` from the front of `buf`.
+pub fn decode_scalar(ty: FieldType, buf: &[u8]) -> Result<(Value, usize), DecodeError> {
+    Ok(match ty {
+        FieldType::Int32 => {
+            let (v, n) = decode_varint(buf)?;
+            // int32 on the wire is a sign-extended 64-bit varint; truncate
+            // to 32 bits like the C++ runtime.
+            (Value::I64(v as i64 as i32 as i64), n)
+        }
+        FieldType::Int64 | FieldType::Enum => {
+            let (v, n) = decode_varint(buf)?;
+            (Value::I64(v as i64), n)
+        }
+        FieldType::UInt32 => {
+            let (v, n) = decode_varint(buf)?;
+            (Value::U64(v as u32 as u64), n)
+        }
+        FieldType::UInt64 => {
+            let (v, n) = decode_varint(buf)?;
+            (Value::U64(v), n)
+        }
+        FieldType::SInt32 | FieldType::SInt64 => {
+            let (v, n) = decode_varint(buf)?;
+            (Value::I64(zigzag_decode(v)), n)
+        }
+        FieldType::Bool => {
+            let (v, n) = decode_varint(buf)?;
+            (Value::Bool(v != 0), n)
+        }
+        FieldType::Fixed32 => {
+            let (v, n) = decode_fixed32(buf)?;
+            (Value::U64(v as u64), n)
+        }
+        FieldType::SFixed32 => {
+            let (v, n) = decode_fixed32(buf)?;
+            (Value::I64(v as i32 as i64), n)
+        }
+        FieldType::Float => {
+            let (v, n) = decode_fixed32(buf)?;
+            (Value::F32(f32::from_bits(v)), n)
+        }
+        FieldType::Fixed64 => {
+            let (v, n) = decode_fixed64(buf)?;
+            (Value::U64(v), n)
+        }
+        FieldType::SFixed64 => {
+            let (v, n) = decode_fixed64(buf)?;
+            (Value::I64(v as i64), n)
+        }
+        FieldType::Double => {
+            let (v, n) = decode_fixed64(buf)?;
+            (Value::F64(f64::from_bits(v)), n)
+        }
+        FieldType::String | FieldType::Bytes | FieldType::Message => {
+            unreachable!("length-delimited types handled by caller")
+        }
+    })
+}
+
+/// Skips an unknown field of the given wire type; returns bytes consumed.
+pub fn skip_field(buf: &[u8], wt: WireType) -> Result<usize, DecodeError> {
+    match wt {
+        WireType::Varint => decode_varint(buf).map(|(_, n)| n),
+        WireType::Fixed32 => {
+            if buf.len() < 4 {
+                Err(DecodeError::Truncated { what: "fixed32" })
+            } else {
+                Ok(4)
+            }
+        }
+        WireType::Fixed64 => {
+            if buf.len() < 8 {
+                Err(DecodeError::Truncated { what: "fixed64" })
+            } else {
+                Ok(8)
+            }
+        }
+        WireType::LengthDelimited => take_len_delimited(buf).map(|(_, n)| n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SchemaBuilder;
+    use crate::encode::encode_message;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.message("Inner")
+            .scalar("x", 1, FieldType::Int32)
+            .scalar("s", 2, FieldType::String)
+            .finish();
+        b.message("M")
+            .scalar("a", 1, FieldType::UInt32)
+            .scalar("s", 2, FieldType::String)
+            .repeated("r", 3, FieldType::UInt32)
+            .message_field("m", 4, "Inner")
+            .scalar("d", 5, FieldType::Double)
+            .scalar("neg", 6, FieldType::Int32)
+            .scalar("zz", 7, FieldType::SInt32)
+            .repeated_message("msgs", 8, "Inner")
+            .finish();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(1, Value::U64(4_000_000_000));
+        m.set(2, Value::Str("héllo ☃".into()));
+        for v in [0u64, 1, 127, 128, 300_000] {
+            m.push(3, Value::U64(v));
+        }
+        let mut inner = DynamicMessage::of(&s, "Inner");
+        inner.set(1, Value::I64(-42));
+        inner.set(2, Value::Str("in".into()));
+        m.set(4, Value::Message(Box::new(inner)));
+        m.set(5, Value::F64(-2.5e17));
+        m.set(6, Value::I64(-2_000_000_000));
+        m.set(7, Value::I64(-1));
+
+        let bytes = encode_message(&m);
+        let back = decode_message(&s, s.message("M").unwrap(), &bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let s = schema();
+        // Hand-craft: field 100 (varint) then field 1 = 7.
+        let mut buf = Vec::new();
+        crate::varint::encode_varint(crate::varint::make_tag(100, WireType::Varint), &mut buf);
+        crate::varint::encode_varint(999, &mut buf);
+        crate::varint::encode_varint(crate::varint::make_tag(100, WireType::Fixed32), &mut buf);
+        buf.extend([1, 2, 3, 4]);
+        crate::varint::encode_varint(crate::varint::make_tag(100, WireType::Fixed64), &mut buf);
+        buf.extend([0; 8]);
+        crate::varint::encode_varint(
+            crate::varint::make_tag(100, WireType::LengthDelimited),
+            &mut buf,
+        );
+        crate::varint::encode_varint(3, &mut buf);
+        buf.extend(b"xyz");
+        crate::varint::encode_varint(crate::varint::make_tag(1, WireType::Varint), &mut buf);
+        crate::varint::encode_varint(7, &mut buf);
+
+        let m = decode_message(&s, s.message("M").unwrap(), &buf).unwrap();
+        assert_eq!(m.get(1).unwrap().as_u64(), Some(7));
+        assert_eq!(m.set_field_count(), 1);
+    }
+
+    #[test]
+    fn wire_type_mismatch_rejected() {
+        let s = schema();
+        let mut buf = Vec::new();
+        // Field 1 is uint32 (varint) but send Fixed32.
+        crate::varint::encode_varint(crate::varint::make_tag(1, WireType::Fixed32), &mut buf);
+        buf.extend([1, 2, 3, 4]);
+        let err = decode_message(&s, s.message("M").unwrap(), &buf).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::WireTypeMismatch { field: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_in_string_rejected() {
+        let s = schema();
+        let mut buf = Vec::new();
+        crate::varint::encode_varint(
+            crate::varint::make_tag(2, WireType::LengthDelimited),
+            &mut buf,
+        );
+        crate::varint::encode_varint(2, &mut buf);
+        buf.extend([0xC0, 0xAF]);
+        let err = decode_message(&s, s.message("M").unwrap(), &buf).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidUtf8 { .. }));
+    }
+
+    #[test]
+    fn truncated_length_rejected() {
+        let s = schema();
+        let mut buf = Vec::new();
+        crate::varint::encode_varint(
+            crate::varint::make_tag(2, WireType::LengthDelimited),
+            &mut buf,
+        );
+        crate::varint::encode_varint(100, &mut buf); // claims 100 bytes
+        buf.extend(b"only a few");
+        let err = decode_message(&s, s.message("M").unwrap(), &buf).unwrap_err();
+        assert!(matches!(err, DecodeError::BadLength { len: 100, .. }));
+    }
+
+    #[test]
+    fn last_one_wins_for_duplicate_singular() {
+        let s = schema();
+        let mut buf = Vec::new();
+        for v in [1u64, 2, 3] {
+            crate::varint::encode_varint(crate::varint::make_tag(1, WireType::Varint), &mut buf);
+            crate::varint::encode_varint(v, &mut buf);
+        }
+        let m = decode_message(&s, s.message("M").unwrap(), &buf).unwrap();
+        assert_eq!(m.get(1).unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn unpacked_encoding_of_packable_field_accepted() {
+        // Decoders must accept both packed and unpacked encodings.
+        let s = schema();
+        let mut buf = Vec::new();
+        for v in [5u64, 6] {
+            crate::varint::encode_varint(crate::varint::make_tag(3, WireType::Varint), &mut buf);
+            crate::varint::encode_varint(v, &mut buf);
+        }
+        let m = decode_message(&s, s.message("M").unwrap(), &buf).unwrap();
+        let vals: Vec<u64> = m
+            .get_repeated(3)
+            .iter()
+            .filter_map(|v| v.as_u64())
+            .collect();
+        assert_eq!(vals, vec![5, 6]);
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        let mut b = SchemaBuilder::new();
+        b.message("Rec").message_field("next", 1, "Rec").finish();
+        let s = b.build();
+        // Build RECURSION_LIMIT+2 nested levels by hand.
+        let mut bytes: Vec<u8> = Vec::new();
+        for _ in 0..(RECURSION_LIMIT + 2) {
+            let mut outer = Vec::new();
+            crate::varint::encode_varint(
+                crate::varint::make_tag(1, WireType::LengthDelimited),
+                &mut outer,
+            );
+            crate::varint::encode_varint(bytes.len() as u64, &mut outer);
+            outer.extend_from_slice(&bytes);
+            bytes = outer;
+        }
+        let err = decode_message(&s, s.message("Rec").unwrap(), &bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::TooDeep { .. }));
+    }
+}

@@ -1,0 +1,291 @@
+//! Canonical proto3 serialization.
+//!
+//! This is the *client-side* half of the RPC story: xRPC clients serialize
+//! requests with their ordinary protobuf stack. The serializer is canonical
+//! — fields in ascending number order, packable repeated scalars packed,
+//! default values omitted by the caller via [`DynamicMessage::normalize`] —
+//! so byte-for-byte comparisons in tests are meaningful.
+
+use crate::descriptor::{FieldDescriptor, FieldType};
+use crate::error::DecodeError;
+use crate::value::{DynamicMessage, FieldValue, Value};
+use crate::varint::{encode_varint, make_tag, varint_len, WireType};
+
+/// Serializes a message to wire bytes.
+pub fn encode_message(msg: &DynamicMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(msg));
+    write_message(msg, &mut out);
+    out
+}
+
+/// Computes the exact serialized length without encoding.
+pub fn encoded_len(msg: &DynamicMessage) -> usize {
+    let mut n = 0;
+    for (number, fv) in msg.iter() {
+        let fd = msg
+            .descriptor()
+            .field(number)
+            .expect("value set for unknown field");
+        match fv {
+            FieldValue::Single(v) => n += single_len(fd, v),
+            FieldValue::Repeated(vals) => {
+                if vals.is_empty() {
+                    continue;
+                }
+                if fd.is_packed() {
+                    let body: usize = vals.iter().map(|v| scalar_len(fd.ty, v)).sum();
+                    n += varint_len(make_tag(number, WireType::LengthDelimited))
+                        + varint_len(body as u64)
+                        + body;
+                } else {
+                    n += vals.iter().map(|v| single_len(fd, v)).sum::<usize>();
+                }
+            }
+        }
+    }
+    n
+}
+
+fn single_len(fd: &FieldDescriptor, v: &Value) -> usize {
+    let tag_len = varint_len(make_tag(fd.number, fd.ty.wire_type()));
+    match (fd.ty, v) {
+        (FieldType::String, Value::Str(s)) => tag_len + varint_len(s.len() as u64) + s.len(),
+        (FieldType::Bytes, Value::Bytes(b)) => tag_len + varint_len(b.len() as u64) + b.len(),
+        (FieldType::Message, Value::Message(m)) => {
+            let inner = encoded_len(m);
+            tag_len + varint_len(inner as u64) + inner
+        }
+        _ => tag_len + scalar_len(fd.ty, v),
+    }
+}
+
+fn scalar_len(ty: FieldType, v: &Value) -> usize {
+    match ty {
+        FieldType::Fixed32 | FieldType::SFixed32 | FieldType::Float => 4,
+        FieldType::Fixed64 | FieldType::SFixed64 | FieldType::Double => 8,
+        _ => varint_len(scalar_varint_value(ty, v)),
+    }
+}
+
+/// Maps a typed value to the u64 that goes into the varint encoder.
+fn scalar_varint_value(ty: FieldType, v: &Value) -> u64 {
+    match (ty, v) {
+        (FieldType::Int32 | FieldType::Int64 | FieldType::Enum, Value::I64(x)) => *x as u64,
+        (FieldType::SInt32 | FieldType::SInt64, Value::I64(x)) => crate::varint::zigzag_encode(*x),
+        (FieldType::UInt32 | FieldType::UInt64, Value::U64(x)) => *x,
+        (FieldType::Bool, Value::Bool(b)) => *b as u64,
+        _ => panic!("scalar_varint_value: {ty:?} with {v:?}"),
+    }
+}
+
+fn write_scalar(ty: FieldType, v: &Value, out: &mut Vec<u8>) {
+    match (ty, v) {
+        (FieldType::Fixed32, Value::U64(x)) => out.extend((*x as u32).to_le_bytes()),
+        (FieldType::SFixed32, Value::I64(x)) => out.extend((*x as i32).to_le_bytes()),
+        (FieldType::Float, Value::F32(x)) => out.extend(x.to_le_bytes()),
+        (FieldType::Fixed64, Value::U64(x)) => out.extend(x.to_le_bytes()),
+        (FieldType::SFixed64, Value::I64(x)) => out.extend(x.to_le_bytes()),
+        (FieldType::Double, Value::F64(x)) => out.extend(x.to_le_bytes()),
+        _ => {
+            encode_varint(scalar_varint_value(ty, v), out);
+        }
+    }
+}
+
+fn write_single(fd: &FieldDescriptor, v: &Value, out: &mut Vec<u8>) {
+    encode_varint(make_tag(fd.number, fd.ty.wire_type()), out);
+    match (fd.ty, v) {
+        (FieldType::String, Value::Str(s)) => {
+            encode_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        (FieldType::Bytes, Value::Bytes(b)) => {
+            encode_varint(b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        (FieldType::Message, Value::Message(m)) => {
+            encode_varint(encoded_len(m) as u64, out);
+            write_message(m, out);
+        }
+        _ => write_scalar(fd.ty, v, out),
+    }
+}
+
+fn write_message(msg: &DynamicMessage, out: &mut Vec<u8>) {
+    for (number, fv) in msg.iter() {
+        let fd = msg
+            .descriptor()
+            .field(number)
+            .expect("value set for unknown field");
+        match fv {
+            FieldValue::Single(v) => write_single(fd, v, out),
+            FieldValue::Repeated(vals) => {
+                if vals.is_empty() {
+                    continue;
+                }
+                if fd.is_packed() {
+                    encode_varint(make_tag(number, WireType::LengthDelimited), out);
+                    let body: usize = vals.iter().map(|v| scalar_len(fd.ty, v)).sum();
+                    encode_varint(body as u64, out);
+                    for v in vals {
+                        write_scalar(fd.ty, v, out);
+                    }
+                } else {
+                    for v in vals {
+                        write_single(fd, v, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serialization helper mirroring the error type of the decode side so
+/// call sites can use one `Result` alias. Encoding itself is infallible for
+/// well-typed messages.
+pub fn try_encode_message(msg: &DynamicMessage) -> Result<Vec<u8>, DecodeError> {
+    Ok(encode_message(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SchemaBuilder;
+
+    fn schema() -> crate::descriptor::Schema {
+        let mut b = SchemaBuilder::new();
+        b.message("Inner").scalar("x", 1, FieldType::Int32).finish();
+        b.message("M")
+            .scalar("a", 1, FieldType::UInt32)
+            .scalar("s", 2, FieldType::String)
+            .repeated("r", 3, FieldType::UInt32)
+            .message_field("m", 4, "Inner")
+            .scalar("f", 5, FieldType::Float)
+            .scalar("neg", 6, FieldType::Int32)
+            .scalar("zz", 7, FieldType::SInt64)
+            .scalar("fx", 8, FieldType::Fixed64)
+            .repeated("names", 9, FieldType::String)
+            .scalar("b", 10, FieldType::Bool)
+            .finish();
+        b.build()
+    }
+
+    #[test]
+    fn golden_bytes_simple_varint() {
+        // Field 1 (uint32) = 150 → tag 0x08, varint 0x96 0x01 (protobuf
+        // documentation's classic example).
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(1, Value::U64(150));
+        assert_eq!(encode_message(&m), vec![0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn golden_bytes_string() {
+        // Field 2 = "testing" → tag 0x12, len 7, bytes.
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(2, Value::Str("testing".into()));
+        let mut expect = vec![0x12, 0x07];
+        expect.extend(b"testing");
+        assert_eq!(encode_message(&m), expect);
+    }
+
+    #[test]
+    fn packed_repeated_scalars() {
+        // Field 3 repeated uint32 [3, 270, 86942]: classic packed example.
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        for v in [3u64, 270, 86942] {
+            m.push(3, Value::U64(v));
+        }
+        assert_eq!(
+            encode_message(&m),
+            vec![0x1a, 0x06, 0x03, 0x8e, 0x02, 0x9e, 0xa7, 0x05]
+        );
+    }
+
+    #[test]
+    fn unpacked_repeated_strings() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.push(9, Value::Str("ab".into()));
+        m.push(9, Value::Str("c".into()));
+        let bytes = encode_message(&m);
+        // tag(9, LEN) = 0x4a
+        assert_eq!(bytes, vec![0x4a, 0x02, b'a', b'b', 0x4a, 0x01, b'c']);
+    }
+
+    #[test]
+    fn negative_int32_uses_ten_bytes() {
+        // proto3: int32 -1 is sign-extended to 64 bits → 10-byte varint.
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(6, Value::I64(-1));
+        let bytes = encode_message(&m);
+        assert_eq!(bytes.len(), 1 + 10);
+        assert_eq!(
+            &bytes[1..],
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]
+        );
+    }
+
+    #[test]
+    fn sint_uses_zigzag() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(7, Value::I64(-1));
+        let bytes = encode_message(&m);
+        assert_eq!(bytes.len(), 2, "zigzag -1 must be a single byte");
+        assert_eq!(bytes[1], 0x01);
+    }
+
+    #[test]
+    fn nested_message_encoding() {
+        let s = schema();
+        let mut inner = DynamicMessage::of(&s, "Inner");
+        inner.set(1, Value::I64(5));
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(4, Value::Message(Box::new(inner)));
+        // tag(4, LEN)=0x22, len=2, then tag(1,varint)=0x08, 5.
+        assert_eq!(encode_message(&m), vec![0x22, 0x02, 0x08, 0x05]);
+    }
+
+    #[test]
+    fn fixed_width_fields() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(5, Value::F32(1.0));
+        m.set(8, Value::U64(0x1122334455667788));
+        let bytes = encode_message(&m);
+        // tag(5, Fixed32)=0x2d + 4 bytes, tag(8, Fixed64)=0x41 + 8 bytes.
+        assert_eq!(bytes[0], 0x2d);
+        assert_eq!(&bytes[1..5], &1.0f32.to_le_bytes());
+        assert_eq!(bytes[5], 0x41);
+        assert_eq!(&bytes[6..14], &0x1122334455667788u64.to_le_bytes());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(1, Value::U64(1 << 40));
+        m.set(2, Value::Str("hello".into()));
+        for i in 0..100u64 {
+            m.push(3, Value::U64(i * i * 31));
+        }
+        m.set(10, Value::Bool(true));
+        let mut inner = DynamicMessage::of(&s, "Inner");
+        inner.set(1, Value::I64(1234567));
+        m.set(4, Value::Message(Box::new(inner)));
+        assert_eq!(encoded_len(&m), encode_message(&m).len());
+    }
+
+    #[test]
+    fn empty_message_is_zero_bytes() {
+        let s = schema();
+        let m = DynamicMessage::of(&s, "M");
+        assert!(encode_message(&m).is_empty());
+        assert_eq!(encoded_len(&m), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for wire decoding and `.proto` parsing.
+
+use std::fmt;
+
+/// Errors produced while decoding wire bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a value.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    VarintOverflow,
+    /// A length-delimited field's length exceeds the remaining input.
+    BadLength {
+        /// Claimed length.
+        len: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Unknown or unsupported wire type in a tag (3 = group start and
+    /// 4 = group end are rejected; proto3 removed groups).
+    BadWireType(u8),
+    /// Field number 0 is reserved and invalid on the wire.
+    ZeroFieldNumber,
+    /// The wire type in a tag contradicts the field's declared type.
+    WireTypeMismatch {
+        /// Field number.
+        field: u32,
+        /// Wire type found.
+        got: u8,
+        /// Wire type expected from the descriptor.
+        want: u8,
+    },
+    /// A string field contained invalid UTF-8 at the given byte offset.
+    InvalidUtf8 {
+        /// Offset of the offending byte within the string payload.
+        at: usize,
+    },
+    /// Nesting exceeded the configured recursion limit.
+    TooDeep {
+        /// Limit that was exceeded.
+        limit: usize,
+    },
+    /// The descriptor references an unknown nested message type.
+    UnknownMessageType(String),
+    /// A sink (e.g. the native-object writer) ran out of arena space or
+    /// rejected a value.
+    Sink(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { what } => write!(f, "truncated input while decoding {what}"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits / 10 bytes"),
+            DecodeError::BadLength { len, remaining } => {
+                write!(f, "length {len} exceeds remaining {remaining} bytes")
+            }
+            DecodeError::BadWireType(w) => write!(f, "invalid wire type {w}"),
+            DecodeError::ZeroFieldNumber => write!(f, "field number 0 is invalid"),
+            DecodeError::WireTypeMismatch { field, got, want } => {
+                write!(f, "field {field}: wire type {got}, expected {want}")
+            }
+            DecodeError::InvalidUtf8 { at } => write!(f, "invalid UTF-8 at byte {at}"),
+            DecodeError::TooDeep { limit } => write!(f, "message nesting exceeds limit {limit}"),
+            DecodeError::UnknownMessageType(name) => write!(f, "unknown message type {name}"),
+            DecodeError::Sink(msg) => write!(f, "sink error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Errors produced by the `.proto` parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

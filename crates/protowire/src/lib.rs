@@ -1,0 +1,60 @@
+//! A from-scratch implementation of the Protocol Buffers (proto3) wire
+//! format, built as the serialization substrate for the DPU offload study.
+//!
+//! The paper offloads *protobuf deserialization* to a DPU. Reproducing that
+//! requires a complete, independent protobuf stack:
+//!
+//! * [`varint`] — base-128 varints and ZigZag, the dominant CPU cost of
+//!   deserialization ("the costly operation in CPU cycles is the varint
+//!   decoding", §V).
+//! * [`utf8`] — string validation with an ASCII word-at-a-time fast path
+//!   (the paper notes x86 SIMD makes host-side validation fast; our fast
+//!   path plays that role, and the cost model charges platforms
+//!   differently).
+//! * [`descriptor`] — message/field descriptors (the runtime form of
+//!   `.proto` definitions) plus a builder API.
+//! * [`parser`] — a `.proto` subset parser (proto3 syntax: messages, nested
+//!   messages, enums, repeated/optional labels, all scalar types) so
+//!   examples and benches can define schemas in the DSL, standing in for
+//!   `protoc`.
+//! * [`value`] — schema-driven in-memory messages ([`DynamicMessage`]).
+//! * [`encode`] — a canonical serializer (ascending field order, packed
+//!   repeated scalars).
+//! * [`decode`] — the reference recursive deserializer.
+//! * [`stackdeser`] — the paper's *custom stack-based deserializer*: an
+//!   iterative, zero-recursion parser that streams field events into a
+//!   caller-provided sink and counts work units (varint bytes, copied
+//!   bytes, validated chars, message recursions) for the platform cost
+//!   model. The DPU offload engine plugs its native-object writer in as the
+//!   sink; the fairness baseline uses the very same parser on the host, as
+//!   the paper does ("both the offloaded and the non-offloaded
+//!   deserialization scenarios use our custom stack-based protobuf
+//!   deserialization algorithm", §VI.A).
+//! * [`workloads`] — the paper's three synthetic benchmark messages
+//!   (Small ≈15 B, x512 Ints, x8000 Chars) with seeded generators.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod conformance;
+pub mod decode;
+pub mod descriptor;
+pub mod encode;
+pub mod error;
+pub mod parser;
+pub mod stackdeser;
+pub mod utf8;
+pub mod value;
+pub mod varint;
+pub mod workloads;
+
+pub use decode::decode_message;
+pub use descriptor::{
+    Cardinality, FieldDescriptor, FieldType, MessageDescriptor, Schema, SchemaBuilder,
+};
+pub use encode::encode_message;
+pub use error::{DecodeError, ParseError};
+pub use parser::parse_proto;
+pub use stackdeser::{DeserStats, DynamicSink, FieldSink, NullSink, Scalar, StackDeserializer};
+pub use value::{DynamicMessage, FieldValue, Value};
+pub use varint::WireType;

@@ -1,0 +1,725 @@
+//! A `.proto` (proto3) subset parser.
+//!
+//! Stands in for `protoc`: examples and benchmarks define their schemas in
+//! the familiar DSL instead of builder calls. Supported subset:
+//!
+//! * `syntax = "proto3";` (required, as the paper supports proto3 only)
+//! * `package foo.bar;` (recorded as a name prefix)
+//! * `message` definitions, arbitrarily nested
+//! * `enum` definitions (fields typed by an enum decode as open enums)
+//! * field labels `repeated` and `optional`
+//! * all proto3 scalar types, `string`, `bytes`, message-typed fields
+//! * line (`//`) and block (`/* */`) comments
+//! * `reserved` statements (parsed and enforced against field numbers)
+//!
+//! Not supported (rejected with a clear error): proto2 syntax, `oneof`,
+//! `map<,>`, `service` blocks (the gRPC layer declares services through its
+//! own registry), `import`, options, and extensions.
+
+use crate::descriptor::{Cardinality, FieldDescriptor, FieldType, MessageDescriptor, Schema};
+use crate::error::ParseError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Parses proto3 source text into a [`Schema`].
+pub fn parse_proto(src: &str) -> Result<Schema, ParseError> {
+    Parser::new(src).parse()
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Str(String),
+    Punct(char),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), ParseError> {
+        loop {
+            while let Some(&b) = self.src.get(self.pos) {
+                if b == b'\n' {
+                    self.line += 1;
+                    self.pos += 1;
+                } else if b.is_ascii_whitespace() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.src[self.pos..].starts_with(b"//") {
+                while let Some(&b) = self.src.get(self.pos) {
+                    self.pos += 1;
+                    if b == b'\n' {
+                        self.line += 1;
+                        break;
+                    }
+                }
+            } else if self.src[self.pos..].starts_with(b"/*") {
+                self.pos += 2;
+                loop {
+                    if self.pos >= self.src.len() {
+                        return Err(self.err("unterminated block comment"));
+                    }
+                    if self.src[self.pos..].starts_with(b"*/") {
+                        self.pos += 2;
+                        break;
+                    }
+                    if self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
+        self.skip_ws_and_comments()?;
+        let line = self.line;
+        let Some(&b) = self.src.get(self.pos) else {
+            return Ok(None);
+        };
+        let tok = if b.is_ascii_alphabetic() || b == b'_' || b == b'.' {
+            let start = self.pos;
+            while let Some(&c) = self.src.get(self.pos) {
+                if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        } else if b.is_ascii_digit() {
+            let start = self.pos;
+            while let Some(&c) = self.src.get(self.pos) {
+                if c.is_ascii_digit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            Tok::Number(
+                text.parse()
+                    .map_err(|_| self.err(format!("number too large: {text}")))?,
+            )
+        } else if b == b'"' {
+            self.pos += 1;
+            let start = self.pos;
+            while let Some(&c) = self.src.get(self.pos) {
+                if c == b'"' {
+                    break;
+                }
+                if c == b'\n' {
+                    return Err(self.err("unterminated string literal"));
+                }
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string literal"));
+            }
+            let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.pos += 1;
+            Tok::Str(s)
+        } else {
+            self.pos += 1;
+            Tok::Punct(b as char)
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+    #[allow(dead_code)]
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            toks: Vec::new(),
+            idx: 0,
+            src,
+        }
+    }
+
+    fn err_at(&self, line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&(Tok, usize)> {
+        self.toks.get(self.idx)
+    }
+
+    fn bump(&mut self) -> Option<(Tok, usize)> {
+        let t = self.toks.get(self.idx).cloned();
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn cur_line(&self) -> usize {
+        self.peek()
+            .map(|(_, l)| *l)
+            .or_else(|| self.toks.last().map(|(_, l)| *l))
+            .unwrap_or(1)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some((Tok::Punct(p), _)) if p == c => Ok(()),
+            Some((t, l)) => Err(self.err_at(l, format!("expected '{c}', found {t:?}"))),
+            None => Err(self.err_at(self.cur_line(), format!("expected '{c}', found EOF"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, usize), ParseError> {
+        match self.bump() {
+            Some((Tok::Ident(s), l)) => Ok((s, l)),
+            Some((t, l)) => Err(self.err_at(l, format!("expected identifier, found {t:?}"))),
+            None => Err(self.err_at(self.cur_line(), "expected identifier, found EOF")),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<(u64, usize), ParseError> {
+        match self.bump() {
+            Some((Tok::Number(n), l)) => Ok((n, l)),
+            Some((t, l)) => Err(self.err_at(l, format!("expected number, found {t:?}"))),
+            None => Err(self.err_at(self.cur_line(), "expected number, found EOF")),
+        }
+    }
+
+    fn parse(mut self) -> Result<Schema, ParseError> {
+        let mut lexer = Lexer::new(self.src);
+        while let Some(t) = lexer.next()? {
+            self.toks.push(t);
+        }
+
+        // syntax = "proto3";
+        let (kw, l) = self.expect_ident()?;
+        if kw != "syntax" {
+            return Err(self.err_at(l, "file must start with syntax = \"proto3\";"));
+        }
+        self.expect_punct('=')?;
+        match self.bump() {
+            Some((Tok::Str(s), l)) if s == "proto3" => {
+                let _ = l;
+            }
+            Some((Tok::Str(s), l)) => {
+                return Err(self.err_at(l, format!("unsupported syntax {s:?}; only proto3")))
+            }
+            other => {
+                let l = other.map(|(_, l)| l).unwrap_or(1);
+                return Err(self.err_at(l, "expected string literal after syntax ="));
+            }
+        }
+        self.expect_punct(';')?;
+
+        let mut package = String::new();
+        let mut messages: BTreeMap<String, MessageDescriptor> = BTreeMap::new();
+        let mut enums: Vec<String> = Vec::new();
+
+        while let Some((tok, line)) = self.peek().cloned() {
+            match tok {
+                Tok::Ident(kw) if kw == "package" => {
+                    self.bump();
+                    let (name, _) = self.expect_ident()?;
+                    self.expect_punct(';')?;
+                    package = name;
+                }
+                Tok::Ident(kw) if kw == "message" => {
+                    self.parse_message(&package, "", &mut messages, &mut enums)?;
+                }
+                Tok::Ident(kw) if kw == "enum" => {
+                    self.parse_enum(&package, "", &mut enums)?;
+                }
+                Tok::Ident(kw) if kw == "service" || kw == "import" || kw == "option" => {
+                    return Err(self.err_at(
+                        line,
+                        format!("'{kw}' is not supported by this proto3 subset"),
+                    ));
+                }
+                other => {
+                    return Err(self.err_at(line, format!("unexpected {other:?} at top level")))
+                }
+            }
+        }
+
+        // Resolve field type names: enum-typed fields become Enum; message
+        // names are qualified against package/nesting scopes.
+        let message_names: Vec<String> = messages.keys().cloned().collect();
+        let mut schema_map = BTreeMap::new();
+        for (name, mut desc) in messages {
+            for f in &mut desc.fields {
+                if f.ty == FieldType::Message {
+                    let raw = f.type_name.clone().unwrap_or_default();
+                    let resolved = resolve_type_name(&raw, &name, &package, &message_names, &enums);
+                    match resolved {
+                        Resolved::Message(full) => f.type_name = Some(full),
+                        Resolved::Enum => {
+                            f.ty = FieldType::Enum;
+                            // type_name retained for diagnostics.
+                        }
+                        Resolved::NotFound => {
+                            return Err(ParseError {
+                                line: 0,
+                                message: format!(
+                                    "field {}.{} references unknown type {raw}",
+                                    name, f.name
+                                ),
+                            })
+                        }
+                    }
+                }
+            }
+            schema_map.insert(name.clone(), desc);
+        }
+
+        let mut schema = Schema::new();
+        for (name, desc) in schema_map {
+            schema_insert(&mut schema, name, desc);
+        }
+        Ok(schema)
+    }
+
+    fn parse_enum(
+        &mut self,
+        package: &str,
+        scope: &str,
+        enums: &mut Vec<String>,
+    ) -> Result<(), ParseError> {
+        self.bump(); // 'enum'
+        let (name, _) = self.expect_ident()?;
+        let full = join_name(package, scope, &name);
+        enums.push(full);
+        self.expect_punct('{')?;
+        loop {
+            match self.bump() {
+                Some((Tok::Punct('}'), _)) => break,
+                Some((Tok::Ident(_), _)) => {
+                    self.expect_punct('=')?;
+                    let _ = self.expect_number()?;
+                    self.expect_punct(';')?;
+                }
+                Some((t, l)) => {
+                    return Err(self.err_at(l, format!("unexpected {t:?} in enum body")))
+                }
+                None => return Err(self.err_at(self.cur_line(), "unterminated enum")),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_message(
+        &mut self,
+        package: &str,
+        scope: &str,
+        out: &mut BTreeMap<String, MessageDescriptor>,
+        enums: &mut Vec<String>,
+    ) -> Result<(), ParseError> {
+        self.bump(); // 'message'
+        let (name, name_line) = self.expect_ident()?;
+        let full = join_name(package, scope, &name);
+        let inner_scope = if scope.is_empty() {
+            name.clone()
+        } else {
+            format!("{scope}.{name}")
+        };
+        self.expect_punct('{')?;
+
+        let mut fields: Vec<FieldDescriptor> = Vec::new();
+        let mut reserved: Vec<(u64, u64)> = Vec::new();
+
+        loop {
+            let Some((tok, line)) = self.peek().cloned() else {
+                return Err(self.err_at(self.cur_line(), "unterminated message"));
+            };
+            match tok {
+                Tok::Punct('}') => {
+                    self.bump();
+                    break;
+                }
+                Tok::Ident(kw) if kw == "message" => {
+                    self.parse_message(package, &inner_scope, out, enums)?;
+                }
+                Tok::Ident(kw) if kw == "enum" => {
+                    self.parse_enum(package, &inner_scope, enums)?;
+                }
+                Tok::Ident(kw) if kw == "reserved" => {
+                    self.bump();
+                    loop {
+                        let (lo, _) = self.expect_number()?;
+                        let hi = if matches!(self.peek(), Some((Tok::Ident(s), _)) if s == "to") {
+                            self.bump();
+                            self.expect_number()?.0
+                        } else {
+                            lo
+                        };
+                        reserved.push((lo, hi));
+                        match self.bump() {
+                            Some((Tok::Punct(','), _)) => continue,
+                            Some((Tok::Punct(';'), _)) => break,
+                            Some((t, l)) => {
+                                return Err(
+                                    self.err_at(l, format!("expected ',' or ';', found {t:?}"))
+                                )
+                            }
+                            None => return Err(self.err_at(line, "unterminated reserved")),
+                        }
+                    }
+                }
+                Tok::Ident(kw) if kw == "oneof" || kw == "map" || kw == "extensions" => {
+                    return Err(self.err_at(
+                        line,
+                        format!("'{kw}' is not supported by this proto3 subset"),
+                    ));
+                }
+                Tok::Ident(_) => {
+                    let fd = self.parse_field(line)?;
+                    if fields.iter().any(|f| f.number == fd.number) {
+                        return Err(
+                            self.err_at(line, format!("duplicate field number {}", fd.number))
+                        );
+                    }
+                    if fields.iter().any(|f| f.name == fd.name) {
+                        return Err(self.err_at(line, format!("duplicate field name {}", fd.name)));
+                    }
+                    fields.push(fd);
+                }
+                other => {
+                    return Err(self.err_at(line, format!("unexpected {other:?} in message body")))
+                }
+            }
+        }
+
+        for f in &fields {
+            for &(lo, hi) in &reserved {
+                if (lo..=hi).contains(&(f.number as u64)) {
+                    return Err(self.err_at(
+                        name_line,
+                        format!("field {} uses reserved number {}", f.name, f.number),
+                    ));
+                }
+            }
+        }
+
+        fields.sort_by_key(|f| f.number);
+        if out
+            .insert(
+                full.clone(),
+                MessageDescriptor {
+                    name: full.clone(),
+                    fields,
+                },
+            )
+            .is_some()
+        {
+            return Err(self.err_at(name_line, format!("duplicate message {full}")));
+        }
+        Ok(())
+    }
+
+    fn parse_field(&mut self, line: usize) -> Result<FieldDescriptor, ParseError> {
+        let (first, _) = self.expect_ident()?;
+        let (card, ty_name) = match first.as_str() {
+            "repeated" => (Cardinality::Repeated, self.expect_ident()?.0),
+            "optional" => (Cardinality::Optional, self.expect_ident()?.0),
+            "required" => {
+                return Err(self.err_at(line, "'required' is proto2; only proto3 is supported"))
+            }
+            _ => (Cardinality::Singular, first),
+        };
+        let (field_name, _) = self.expect_ident()?;
+        self.expect_punct('=')?;
+        let (number, nline) = self.expect_number()?;
+        self.expect_punct(';')?;
+        let number = u32::try_from(number)
+            .ok()
+            .filter(|n| (1..=536_870_911).contains(n) && !(19_000..=19_999).contains(n))
+            .ok_or_else(|| self.err_at(nline, format!("invalid field number {number}")))?;
+
+        let (ty, type_name) = match FieldType::from_proto_name(&ty_name) {
+            Some(t) => (t, None),
+            // Unknown keyword: a message or enum reference, resolved later.
+            None => (FieldType::Message, Some(ty_name)),
+        };
+        Ok(FieldDescriptor {
+            name: field_name,
+            number,
+            ty,
+            cardinality: card,
+            type_name,
+        })
+    }
+}
+
+enum Resolved {
+    Message(String),
+    Enum,
+    NotFound,
+}
+
+fn join_name(package: &str, scope: &str, name: &str) -> String {
+    let mut s = String::new();
+    if !package.is_empty() {
+        s.push_str(package);
+        s.push('.');
+    }
+    if !scope.is_empty() {
+        s.push_str(scope);
+        s.push('.');
+    }
+    s.push_str(name);
+    s
+}
+
+/// Resolves `raw` (as written in the field) against the enclosing message's
+/// scope chain, protobuf-style: innermost scope outward, then the package
+/// root, accepting already-qualified names too.
+fn resolve_type_name(
+    raw: &str,
+    enclosing: &str,
+    package: &str,
+    messages: &[String],
+    enums: &[String],
+) -> Resolved {
+    let mut candidates = Vec::new();
+    // Scope chain: Outer.Inner field in package p → try
+    // p.Outer.Inner.raw, p.Outer.raw, p.raw, raw.
+    let mut scope = enclosing.to_string();
+    loop {
+        candidates.push(if scope.is_empty() {
+            raw.to_string()
+        } else {
+            format!("{scope}.{raw}")
+        });
+        match scope.rfind('.') {
+            Some(i) => scope.truncate(i),
+            None => {
+                if !scope.is_empty() {
+                    candidates.push(raw.to_string());
+                }
+                break;
+            }
+        }
+    }
+    if !package.is_empty() {
+        candidates.push(format!("{package}.{raw}"));
+    }
+    candidates.push(raw.to_string());
+
+    for c in &candidates {
+        if messages.iter().any(|m| m == c) {
+            return Resolved::Message(c.clone());
+        }
+    }
+    for c in &candidates {
+        if enums.iter().any(|e| e == c) {
+            return Resolved::Enum;
+        }
+    }
+    Resolved::NotFound
+}
+
+/// Inserts a resolved descriptor into a schema, bypassing the builder's
+/// reference re-validation (the parser resolves references itself).
+fn schema_insert(schema: &mut Schema, name: String, desc: MessageDescriptor) {
+    schema.insert_raw(name, Arc::new(desc));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KV_PROTO: &str = r#"
+        syntax = "proto3";
+        package kv;
+
+        // A put request.
+        message PutRequest {
+            string key = 1;
+            bytes value = 2;
+            uint64 ttl_ms = 3;
+            optional string trace_id = 4;
+        }
+
+        /* multi-line
+           comment */
+        message PutResponse {
+            bool ok = 1;
+            Status status = 2;
+        }
+
+        enum Status {
+            OK = 0;
+            ERROR = 1;
+        }
+
+        message Batch {
+            repeated PutRequest puts = 1;
+            reserved 5, 10 to 12;
+            message Meta {
+                int32 shard = 1;
+            }
+            Meta meta = 2;
+        }
+    "#;
+
+    #[test]
+    fn parses_kv_schema() {
+        let s = parse_proto(KV_PROTO).unwrap();
+        assert!(s.message("kv.PutRequest").is_some());
+        assert!(s.message("kv.PutResponse").is_some());
+        assert!(s.message("kv.Batch").is_some());
+        assert!(s.message("kv.Batch.Meta").is_some());
+        let batch = s.message("kv.Batch").unwrap();
+        let puts = batch.field_by_name("puts").unwrap();
+        assert_eq!(puts.cardinality, Cardinality::Repeated);
+        assert_eq!(puts.type_name.as_deref(), Some("kv.PutRequest"));
+        let meta = batch.field_by_name("meta").unwrap();
+        assert_eq!(meta.type_name.as_deref(), Some("kv.Batch.Meta"));
+    }
+
+    #[test]
+    fn enum_fields_become_open_enums() {
+        let s = parse_proto(KV_PROTO).unwrap();
+        let resp = s.message("kv.PutResponse").unwrap();
+        assert_eq!(resp.field_by_name("status").unwrap().ty, FieldType::Enum);
+    }
+
+    #[test]
+    fn optional_label_tracked() {
+        let s = parse_proto(KV_PROTO).unwrap();
+        let put = s.message("kv.PutRequest").unwrap();
+        assert_eq!(
+            put.field_by_name("trace_id").unwrap().cardinality,
+            Cardinality::Optional
+        );
+    }
+
+    #[test]
+    fn rejects_proto2() {
+        let err = parse_proto("syntax = \"proto2\"; message M {}").unwrap_err();
+        assert!(err.message.contains("proto3"));
+    }
+
+    #[test]
+    fn rejects_missing_syntax() {
+        assert!(parse_proto("message M {}").is_err());
+    }
+
+    #[test]
+    fn rejects_reserved_collision() {
+        let src = r#"
+            syntax = "proto3";
+            message M {
+                reserved 2 to 4;
+                int32 a = 3;
+            }
+        "#;
+        let err = parse_proto(src).unwrap_err();
+        assert!(err.message.contains("reserved"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_field_number() {
+        let src = r#"
+            syntax = "proto3";
+            message M { int32 a = 1; int32 b = 1; }
+        "#;
+        assert!(parse_proto(src).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let src = r#"
+            syntax = "proto3";
+            message M { Ghost g = 1; }
+        "#;
+        assert!(parse_proto(src)
+            .unwrap_err()
+            .message
+            .contains("unknown type"));
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        for bad in [
+            "syntax = \"proto3\"; service S {}",
+            "syntax = \"proto3\"; import \"other.proto\";",
+            "syntax = \"proto3\"; message M { oneof o { int32 a = 1; } }",
+            "syntax = \"proto3\"; message M { required int32 a = 1; }",
+        ] {
+            assert!(parse_proto(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_lines_are_plausible() {
+        let src = "syntax = \"proto3\";\n\nmessage M {\n  int32 a = 0;\n}";
+        let err = parse_proto(src).unwrap_err();
+        assert_eq!(err.line, 4, "{err}");
+    }
+
+    #[test]
+    fn nested_scope_resolution_prefers_innermost() {
+        let src = r#"
+            syntax = "proto3";
+            message A {
+                message B { int32 x = 1; }
+                B b = 1;
+            }
+            message B { int64 y = 1; }
+            message C { B b = 1; }
+        "#;
+        let s = parse_proto(src).unwrap();
+        assert_eq!(
+            s.message("A")
+                .unwrap()
+                .field_by_name("b")
+                .unwrap()
+                .type_name
+                .as_deref(),
+            Some("A.B")
+        );
+        assert_eq!(
+            s.message("C")
+                .unwrap()
+                .field_by_name("b")
+                .unwrap()
+                .type_name
+                .as_deref(),
+            Some("B")
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! UTF-8 validation.
+//!
+//! Protobuf `string` fields must be valid UTF-8; validating them is one of
+//! the three dominant deserialization costs the paper identifies (§V),
+//! and the one where the DPU is weakest ("the string deserialization is
+//! much faster without offloading since x86 SIMD instructions permit
+//! processing the Unicode validation very quickly").
+//!
+//! This validator has two tiers:
+//!
+//! 1. An ASCII word-at-a-time fast path that checks 8 bytes per iteration
+//!    with a single mask test — the portable analogue of the SIMD fast path
+//!    on the host.
+//! 2. A table-free DFA-style slow path for multi-byte sequences, rejecting
+//!    overlongs, surrogates, and > U+10FFFF exactly as `core::str` does.
+//!
+//! The function reports the number of bytes validated so the platform cost
+//! model can charge CPU and DPU differently for this phase.
+
+use crate::error::DecodeError;
+
+/// Validates that `bytes` is well-formed UTF-8.
+///
+/// Returns the number of ASCII bytes handled by the fast path (a cost-model
+/// input: ASCII validation is far cheaper per byte than multi-byte
+/// sequences).
+pub fn validate_utf8(bytes: &[u8]) -> Result<Usage, DecodeError> {
+    let mut i = 0;
+    let n = bytes.len();
+    let mut ascii_bytes = 0usize;
+
+    while i < n {
+        // Fast path: consume 8-byte chunks that are entirely ASCII.
+        while i + 8 <= n {
+            let chunk = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+            if chunk & 0x8080_8080_8080_8080 != 0 {
+                break;
+            }
+            i += 8;
+            ascii_bytes += 8;
+        }
+        if i >= n {
+            break;
+        }
+        let b = bytes[i];
+        if b < 0x80 {
+            i += 1;
+            ascii_bytes += 1;
+            continue;
+        }
+        // Multi-byte sequence.
+        let (len, min_cp, max_cp) = match b {
+            0xC2..=0xDF => (2, 0x80u32, 0x7FF),
+            0xE0..=0xEF => (3, 0x800, 0xFFFF),
+            0xF0..=0xF4 => (4, 0x1_0000, 0x10_FFFF),
+            // 0x80..=0xBF: stray continuation; 0xC0/0xC1: overlong lead;
+            // 0xF5..=0xFF: beyond U+10FFFF.
+            _ => return Err(DecodeError::InvalidUtf8 { at: i }),
+        };
+        if i + len > n {
+            return Err(DecodeError::InvalidUtf8 { at: i });
+        }
+        let mut cp: u32 = (b as u32) & (0x7F >> len);
+        for k in 1..len {
+            let c = bytes[i + k];
+            if c & 0xC0 != 0x80 {
+                return Err(DecodeError::InvalidUtf8 { at: i + k });
+            }
+            cp = (cp << 6) | (c as u32 & 0x3F);
+        }
+        // Overlong, surrogate, and range checks.
+        if cp < min_cp || cp > max_cp || (0xD800..=0xDFFF).contains(&cp) {
+            return Err(DecodeError::InvalidUtf8 { at: i });
+        }
+        i += len;
+    }
+    Ok(Usage {
+        total_bytes: n,
+        ascii_fast_path_bytes: ascii_bytes,
+    })
+}
+
+/// Validation cost breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Usage {
+    /// Total bytes validated.
+    pub total_bytes: usize,
+    /// Bytes handled by the ASCII fast path.
+    pub ascii_fast_path_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accepts_ascii() {
+        let u = validate_utf8(b"hello, world! 0123456789 ~").unwrap();
+        assert_eq!(u.total_bytes, 26);
+        assert_eq!(u.ascii_fast_path_bytes, 26);
+    }
+
+    #[test]
+    fn accepts_multibyte() {
+        let s = "héllo ☃ 日本語 🦀";
+        let u = validate_utf8(s.as_bytes()).unwrap();
+        assert_eq!(u.total_bytes, s.len());
+        assert!(u.ascii_fast_path_bytes < s.len());
+    }
+
+    #[test]
+    fn rejects_stray_continuation() {
+        assert!(matches!(
+            validate_utf8(&[0x80]),
+            Err(DecodeError::InvalidUtf8 { at: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_overlong() {
+        // 0xC0 0xAF is an overlong encoding of '/'.
+        assert!(validate_utf8(&[0xC0, 0xAF]).is_err());
+        // 0xE0 0x80 0xAF overlong 3-byte.
+        assert!(validate_utf8(&[0xE0, 0x80, 0xAF]).is_err());
+        // 0xF0 0x80 0x80 0xAF overlong 4-byte.
+        assert!(validate_utf8(&[0xF0, 0x80, 0x80, 0xAF]).is_err());
+    }
+
+    #[test]
+    fn rejects_surrogates() {
+        // U+D800 encoded as 0xED 0xA0 0x80.
+        assert!(validate_utf8(&[0xED, 0xA0, 0x80]).is_err());
+    }
+
+    #[test]
+    fn rejects_beyond_max_codepoint() {
+        // U+110000 encoded as 0xF4 0x90 0x80 0x80.
+        assert!(validate_utf8(&[0xF4, 0x90, 0x80, 0x80]).is_err());
+        assert!(validate_utf8(&[0xF5, 0x80, 0x80, 0x80]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_sequence() {
+        assert!(validate_utf8(&[0xE2, 0x98]).is_err()); // ☃ minus last byte
+        let mut v = b"aaaaaaaaaaaaaaaa".to_vec();
+        v.push(0xC3);
+        assert!(validate_utf8(&v).is_err());
+    }
+
+    #[test]
+    fn boundary_straddles_fast_path_chunks() {
+        // 7 ASCII bytes then a 2-byte char: the fast path must hand over
+        // cleanly mid-chunk.
+        let mut v = b"abcdefg".to_vec();
+        v.extend("é".as_bytes());
+        v.extend(b"hijklmnop");
+        let u = validate_utf8(&v).unwrap();
+        assert_eq!(u.total_bytes, v.len());
+    }
+
+    proptest! {
+        /// Agreement with the standard library on arbitrary byte strings.
+        #[test]
+        fn matches_std(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let ours = validate_utf8(&bytes).is_ok();
+            let std = std::str::from_utf8(&bytes).is_ok();
+            prop_assert_eq!(ours, std);
+        }
+
+        /// Valid strings always validate, and byte counts add up.
+        #[test]
+        fn accepts_all_valid_strings(s in "\\PC*") {
+            let u = validate_utf8(s.as_bytes()).unwrap();
+            prop_assert_eq!(u.total_bytes, s.len());
+            prop_assert!(u.ascii_fast_path_bytes <= u.total_bytes);
+        }
+    }
+}

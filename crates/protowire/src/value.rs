@@ -1,0 +1,398 @@
+//! Dynamic (schema-driven) message values.
+//!
+//! `DynamicMessage` is the reference in-memory representation used by the
+//! serializer, the reference deserializer, and tests. The offload datapath
+//! never touches it — offloaded requests materialize directly as native
+//! objects (`pbo-adt`) — but every native object can be cross-checked
+//! against the dynamic decoding of the same bytes, which is how the
+//! integration tests prove the offload path is lossless.
+
+use crate::descriptor::{Cardinality, FieldType, MessageDescriptor, Schema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A single proto3 value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// int32/int64/sint32/sint64/sfixed32/sfixed64/enum.
+    I64(i64),
+    /// uint32/uint64/fixed32/fixed64/bool (as 0/1).
+    U64(u64),
+    /// float.
+    F32(f32),
+    /// double.
+    F64(f64),
+    /// bool.
+    Bool(bool),
+    /// string.
+    Str(String),
+    /// bytes.
+    Bytes(Vec<u8>),
+    /// Nested message.
+    Message(Box<DynamicMessage>),
+}
+
+impl Value {
+    /// Extracts an unsigned integer if this value is integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            Value::Bool(b) => Some(*b as u64),
+            _ => None,
+        }
+    }
+
+    /// Extracts a signed integer if this value is integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts bytes.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a nested message.
+    pub fn as_message(&self) -> Option<&DynamicMessage> {
+        match self {
+            Value::Message(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// One field slot: singular value or repeated list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// A singular (or optional, present) value.
+    Single(Value),
+    /// A repeated field's elements in order.
+    Repeated(Vec<Value>),
+}
+
+/// A message instance bound to its descriptor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynamicMessage {
+    descriptor: Arc<MessageDescriptor>,
+    fields: BTreeMap<u32, FieldValue>,
+}
+
+impl DynamicMessage {
+    /// Creates an empty message of the given type.
+    pub fn new(descriptor: Arc<MessageDescriptor>) -> Self {
+        Self {
+            descriptor,
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Convenience: creates an empty message by type name.
+    ///
+    /// # Panics
+    /// Panics if the type is not in the schema.
+    pub fn of(schema: &Schema, type_name: &str) -> Self {
+        Self::new(
+            schema
+                .message(type_name)
+                .unwrap_or_else(|| panic!("unknown message type {type_name}"))
+                .clone(),
+        )
+    }
+
+    /// The message's descriptor.
+    pub fn descriptor(&self) -> &Arc<MessageDescriptor> {
+        &self.descriptor
+    }
+
+    /// Sets a singular field by number.
+    ///
+    /// # Panics
+    /// Panics if the field number is unknown, or the value's kind does not
+    /// match the field's declared type — schema misuse is a programming
+    /// error in the sender.
+    pub fn set(&mut self, number: u32, value: Value) -> &mut Self {
+        let fd = self
+            .descriptor
+            .field(number)
+            .unwrap_or_else(|| panic!("unknown field {number} in {}", self.descriptor.name));
+        assert!(
+            fd.cardinality != Cardinality::Repeated,
+            "field {number} is repeated; use push()"
+        );
+        assert!(
+            kind_matches(fd.ty, &value),
+            "type mismatch for field {}.{}: {:?} given {:?}",
+            self.descriptor.name,
+            fd.name,
+            fd.ty,
+            value
+        );
+        self.fields.insert(number, FieldValue::Single(value));
+        self
+    }
+
+    /// Appends to a repeated field by number.
+    ///
+    /// # Panics
+    /// Panics on unknown fields, non-repeated fields, or kind mismatch.
+    pub fn push(&mut self, number: u32, value: Value) -> &mut Self {
+        let fd = self
+            .descriptor
+            .field(number)
+            .unwrap_or_else(|| panic!("unknown field {number} in {}", self.descriptor.name));
+        assert!(
+            fd.cardinality == Cardinality::Repeated,
+            "field {number} is not repeated"
+        );
+        assert!(
+            kind_matches(fd.ty, &value),
+            "type mismatch pushing to field {number}"
+        );
+        match self
+            .fields
+            .entry(number)
+            .or_insert_with(|| FieldValue::Repeated(Vec::new()))
+        {
+            FieldValue::Repeated(v) => v.push(value),
+            FieldValue::Single(_) => unreachable!("repeated slot holds single"),
+        }
+        self
+    }
+
+    /// Sets by field name (test/ergonomic convenience).
+    pub fn set_by_name(&mut self, name: &str, value: Value) -> &mut Self {
+        let number = self
+            .descriptor
+            .field_by_name(name)
+            .unwrap_or_else(|| panic!("unknown field {name}"))
+            .number;
+        self.set(number, value)
+    }
+
+    /// Gets a singular field's value, if set.
+    pub fn get(&self, number: u32) -> Option<&Value> {
+        match self.fields.get(&number)? {
+            FieldValue::Single(v) => Some(v),
+            FieldValue::Repeated(_) => None,
+        }
+    }
+
+    /// Gets a repeated field's elements ([] if never set).
+    pub fn get_repeated(&self, number: u32) -> &[Value] {
+        match self.fields.get(&number) {
+            Some(FieldValue::Repeated(v)) => v,
+            _ => &[],
+        }
+    }
+
+    /// Gets by name.
+    pub fn get_by_name(&self, name: &str) -> Option<&Value> {
+        self.get(self.descriptor.field_by_name(name)?.number)
+    }
+
+    /// Iterates set fields in ascending field-number order (the canonical
+    /// serialization order).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &FieldValue)> {
+        self.fields.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Whether the field is explicitly present.
+    pub fn has(&self, number: u32) -> bool {
+        self.fields.contains_key(&number)
+    }
+
+    /// Number of set fields.
+    pub fn set_field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Removes proto3 *default values* from singular implicit-presence
+    /// fields, matching canonical proto3 serialization semantics (defaults
+    /// are not emitted on the wire).
+    pub fn normalize(&mut self) {
+        let desc = self.descriptor.clone();
+        self.fields.retain(|num, fv| {
+            let fd = match desc.field(*num) {
+                Some(fd) => fd,
+                None => return false,
+            };
+            match fv {
+                FieldValue::Single(v) => {
+                    if fd.cardinality == Cardinality::Singular && fd.ty != FieldType::Message {
+                        !is_default(v)
+                    } else {
+                        true
+                    }
+                }
+                FieldValue::Repeated(vals) => !vals.is_empty(),
+            }
+        });
+        for fv in self.fields.values_mut() {
+            match fv {
+                FieldValue::Single(Value::Message(m)) => m.normalize(),
+                FieldValue::Repeated(vals) => {
+                    for v in vals {
+                        if let Value::Message(m) = v {
+                            m.normalize();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn is_default(v: &Value) -> bool {
+    match v {
+        Value::I64(x) => *x == 0,
+        Value::U64(x) => *x == 0,
+        Value::F32(x) => x.to_bits() == 0,
+        Value::F64(x) => x.to_bits() == 0,
+        Value::Bool(b) => !b,
+        Value::Str(s) => s.is_empty(),
+        Value::Bytes(b) => b.is_empty(),
+        Value::Message(_) => false,
+    }
+}
+
+fn kind_matches(ty: FieldType, v: &Value) -> bool {
+    matches!(
+        (ty, v),
+        (
+            FieldType::Int32
+                | FieldType::Int64
+                | FieldType::SInt32
+                | FieldType::SInt64
+                | FieldType::SFixed32
+                | FieldType::SFixed64
+                | FieldType::Enum,
+            Value::I64(_)
+        ) | (
+            FieldType::UInt32 | FieldType::UInt64 | FieldType::Fixed32 | FieldType::Fixed64,
+            Value::U64(_)
+        ) | (FieldType::Bool, Value::Bool(_))
+            | (FieldType::Float, Value::F32(_))
+            | (FieldType::Double, Value::F64(_))
+            | (FieldType::String, Value::Str(_))
+            | (FieldType::Bytes, Value::Bytes(_))
+            | (FieldType::Message, Value::Message(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SchemaBuilder;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.message("Inner").scalar("x", 1, FieldType::Int32).finish();
+        b.message("M")
+            .scalar("id", 1, FieldType::UInt64)
+            .repeated("vals", 2, FieldType::UInt32)
+            .scalar("name", 3, FieldType::String)
+            .message_field("inner", 4, "Inner")
+            .scalar("flag", 5, FieldType::Bool)
+            .finish();
+        b.build()
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(1, Value::U64(42));
+        m.set_by_name("name", Value::Str("abc".into()));
+        m.push(2, Value::U64(1));
+        m.push(2, Value::U64(2));
+        assert_eq!(m.get(1).unwrap().as_u64(), Some(42));
+        assert_eq!(m.get_by_name("name").unwrap().as_str(), Some("abc"));
+        assert_eq!(m.get_repeated(2).len(), 2);
+        assert!(m.has(1));
+        assert!(!m.has(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_kind_panics() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(1, Value::Str("not a number".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "is repeated")]
+    fn set_on_repeated_panics() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(2, Value::U64(1));
+    }
+
+    #[test]
+    fn normalize_strips_defaults() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(1, Value::U64(0));
+        m.set(3, Value::Str(String::new()));
+        m.set(5, Value::Bool(false));
+        let mut inner = DynamicMessage::of(&s, "Inner");
+        inner.set(1, Value::I64(0));
+        m.set(4, Value::Message(Box::new(inner)));
+        m.normalize();
+        assert!(!m.has(1));
+        assert!(!m.has(3));
+        assert!(!m.has(5));
+        // Present message fields survive (explicit presence) but their own
+        // defaults are stripped.
+        assert!(m.has(4));
+        assert_eq!(m.get(4).unwrap().as_message().unwrap().set_field_count(), 0);
+    }
+
+    #[test]
+    fn nested_messages() {
+        let s = schema();
+        let mut inner = DynamicMessage::of(&s, "Inner");
+        inner.set(1, Value::I64(-7));
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(4, Value::Message(Box::new(inner)));
+        assert_eq!(
+            m.get(4)
+                .unwrap()
+                .as_message()
+                .unwrap()
+                .get(1)
+                .unwrap()
+                .as_i64(),
+            Some(-7)
+        );
+    }
+
+    #[test]
+    fn iter_is_field_number_ordered() {
+        let s = schema();
+        let mut m = DynamicMessage::of(&s, "M");
+        m.set(5, Value::Bool(true));
+        m.set(1, Value::U64(9));
+        m.set(3, Value::Str("z".into()));
+        let order: Vec<u32> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Background RPC execution — the thread-pool extension of §III.D.
+//!
+//! The paper implements foreground RPCs only but designs the protocol so
+//! that "background RPCs [are possible] with little modifications in our
+//! code by adding a thread pool. Background RPCs are heavier as they need
+//! more information on bookkeeping to be transmitted." This module is that
+//! thread pool, with the bookkeeping the design requires:
+//!
+//! * **Payload ownership** — a background handler outlives the foreground
+//!   processing of its block, but the client recycles a request block as
+//!   soon as it sees the *first* response for it (§IV.B). The pool
+//!   therefore copies the payload out of the receive buffer at dispatch
+//!   time, before any response for the block can be sent — the "heavier"
+//!   cost the paper predicts.
+//! * **Out-of-order completion** — workers finish in any order; response
+//!   headers carry the request id (§IV.D), so the client matches
+//!   continuations correctly, and request-ID recycling stays synchronized
+//!   because both sides free ids in response-block order, not completion
+//!   order.
+//!
+//! Wired into [`crate::RpcServer`] via
+//! [`crate::RpcServer::register_background`] /
+//! [`crate::RpcServer::enable_background`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A request whose payload has been copied out of the receive buffer.
+#[derive(Debug)]
+pub struct OwnedRequest {
+    /// Procedure id.
+    pub proc_id: u16,
+    /// Synchronized request id (travels back in the response header).
+    pub req_id: u16,
+    /// Owned copy of the payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A background handler: runs on a pool worker, returns
+/// `(status, response_bytes)`.
+pub type BackgroundHandler = Arc<dyn Fn(&OwnedRequest) -> (u16, Vec<u8>) + Send + Sync>;
+
+pub(crate) struct Job {
+    pub(crate) request: OwnedRequest,
+    pub(crate) handler: BackgroundHandler,
+}
+
+/// A completed background RPC, ready to be appended to a response block
+/// by the poller thread.
+pub(crate) struct Completion {
+    pub(crate) req_id: u16,
+    pub(crate) status: u16,
+    pub(crate) payload: Vec<u8>,
+}
+
+/// The worker pool. Owned by the [`crate::RpcServer`]; jobs go in from the
+/// poller thread, completions come back to it.
+pub(crate) struct ThreadPool {
+    work_tx: Option<Sender<Job>>,
+    results_rx: Receiver<Completion>,
+    workers: Vec<JoinHandle<()>>,
+    outstanding: usize,
+}
+
+impl ThreadPool {
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a background pool needs at least one worker");
+        let (work_tx, work_rx) = unbounded::<Job>();
+        let (results_tx, results_rx) = unbounded::<Completion>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = work_rx.clone();
+                let tx = results_tx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let (status, payload) = (job.handler)(&job.request);
+                        if tx
+                            .send(Completion {
+                                req_id: job.request.req_id,
+                                status,
+                                payload,
+                            })
+                            .is_err()
+                        {
+                            return; // server gone
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self {
+            work_tx: Some(work_tx),
+            results_rx,
+            workers: handles,
+            outstanding: 0,
+        }
+    }
+
+    pub(crate) fn submit(&mut self, job: Job) {
+        self.outstanding += 1;
+        self.work_tx
+            .as_ref()
+            .expect("pool alive")
+            .send(job)
+            .expect("workers alive");
+    }
+
+    /// Drains finished jobs without blocking.
+    pub(crate) fn drain(&mut self) -> Vec<Completion> {
+        let out: Vec<Completion> = self.results_rx.try_iter().collect();
+        self.outstanding -= out.len();
+        out
+    }
+
+    /// Jobs submitted but not yet drained.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the work channel; workers exit their recv loop.
+        self.work_tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn echo_handler() -> BackgroundHandler {
+        Arc::new(|req| (0, req.payload.clone()))
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_returns_completions() {
+        let mut pool = ThreadPool::new(2);
+        for i in 0..10u16 {
+            pool.submit(Job {
+                request: OwnedRequest {
+                    proc_id: 1,
+                    req_id: i,
+                    payload: vec![i as u8; 4],
+                },
+                handler: echo_handler(),
+            });
+        }
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 10 {
+            got.extend(pool.drain());
+            assert!(std::time::Instant::now() < deadline, "pool stalled");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.outstanding(), 0);
+        got.sort_by_key(|c| c.req_id);
+        for (i, c) in got.iter().enumerate() {
+            assert_eq!(c.req_id, i as u16);
+            assert_eq!(c.payload, vec![i as u8; 4]);
+            assert_eq!(c.status, 0);
+        }
+    }
+
+    #[test]
+    fn completions_can_arrive_out_of_order() {
+        let mut pool = ThreadPool::new(4);
+        let slow_done = Arc::new(AtomicUsize::new(0));
+        let sd = slow_done.clone();
+        // First job sleeps; later jobs finish first.
+        pool.submit(Job {
+            request: OwnedRequest {
+                proc_id: 1,
+                req_id: 0,
+                payload: vec![],
+            },
+            handler: Arc::new(move |_r| {
+                std::thread::sleep(Duration::from_millis(50));
+                sd.store(1, Ordering::Release);
+                (0, vec![])
+            }),
+        });
+        for i in 1..4u16 {
+            pool.submit(Job {
+                request: OwnedRequest {
+                    proc_id: 1,
+                    req_id: i,
+                    payload: vec![],
+                },
+                handler: echo_handler(),
+            });
+        }
+        let mut order = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while order.len() < 4 {
+            for c in pool.drain() {
+                order.push(c.req_id);
+            }
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            *order.last().unwrap(),
+            0,
+            "slow job finished last: {order:?}"
+        );
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(3);
+        drop(pool); // must not hang
+    }
+}

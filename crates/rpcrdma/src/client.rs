@@ -1,0 +1,544 @@
+//! The RPC-over-RDMA client (the DPU side).
+//!
+//! The client terminates the external xRPC protocol elsewhere; here it
+//! enqueues fully materialized payloads into blocks, ships blocks with
+//! write-with-immediate, and drives *continuations* when responses arrive
+//! — the callback/continuation API of §III.D ("On the RPC over RDMA client
+//! side, the user enqueues requests that trigger a continuation function
+//! when the response is received"). The threading model is the user's: one
+//! poller thread owns one client ("a poller is dedicated to a single
+//! connection on the client side", §III.C) and calls
+//! [`RpcClient::event_loop`] continuously.
+
+use crate::config::Config;
+use crate::error::RpcError;
+use crate::wire::{
+    offset_to_bucket, BlockHeaderIter, Header, Preamble, BLOCK_ALIGN, HEADER_SIZE, MAX_PAYLOAD,
+    PREAMBLE_SIZE,
+};
+use pbo_alloc::{align_up, Allocation, IdPool, OffsetAllocator};
+use pbo_metrics::{Counter, Gauge, Registry};
+use pbo_simnet::{CqeKind, MemoryRegion, QueuePair, WorkRequestId};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Outcome of a payload-writer closure.
+pub type PayloadResult = Result<usize, PayloadError>;
+
+/// Failure modes of a payload writer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PayloadError {
+    /// The destination slice is too small; the protocol retries the writer
+    /// in a fresh (possibly grown) block.
+    NeedMore,
+    /// Unrecoverable failure (e.g. malformed source message).
+    Fail(String),
+}
+
+/// Response continuation: `(payload, status)`.
+pub type Continuation = Box<dyn FnOnce(&[u8], u16) + Send>;
+
+struct OpenBlock {
+    alloc: Allocation,
+    /// Build cursor within the block (8-aligned invariant).
+    cursor: usize,
+    /// Continuations of the messages queued in this block, in order.
+    conts: Vec<Continuation>,
+}
+
+struct PendingRequest {
+    cont: Continuation,
+    block_seq: u64,
+}
+
+/// Counters exposed by the client (Prometheus-instrumented at the library
+/// level, as the paper does).
+#[derive(Clone)]
+pub struct ClientMetrics {
+    /// Requests enqueued by the user.
+    pub requests_enqueued: Counter,
+    /// Responses delivered to continuations.
+    pub responses_completed: Counter,
+    /// Request blocks posted.
+    pub blocks_sent: Counter,
+    /// Payload + protocol bytes posted.
+    pub bytes_sent: Counter,
+    /// Response blocks processed.
+    pub response_blocks: Counter,
+    /// Current credits.
+    pub credits: Gauge,
+    /// Times a send stalled on zero credits.
+    pub credit_stalls: Counter,
+}
+
+impl ClientMetrics {
+    fn new(reg: &Registry, conn: &str) -> Self {
+        let l = &[("conn", conn), ("side", "client")];
+        Self {
+            requests_enqueued: reg.counter("rpc_requests_enqueued_total", "requests enqueued", l),
+            responses_completed: reg.counter("rpc_responses_total", "responses delivered", l),
+            blocks_sent: reg.counter("rpc_blocks_sent_total", "request blocks sent", l),
+            bytes_sent: reg.counter("rpc_bytes_sent_total", "bytes posted", l),
+            response_blocks: reg.counter("rpc_response_blocks_total", "response blocks", l),
+            credits: reg.gauge("rpc_credits", "credits available", l),
+            credit_stalls: reg.counter("rpc_credit_stalls_total", "sends stalled on credits", l),
+        }
+    }
+}
+
+/// Point-in-time snapshot for reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientMetricsSnapshot {
+    /// Requests enqueued.
+    pub requests_enqueued: u64,
+    /// Responses delivered.
+    pub responses_completed: u64,
+    /// Blocks sent.
+    pub blocks_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Credits remaining.
+    pub credits: i64,
+}
+
+/// One RPC-over-RDMA client endpoint (one connection).
+pub struct RpcClient {
+    qp: QueuePair,
+    sbuf: MemoryRegion,
+    rbuf: MemoryRegion,
+    remote_rbuf: MemoryRegion,
+    /// Host virtual address of the server's receive buffer byte 0 — the
+    /// base all shared-address-space pointers are crafted against.
+    remote_rbuf_base: u64,
+    cfg: Config,
+    alloc: OffsetAllocator,
+    credits: u32,
+    id_pool: IdPool,
+    pending: HashMap<u16, PendingRequest>,
+    open: Option<OpenBlock>,
+    sent_blocks: HashMap<u64, Allocation>,
+    next_block_seq: u64,
+    /// Response blocks fully processed since the last flush (preamble ack).
+    pending_ack_blocks: u16,
+    /// Request IDs completed since the last flush, in response order —
+    /// freed (on both sides, identically) at the next flush (§IV.D).
+    pending_free_ids: Vec<u16>,
+    wr_seq: u64,
+    /// Reusable completion buffer (no allocator in the datapath, §VI.C.5).
+    cqe_buf: Vec<pbo_simnet::Cqe>,
+    metrics: ClientMetrics,
+}
+
+impl RpcClient {
+    /// Assembles a client endpoint. Used by [`crate::setup::establish`];
+    /// exposed for custom topologies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        qp: QueuePair,
+        sbuf: MemoryRegion,
+        rbuf: MemoryRegion,
+        remote_rbuf: MemoryRegion,
+        remote_rbuf_base: u64,
+        cfg: Config,
+        registry: &Registry,
+        conn_label: &str,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            sbuf.len(),
+            remote_rbuf.len(),
+            "send buffer must mirror the remote receive buffer"
+        );
+        let metrics = ClientMetrics::new(registry, conn_label);
+        metrics.credits.set(cfg.credits as i64);
+        Self {
+            alloc: OffsetAllocator::new(sbuf.len() as u64),
+            credits: cfg.credits,
+            id_pool: IdPool::new(cfg.id_pool),
+            pending: HashMap::new(),
+            open: None,
+            sent_blocks: HashMap::new(),
+            next_block_seq: 0,
+            pending_ack_blocks: 0,
+            pending_free_ids: Vec::new(),
+            wr_seq: 0,
+            cqe_buf: Vec::with_capacity(64),
+            qp,
+            sbuf,
+            rbuf,
+            remote_rbuf,
+            remote_rbuf_base,
+            cfg,
+            metrics,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Requests currently awaiting responses.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Credits currently available.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Metric snapshot.
+    pub fn snapshot(&self) -> ClientMetricsSnapshot {
+        ClientMetricsSnapshot {
+            requests_enqueued: self.metrics.requests_enqueued.get(),
+            responses_completed: self.metrics.responses_completed.get(),
+            blocks_sent: self.metrics.blocks_sent.get(),
+            bytes_sent: self.metrics.bytes_sent.get(),
+            credits: self.metrics.credits.get(),
+        }
+    }
+
+    /// Enqueues a request whose payload is a plain byte string.
+    pub fn enqueue_bytes(
+        &mut self,
+        proc_id: u16,
+        payload: &[u8],
+        cont: Continuation,
+    ) -> Result<(), RpcError> {
+        self.enqueue_with(
+            proc_id,
+            payload.len(),
+            &mut |dst: &mut [u8], _host_addr: u64| {
+                if dst.len() < payload.len() {
+                    return Err(PayloadError::NeedMore);
+                }
+                dst[..payload.len()].copy_from_slice(payload);
+                Ok(payload.len())
+            },
+            cont,
+        )
+    }
+
+    /// Enqueues a request with a caller-materialized payload.
+    ///
+    /// `write` receives the destination slice inside the block and the
+    /// **host virtual address** that slice will occupy in the server's
+    /// receive buffer after the DMA write — the hook that lets the ADT
+    /// writer craft shared-address-space pointers. It returns the bytes
+    /// used, or [`PayloadError::NeedMore`] to be retried in a larger
+    /// block ("Messages can be larger than the minimum block size; in this
+    /// case, the block is composed of a single message", §IV).
+    pub fn enqueue_with(
+        &mut self,
+        proc_id: u16,
+        size_hint: usize,
+        write: &mut dyn FnMut(&mut [u8], u64) -> PayloadResult,
+        cont: Continuation,
+    ) -> Result<(), RpcError> {
+        self.enqueue_with_meta(proc_id, size_hint, &[], write, cont)
+    }
+
+    /// [`RpcClient::enqueue_with`] with opaque call metadata attached: the
+    /// bytes travel after the 8-aligned payload within the block and reach
+    /// the server's handler untouched (§V.D: "metadata can also be passed
+    /// along with the message in the payload").
+    pub fn enqueue_with_meta(
+        &mut self,
+        proc_id: u16,
+        size_hint: usize,
+        metadata: &[u8],
+        write: &mut dyn FnMut(&mut [u8], u64) -> PayloadResult,
+        cont: Continuation,
+    ) -> Result<(), RpcError> {
+        if metadata.len() > MAX_PAYLOAD {
+            return Err(RpcError::PayloadTooLarge {
+                requested: metadata.len(),
+                limit: MAX_PAYLOAD,
+            });
+        }
+        if self.id_pool.outstanding() as usize + self.open_msgs() + 1
+            > self.id_pool.capacity() as usize
+        {
+            return Err(RpcError::TooManyOutstanding);
+        }
+        let mut attempt_block_size = self.cfg.block_size;
+        loop {
+            self.ensure_open(attempt_block_size, size_hint)?;
+            let open = self.open.as_mut().expect("ensured");
+            let header_off = open.cursor;
+            let payload_off = header_off + HEADER_SIZE;
+            let block_len = open.alloc.size as usize;
+            if payload_off >= block_len {
+                // No room for even a header: flush and retry.
+                self.flush()?;
+                continue;
+            }
+            // Reserve room for the (8-aligned) metadata trailer up front.
+            let meta_reserve = if metadata.is_empty() {
+                0
+            } else {
+                align_up(metadata.len() as u64, 8) as usize + 8
+            };
+            if payload_off + meta_reserve >= block_len {
+                self.flush()?;
+                continue;
+            }
+            let avail = (block_len - payload_off - meta_reserve).min(MAX_PAYLOAD);
+            let abs_payload = open.alloc.offset as usize + payload_off;
+            let host_addr = self.remote_rbuf_base + abs_payload as u64;
+            // SAFETY: the open block's range is exclusively ours until
+            // posted; the clone keeps the borrow local.
+            let sbuf = self.sbuf.clone();
+            let dst = unsafe { sbuf.slice_mut(abs_payload, avail) };
+            match write(dst, host_addr) {
+                Ok(used) => {
+                    assert!(used <= avail, "payload writer overran its slice");
+                    let open = self.open.as_mut().expect("still open");
+                    // SAFETY: header range is inside our open block.
+                    let hdr = unsafe {
+                        sbuf.slice_mut(open.alloc.offset as usize + header_off, HEADER_SIZE)
+                    };
+                    Header {
+                        payload_size: used as u16,
+                        selector: proc_id,
+                        status: 0,
+                        meta_len: metadata.len() as u16,
+                    }
+                    .write(hdr);
+                    let mut end = align_up((payload_off + used) as u64, 8) as usize;
+                    if !metadata.is_empty() {
+                        // SAFETY: trailer range reserved above, inside our
+                        // open block.
+                        let dst = unsafe {
+                            sbuf.slice_mut(open.alloc.offset as usize + end, metadata.len())
+                        };
+                        dst.copy_from_slice(metadata);
+                        end = align_up((end + metadata.len()) as u64, 8) as usize;
+                    }
+                    open.cursor = end;
+                    open.conts.push(cont);
+                    self.metrics.requests_enqueued.inc();
+                    // Full block ⇒ ship it now (Nagle-style batching).
+                    if open.cursor + HEADER_SIZE + 8 > open.alloc.size as usize {
+                        self.flush()?;
+                    }
+                    return Ok(());
+                }
+                Err(PayloadError::NeedMore) => {
+                    let open_has_msgs = !self.open.as_ref().expect("open").conts.is_empty();
+                    if open_has_msgs {
+                        // Other messages occupy the block: ship them and
+                        // retry in a fresh block.
+                        self.flush()?;
+                    } else {
+                        // Alone in a fresh block and still too small: grow.
+                        let cur = self.open.take().expect("open");
+                        self.alloc.free(cur.alloc);
+                        let next = attempt_block_size
+                            .checked_mul(2)
+                            .filter(|&n| n <= self.sbuf.len())
+                            .ok_or(RpcError::PayloadTooLarge {
+                                requested: size_hint.max(attempt_block_size),
+                                limit: MAX_PAYLOAD,
+                            })?;
+                        attempt_block_size = next;
+                    }
+                }
+                Err(PayloadError::Fail(m)) => return Err(RpcError::PayloadWriter(m)),
+            }
+        }
+    }
+
+    fn open_msgs(&self) -> usize {
+        self.open.as_ref().map(|o| o.conts.len()).unwrap_or(0)
+    }
+
+    fn ensure_open(&mut self, block_size: usize, size_hint: usize) -> Result<(), RpcError> {
+        // A fresh block must be able to hold the hint; pre-grow if not.
+        let needed = align_up(
+            (PREAMBLE_SIZE + HEADER_SIZE + size_hint) as u64,
+            BLOCK_ALIGN,
+        ) as usize;
+        let want = block_size.max(needed).min(self.sbuf.len());
+        match &self.open {
+            Some(open) if (open.alloc.size as usize) >= want || !open.conts.is_empty() => Ok(()),
+            Some(_) => {
+                // Empty but too small (caller grew the request): reopen.
+                let cur = self.open.take().expect("open");
+                self.alloc.free(cur.alloc);
+                self.open_block(want)
+            }
+            None => self.open_block(want),
+        }
+    }
+
+    fn open_block(&mut self, size: usize) -> Result<(), RpcError> {
+        let alloc = self
+            .alloc
+            .alloc(size as u64, BLOCK_ALIGN)
+            .map_err(|_| RpcError::SendBufferFull)?;
+        self.open = Some(OpenBlock {
+            alloc,
+            cursor: PREAMBLE_SIZE,
+            conts: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Ships the open block, if any. Called by the event loop so that
+    /// partially filled blocks still go out ("Blocks that contain fewer
+    /// requests than the limit are still sent when calling the event
+    /// loop", §IV).
+    pub fn flush(&mut self) -> Result<(), RpcError> {
+        let Some(open) = &self.open else {
+            return Ok(());
+        };
+        if open.conts.is_empty() {
+            return Ok(());
+        }
+        if self.credits == 0 {
+            self.metrics.credit_stalls.inc();
+            return Err(RpcError::NoCredits);
+        }
+        let mut open = self.open.take().expect("checked");
+        let msg_count = open.conts.len() as u16;
+        let seq = self.next_block_seq;
+        self.next_block_seq += 1;
+
+        // §IV.D order: free the acknowledged IDs, then allocate new ones.
+        for id in self.pending_free_ids.drain(..) {
+            self.id_pool.free(id);
+        }
+        for cont in open.conts.drain(..) {
+            let id = self
+                .id_pool
+                .alloc()
+                .expect("pool sized to bound outstanding requests");
+            self.pending.insert(
+                id,
+                PendingRequest {
+                    cont,
+                    block_seq: seq,
+                },
+            );
+        }
+
+        let block_bytes = open.cursor;
+        let sbuf = self.sbuf.clone();
+        // SAFETY: preamble range is inside our block.
+        let pre = unsafe { sbuf.slice_mut(open.alloc.offset as usize, PREAMBLE_SIZE) };
+        Preamble {
+            msg_count,
+            ack_blocks: self.pending_ack_blocks,
+            block_bytes: block_bytes as u32,
+        }
+        .write(pre);
+        self.pending_ack_blocks = 0;
+
+        self.wr_seq += 1;
+        self.qp.post_write_imm(
+            WorkRequestId(self.wr_seq),
+            &self.sbuf,
+            open.alloc.offset as usize,
+            block_bytes,
+            &self.remote_rbuf,
+            open.alloc.offset as usize, // mirrored placement
+            offset_to_bucket(open.alloc.offset),
+            false,
+        )?;
+        self.credits -= 1;
+        self.metrics.credits.dec();
+        self.metrics.blocks_sent.inc();
+        self.metrics.bytes_sent.inc_by(block_bytes as u64);
+        self.sent_blocks.insert(seq, open.alloc);
+        Ok(())
+    }
+
+    /// Polls for response blocks, drives continuations, and flushes any
+    /// pending partial block. Blocks for up to `timeout` when idle (the
+    /// `poll()`-sleep of §III.C). Returns the number of responses
+    /// delivered.
+    pub fn event_loop(&mut self, timeout: Duration) -> Result<usize, RpcError> {
+        // Flush first: a partial block must not wait for more traffic.
+        match self.flush() {
+            Ok(()) | Err(RpcError::NoCredits) => {}
+            Err(e) => return Err(e),
+        }
+        let mut cqes = std::mem::take(&mut self.cqe_buf);
+        cqes.clear();
+        {
+            let cq = self.qp.recv_cq();
+            if cq.poll_into(64, &mut cqes) == 0 && timeout > Duration::ZERO {
+                cq.wait_into(64, timeout, &mut cqes);
+            }
+        }
+        let mut delivered = 0;
+        let mut result = Ok(());
+        for cqe in &cqes {
+            let CqeKind::RecvWriteImm { imm, .. } = cqe.kind else {
+                continue;
+            };
+            match self.process_response_block(imm) {
+                Ok(n) => delivered += n,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            // Replenish the consumed receive.
+            self.qp.post_recv(WorkRequestId(0), None);
+        }
+        cqes.clear();
+        self.cqe_buf = cqes;
+        result?;
+        // Credits may have been replenished: retry the flush.
+        match self.flush() {
+            Ok(()) | Err(RpcError::NoCredits) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(delivered)
+    }
+
+    fn process_response_block(&mut self, imm: u32) -> Result<usize, RpcError> {
+        let offset = crate::wire::bucket_to_offset(imm) as usize;
+        if offset >= self.rbuf.len() {
+            return Err(RpcError::Desync(format!("bucket {imm} out of range")));
+        }
+        let rbuf = self.rbuf.clone();
+        // SAFETY: the block was published by the completion we just
+        // popped; the server will not rewrite it until we ack it.
+        let max = rbuf.len() - offset;
+        let head = unsafe { rbuf.slice(offset, PREAMBLE_SIZE.min(max)) };
+        let pre = Preamble::read(head);
+        let block_len = pre.block_bytes as usize;
+        if block_len < PREAMBLE_SIZE || offset + block_len > rbuf.len() {
+            return Err(RpcError::Desync(format!(
+                "response block at {offset} claims {block_len} bytes"
+            )));
+        }
+        let block = unsafe { rbuf.slice(offset, block_len) };
+        let (_, iter) = BlockHeaderIter::new(block);
+        let mut n = 0;
+        for (header, _, payload, _meta) in iter {
+            let id = header.selector;
+            let Some(entry) = self.pending.remove(&id) else {
+                return Err(RpcError::Desync(format!("response for unknown id {id}")));
+            };
+            // First response for a request block acknowledges it (§IV.B):
+            // recycle the send-buffer block and replenish a credit.
+            if let Some(alloc) = self.sent_blocks.remove(&entry.block_seq) {
+                self.alloc.free(alloc);
+                self.credits += 1;
+                self.metrics.credits.inc();
+            }
+            (entry.cont)(payload, header.status);
+            self.pending_free_ids.push(id);
+            self.metrics.responses_completed.inc();
+            n += 1;
+        }
+        self.pending_ack_blocks += 1;
+        self.metrics.response_blocks.inc();
+        Ok(n)
+    }
+}

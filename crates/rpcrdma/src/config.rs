@@ -1,0 +1,103 @@
+//! Protocol configuration (Table I of the paper).
+
+/// The paper's block size: "The optimal minimal block size for the highest
+/// throughput is around 8 KiB" (§VI.A).
+pub const PAPER_BLOCK_SIZE: usize = 8 * 1024;
+
+/// The paper's initial credits per connection (Table I).
+pub const PAPER_CREDITS: u32 = 256;
+
+/// Per-endpoint protocol configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Minimal block size; messages are batched until a block reaches this
+    /// size, and a single larger message gets a single-message block.
+    pub block_size: usize,
+    /// Initial credits: the bound on blocks in flight in each direction.
+    pub credits: u32,
+    /// This endpoint's send-buffer size (the peer's receive buffer
+    /// mirrors it). Table I: 3 MiB on the client, 16 MiB on the server.
+    pub sbuf_size: usize,
+    /// Request-ID pool size (both sides must agree). The paper stores IDs
+    /// on 2 bytes, allowing up to 2¹⁶ concurrent requests.
+    pub id_pool: u32,
+}
+
+impl Config {
+    /// Table I client (DPU) configuration.
+    pub fn paper_client() -> Self {
+        Self {
+            block_size: PAPER_BLOCK_SIZE,
+            credits: PAPER_CREDITS,
+            sbuf_size: 3 * 1024 * 1024,
+            id_pool: 1 << 16,
+        }
+    }
+
+    /// Table I server (host) configuration.
+    pub fn paper_server() -> Self {
+        Self {
+            block_size: PAPER_BLOCK_SIZE,
+            credits: PAPER_CREDITS,
+            sbuf_size: 16 * 1024 * 1024,
+            id_pool: 1 << 16,
+        }
+    }
+
+    /// A small configuration for unit tests (tiny buffers surface
+    /// recycling bugs quickly).
+    pub fn test_small() -> Self {
+        Self {
+            block_size: 1024,
+            credits: 4,
+            sbuf_size: 64 * 1024,
+            id_pool: 64,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        assert!(self.block_size >= 64, "block size too small");
+        assert!(
+            (self.block_size as u64).is_multiple_of(crate::wire::BLOCK_ALIGN)
+                || self.block_size < crate::wire::BLOCK_ALIGN as usize,
+            "block size should be a multiple of the 1024-byte alignment"
+        );
+        assert!(self.credits >= 1);
+        assert!(
+            self.sbuf_size >= self.block_size * 2,
+            "send buffer must hold at least two blocks"
+        );
+        assert!(self.id_pool >= 1 && self.id_pool <= 1 << 16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table1() {
+        let c = Config::paper_client();
+        assert_eq!(c.block_size, 8192);
+        assert_eq!(c.credits, 256);
+        assert_eq!(c.sbuf_size, 3 * 1024 * 1024);
+        let s = Config::paper_server();
+        assert_eq!(s.sbuf_size, 16 * 1024 * 1024);
+        c.validate();
+        s.validate();
+        Config::test_small().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "two blocks")]
+    fn undersized_buffer_rejected() {
+        Config {
+            block_size: 8192,
+            credits: 1,
+            sbuf_size: 8192,
+            id_pool: 16,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,57 @@
+//! Protocol-level errors.
+
+use pbo_simnet::QpError;
+
+/// Errors surfaced by the RPC-over-RDMA client and server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcError {
+    /// The send buffer cannot fit another block right now (all credits or
+    /// memory in flight); retry after the event loop drains completions.
+    SendBufferFull,
+    /// Credits exhausted: the flight limit was reached (§IV.C). Not an
+    /// error in steady state — callers back off and poll.
+    NoCredits,
+    /// The payload writer asked for more space than any block can hold.
+    PayloadTooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// Hard per-message limit (2¹⁶ − 1).
+        limit: usize,
+    },
+    /// The request-ID pool is exhausted (2¹⁶ outstanding requests).
+    TooManyOutstanding,
+    /// The payload writer closure reported failure.
+    PayloadWriter(String),
+    /// A procedure id had no registered handler.
+    NoSuchProcedure(u16),
+    /// The underlying queue pair failed.
+    Transport(QpError),
+    /// A received block is structurally invalid (bad preamble/bounds) —
+    /// protocol desynchronization; the connection must be torn down.
+    Desync(String),
+}
+
+impl From<QpError> for RpcError {
+    fn from(e: QpError) -> Self {
+        RpcError::Transport(e)
+    }
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::SendBufferFull => write!(f, "send buffer full"),
+            RpcError::NoCredits => write!(f, "no credits available"),
+            RpcError::PayloadTooLarge { requested, limit } => {
+                write!(f, "payload of {requested} B exceeds limit {limit} B")
+            }
+            RpcError::TooManyOutstanding => write!(f, "request-ID pool exhausted"),
+            RpcError::PayloadWriter(m) => write!(f, "payload writer failed: {m}"),
+            RpcError::NoSuchProcedure(p) => write!(f, "no handler for procedure {p}"),
+            RpcError::Transport(e) => write!(f, "transport error: {e}"),
+            RpcError::Desync(m) => write!(f, "protocol desynchronization: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}

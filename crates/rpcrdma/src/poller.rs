@@ -1,0 +1,134 @@
+//! Shared server-side poller — the many-connections-per-poller model.
+//!
+//! §III.C: "a poller is dedicated to a single connection on the client
+//! side. Still, a single poller can share multiple connections on the
+//! server side using a single received queue and a single completion queue
+//! shared between connections." The host is the powerful side; one thread
+//! comfortably serves many DPU connections.
+//!
+//! [`ServerPoller`] owns the [`RpcServer`] endpoints of several
+//! connections whose receive completions all land in one shared
+//! [`CompletionQueue`]; completions are routed by queue-pair number.
+
+use crate::error::RpcError;
+use crate::server::RpcServer;
+use pbo_simnet::{CompletionQueue, Cqe, CqeKind};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One poller driving many server endpoints over a shared completion
+/// queue.
+pub struct ServerPoller {
+    servers: Vec<RpcServer>,
+    by_qpn: HashMap<u32, usize>,
+    shared_cq: CompletionQueue,
+    cqe_buf: Vec<Cqe>,
+}
+
+impl ServerPoller {
+    /// Bundles `servers` behind `shared_cq`. Every server's receive
+    /// completions must be configured (at connection setup) to land in
+    /// `shared_cq`; see [`crate::setup::establish_group`].
+    pub fn new(servers: Vec<RpcServer>, shared_cq: CompletionQueue) -> Self {
+        let by_qpn = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.qp_num(), i))
+            .collect();
+        Self {
+            servers,
+            by_qpn,
+            shared_cq,
+            cqe_buf: Vec::with_capacity(64),
+        }
+    }
+
+    /// Number of connections served.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when no connections are attached.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Mutable access to one endpoint (handler registration, snapshots).
+    pub fn server_mut(&mut self, i: usize) -> &mut RpcServer {
+        &mut self.servers[i]
+    }
+
+    /// Immutable access to one endpoint.
+    pub fn server(&self, i: usize) -> &RpcServer {
+        &self.servers[i]
+    }
+
+    /// Polls the shared queue once, dispatching each completion to its
+    /// connection, then lets every endpoint flush its responses. Sleeps up
+    /// to `timeout` when idle. Returns requests processed.
+    pub fn event_loop(&mut self, timeout: Duration) -> Result<usize, RpcError> {
+        let mut cqes = std::mem::take(&mut self.cqe_buf);
+        cqes.clear();
+        if self.shared_cq.poll_into(64, &mut cqes) == 0 && timeout > Duration::ZERO {
+            self.shared_cq.wait_into(64, timeout, &mut cqes);
+        }
+        let mut processed = 0;
+        let mut result = Ok(());
+        for cqe in &cqes {
+            let CqeKind::RecvWriteImm { imm, .. } = cqe.kind else {
+                continue;
+            };
+            let Some(&idx) = self.by_qpn.get(&cqe.qp_num) else {
+                result = Err(RpcError::Desync(format!(
+                    "completion for unknown queue pair {}",
+                    cqe.qp_num
+                )));
+                break;
+            };
+            match self.servers[idx].handle_write_imm(imm) {
+                Ok(n) => processed += n,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        cqes.clear();
+        self.cqe_buf = cqes;
+        result?;
+        for s in &mut self.servers {
+            s.collect_and_flush()?;
+        }
+        Ok(processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end-to-end by the integration suite (tests/
+    // shared_poller.rs); routing-table construction is the only isolated
+    // logic here.
+    use crate::config::Config;
+    use crate::setup::establish_group;
+    use pbo_metrics::Registry;
+    use pbo_simnet::Fabric;
+
+    #[test]
+    fn routing_table_is_per_qpn() {
+        let fabric = Fabric::new();
+        let registry = Registry::new();
+        let (clients, poller) = establish_group(
+            &fabric,
+            3,
+            Config::test_small(),
+            Config::test_small(),
+            &registry,
+            None,
+        );
+        assert_eq!(poller.len(), 3);
+        assert_eq!(clients.len(), 3);
+        let qpns: std::collections::HashSet<u32> =
+            (0..3).map(|i| poller.server(i).qp_num()).collect();
+        assert_eq!(qpns.len(), 3);
+    }
+}

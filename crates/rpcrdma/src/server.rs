@@ -1,0 +1,660 @@
+//! The RPC-over-RDMA server (the host side).
+//!
+//! The server registers per-procedure *callbacks* (§III.D) and runs a
+//! poller that processes received request blocks **in place**: payloads
+//! are never copied or deserialized — they arrive as fully built objects
+//! whose internal pointers are already valid in this address space. The
+//! implementation executes RPCs in the *foreground* ("directly executed in
+//! the polling thread"), the mode the paper implements; the wire protocol
+//! carries everything background execution would need (request ids travel
+//! in response headers), matching the paper's "designed to allow
+//! background RPCs with little modifications".
+
+use crate::background::{BackgroundHandler, Job, OwnedRequest, ThreadPool};
+use crate::config::Config;
+use crate::error::RpcError;
+use crate::wire::{
+    bucket_to_offset, offset_to_bucket, BlockHeaderIter, Header, Preamble, BLOCK_ALIGN,
+    HEADER_SIZE, MAX_PAYLOAD, PREAMBLE_SIZE,
+};
+use pbo_alloc::{align_up, Allocation, IdPool, OffsetAllocator};
+use pbo_metrics::{Counter, Gauge, Registry};
+use pbo_simnet::{CqeKind, MemoryRegion, QueuePair, WorkRequestId};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// A received request, presented zero-copy.
+#[derive(Debug)]
+pub struct Request<'a> {
+    /// Procedure id from the header.
+    pub proc_id: u16,
+    /// The deterministically synchronized request id (§IV.D).
+    pub req_id: u16,
+    /// Payload bytes, in place in the receive buffer.
+    pub payload: &'a [u8],
+    /// Opaque call metadata travelling after the payload (§V.D); empty
+    /// when none was attached.
+    pub metadata: &'a [u8],
+    /// Host virtual address of `payload[0]` — the address the client's
+    /// shared-address-space pointers were crafted against.
+    pub payload_addr: u64,
+    /// Receive-buffer base address (pointer-validation window).
+    pub region_base: u64,
+    /// Receive-buffer length.
+    pub region_len: u64,
+}
+
+/// Reusable response-buffer handed to handlers.
+#[derive(Default)]
+pub struct ResponseSink {
+    buf: Vec<u8>,
+}
+
+impl ResponseSink {
+    /// Appends bytes to the response payload.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Current response length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes were written (an empty response).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A request handler: fills the sink and returns a status code (0 = OK).
+pub type Handler = Box<dyn FnMut(&Request<'_>, &mut ResponseSink) -> u16 + Send>;
+
+/// A payload writer returning `(bytes_used, status)`.
+pub type StatusPayloadWriter =
+    Box<dyn FnMut(&mut [u8], u64) -> Result<(usize, u16), crate::client::PayloadError> + Send>;
+
+/// A zero-copy response plan: the payload is materialized directly in the
+/// response block by `write`, which receives the destination slice and the
+/// client-side address it will occupy (the response-direction mirror of
+/// the client's payload writers) and returns `(bytes_used, status)`.
+pub struct NativeResponse {
+    /// Expected payload size (fresh blocks are pre-sized to fit it).
+    pub size_hint: usize,
+    /// The in-place payload writer.
+    pub write: StatusPayloadWriter,
+}
+
+/// A handler producing zero-copy responses — used by the response-
+/// serialization-offload extension (§III.A: "serialization can be
+/// offloaded with similar techniques").
+pub type WriterHandler = Box<dyn FnMut(&Request<'_>) -> NativeResponse + Send>;
+
+/// Borrowed form of [`StatusPayloadWriter`] used internally.
+type StatusWriteFn<'a> =
+    dyn FnMut(&mut [u8], u64) -> Result<(usize, u16), crate::client::PayloadError> + 'a;
+
+struct SealedBlock {
+    alloc: Allocation,
+    bytes: usize,
+    ids: Vec<u16>,
+}
+
+struct OpenRespBlock {
+    alloc: Allocation,
+    cursor: usize,
+    ids: Vec<u16>,
+}
+
+/// Server-side counters.
+#[derive(Clone)]
+pub struct ServerMetrics {
+    /// Requests processed.
+    pub requests: Counter,
+    /// Request blocks received.
+    pub blocks_received: Counter,
+    /// Response blocks sent.
+    pub blocks_sent: Counter,
+    /// Response bytes posted.
+    pub bytes_sent: Counter,
+    /// Current credits.
+    pub credits: Gauge,
+    /// Busy nanoseconds accrued by the poller (Fig 8c's raw input).
+    pub busy_ns: Counter,
+}
+
+impl ServerMetrics {
+    fn new(reg: &Registry, conn: &str) -> Self {
+        let l = &[("conn", conn), ("side", "server")];
+        Self {
+            requests: reg.counter("rpc_requests_total", "requests processed", l),
+            blocks_received: reg.counter("rpc_blocks_received_total", "request blocks", l),
+            blocks_sent: reg.counter("rpc_resp_blocks_sent_total", "response blocks", l),
+            bytes_sent: reg.counter("rpc_resp_bytes_sent_total", "response bytes", l),
+            credits: reg.gauge("rpc_server_credits", "credits available", l),
+            busy_ns: reg.counter("rpc_server_busy_ns_total", "poller busy time", l),
+        }
+    }
+}
+
+/// Point-in-time snapshot for reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerMetricsSnapshot {
+    /// Requests processed.
+    pub requests: u64,
+    /// Request blocks received.
+    pub blocks_received: u64,
+    /// Response blocks sent.
+    pub blocks_sent: u64,
+    /// Poller busy time in nanoseconds.
+    pub busy_ns: u64,
+}
+
+/// One RPC-over-RDMA server endpoint (one connection).
+pub struct RpcServer {
+    qp: QueuePair,
+    sbuf: MemoryRegion,
+    rbuf: MemoryRegion,
+    remote_rbuf: MemoryRegion,
+    cfg: Config,
+    alloc: OffsetAllocator,
+    credits: u32,
+    id_pool: IdPool,
+    handlers: HashMap<u16, Handler>,
+    writer_handlers: HashMap<u16, WriterHandler>,
+    bg_handlers: HashMap<u16, BackgroundHandler>,
+    pool: Option<ThreadPool>,
+    open: Option<OpenRespBlock>,
+    sealed: VecDeque<SealedBlock>,
+    sent_resp_blocks: VecDeque<SealedBlock>,
+    scratch: ResponseSink,
+    wr_seq: u64,
+    /// Reusable completion buffer (no allocator in the datapath, §VI.C.5).
+    cqe_buf: Vec<pbo_simnet::Cqe>,
+    metrics: ServerMetrics,
+}
+
+impl RpcServer {
+    /// Assembles a server endpoint. Used by [`crate::setup::establish`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        qp: QueuePair,
+        sbuf: MemoryRegion,
+        rbuf: MemoryRegion,
+        remote_rbuf: MemoryRegion,
+        cfg: Config,
+        peer_cfg: Config,
+        registry: &Registry,
+        conn_label: &str,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(sbuf.len(), remote_rbuf.len(), "mirroring violated");
+        assert_eq!(
+            cfg.id_pool, peer_cfg.id_pool,
+            "both sides must size the ID pool identically (§IV.D)"
+        );
+        let metrics = ServerMetrics::new(registry, conn_label);
+        metrics.credits.set(cfg.credits as i64);
+        Self {
+            alloc: OffsetAllocator::new(sbuf.len() as u64),
+            credits: cfg.credits,
+            id_pool: IdPool::new(cfg.id_pool),
+            handlers: HashMap::new(),
+            writer_handlers: HashMap::new(),
+            bg_handlers: HashMap::new(),
+            pool: None,
+            open: None,
+            sealed: VecDeque::new(),
+            sent_resp_blocks: VecDeque::new(),
+            scratch: ResponseSink::default(),
+            wr_seq: 0,
+            cqe_buf: Vec::with_capacity(64),
+            qp,
+            sbuf,
+            rbuf,
+            remote_rbuf,
+            cfg,
+            metrics,
+        }
+    }
+
+    /// Registers the callback for `proc_id` (§III.D: "the user can
+    /// register RPCs by providing a callback function").
+    pub fn register(&mut self, proc_id: u16, handler: Handler) {
+        assert!(
+            !self.writer_handlers.contains_key(&proc_id),
+            "procedure {proc_id} registered twice"
+        );
+        let prev = self.handlers.insert(proc_id, handler);
+        assert!(prev.is_none(), "procedure {proc_id} registered twice");
+    }
+
+    /// Registers a zero-copy-response callback for `proc_id`: its payload
+    /// is written in place into the response block instead of being copied
+    /// from a byte buffer.
+    pub fn register_writer(&mut self, proc_id: u16, handler: WriterHandler) {
+        assert!(
+            !self.handlers.contains_key(&proc_id) && !self.bg_handlers.contains_key(&proc_id),
+            "procedure {proc_id} registered twice"
+        );
+        let prev = self.writer_handlers.insert(proc_id, handler);
+        assert!(prev.is_none(), "procedure {proc_id} registered twice");
+    }
+
+    /// Starts the background thread pool (§III.D: "Background RPCs are
+    /// executed in background threads … well-used for long-running RPCs").
+    /// Must be called before registering background handlers.
+    pub fn enable_background(&mut self, workers: usize) {
+        assert!(self.pool.is_none(), "background pool already enabled");
+        self.pool = Some(ThreadPool::new(workers));
+    }
+
+    /// Registers a *background* callback for `proc_id`: it runs on a pool
+    /// worker instead of the polling thread, so long-running procedures do
+    /// not stall the datapath. Its payload is copied out of the receive
+    /// buffer at dispatch time (the "heavier bookkeeping" of §III.D),
+    /// because the client may recycle the block before the handler
+    /// finishes.
+    pub fn register_background(&mut self, proc_id: u16, handler: BackgroundHandler) {
+        assert!(self.pool.is_some(), "call enable_background first");
+        assert!(
+            !self.handlers.contains_key(&proc_id) && !self.writer_handlers.contains_key(&proc_id),
+            "procedure {proc_id} registered twice"
+        );
+        let prev = self.bg_handlers.insert(proc_id, handler);
+        assert!(prev.is_none(), "procedure {proc_id} registered twice");
+    }
+
+    /// Background RPCs submitted but not yet responded to.
+    pub fn background_outstanding(&self) -> usize {
+        self.pool.as_ref().map(|p| p.outstanding()).unwrap_or(0)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Credits currently available.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// This endpoint's queue-pair number (routing key for shared pollers).
+    pub fn qp_num(&self) -> u32 {
+        self.qp.qp_num()
+    }
+
+    /// Processes one received block identified by its immediate and
+    /// replenishes the consumed receive. Used by [`crate::ServerPoller`],
+    /// which owns the (shared) completion queue.
+    pub fn handle_write_imm(&mut self, imm: u32) -> Result<usize, RpcError> {
+        let n = self.process_request_block(imm)?;
+        self.qp.post_recv(WorkRequestId(0), None);
+        Ok(n)
+    }
+
+    /// Collects finished background RPCs and flushes response blocks —
+    /// the tail half of [`RpcServer::event_loop`], split out for shared
+    /// pollers.
+    pub fn collect_and_flush(&mut self) -> Result<(), RpcError> {
+        if let Some(pool) = &mut self.pool {
+            let done = pool.drain();
+            for c in done {
+                self.append_response(c.req_id, c.status, &c.payload)?;
+            }
+        }
+        self.flush_responses()
+    }
+
+    /// Metric snapshot.
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            requests: self.metrics.requests.get(),
+            blocks_received: self.metrics.blocks_received.get(),
+            blocks_sent: self.metrics.blocks_sent.get(),
+            busy_ns: self.metrics.busy_ns.get(),
+        }
+    }
+
+    /// Polls for request blocks, runs handlers in the foreground, and
+    /// ships response blocks. Sleeps up to `timeout` when idle (§III.C).
+    /// Returns the number of requests processed.
+    pub fn event_loop(&mut self, timeout: Duration) -> Result<usize, RpcError> {
+        let mut cqes = std::mem::take(&mut self.cqe_buf);
+        cqes.clear();
+        {
+            let cq = self.qp.recv_cq();
+            if cq.poll_into(64, &mut cqes) == 0 && timeout > Duration::ZERO {
+                cq.wait_into(64, timeout, &mut cqes);
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let mut processed = 0;
+        let mut result = Ok(());
+        for cqe in &cqes {
+            let CqeKind::RecvWriteImm { imm, .. } = cqe.kind else {
+                continue;
+            };
+            match self.process_request_block(imm) {
+                Ok(n) => processed += n,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            self.qp.post_recv(WorkRequestId(0), None);
+        }
+        cqes.clear();
+        self.cqe_buf = cqes;
+        result?;
+        // Collect finished background RPCs (out-of-order completion) and
+        // ship whatever responses accumulated (partial blocks included).
+        self.collect_and_flush()?;
+        if processed > 0 {
+            self.metrics.busy_ns.inc_by(t0.elapsed().as_nanos() as u64);
+        }
+        Ok(processed)
+    }
+
+    fn process_request_block(&mut self, imm: u32) -> Result<usize, RpcError> {
+        let offset = bucket_to_offset(imm) as usize;
+        if offset >= self.rbuf.len() {
+            return Err(RpcError::Desync(format!("bucket {imm} out of range")));
+        }
+        let rbuf = self.rbuf.clone();
+        // SAFETY: published by the completion; the client will not recycle
+        // this block until it sees our first response for it.
+        let head = unsafe { rbuf.slice(offset, PREAMBLE_SIZE) };
+        let pre = Preamble::read(head);
+        let block_len = pre.block_bytes as usize;
+        if block_len < PREAMBLE_SIZE || offset + block_len > rbuf.len() {
+            return Err(RpcError::Desync(format!(
+                "request block at {offset} claims {block_len} bytes"
+            )));
+        }
+
+        // §IV.D step 2: replay the client's frees (the acked response
+        // blocks' ids, oldest first), then allocate ids for this block's
+        // messages — identical order to the client.
+        for _ in 0..pre.ack_blocks {
+            let sealed = self
+                .sent_resp_blocks
+                .pop_front()
+                .ok_or_else(|| RpcError::Desync("ack for more response blocks than sent".into()))?;
+            for id in &sealed.ids {
+                self.id_pool.free(*id);
+            }
+            self.alloc.free(sealed.alloc);
+            self.credits += 1;
+            self.metrics.credits.inc();
+        }
+
+        let block = unsafe { rbuf.slice(offset, block_len) };
+        let region_base = rbuf.base_addr() as u64;
+        let region_len = rbuf.len() as u64;
+        let (_, iter) = BlockHeaderIter::new(block);
+        let mut n = 0;
+        for (header, payload_off, payload, metadata) in iter {
+            let req_id = self
+                .id_pool
+                .alloc()
+                .ok_or_else(|| RpcError::Desync("request-ID pool exhausted".into()))?;
+            let request = Request {
+                proc_id: header.selector,
+                req_id,
+                payload,
+                metadata,
+                payload_addr: region_base + (offset + payload_off) as u64,
+                region_base,
+                region_len,
+            };
+            // Background dispatch: copy the payload out (the client may
+            // recycle this block after our first foreground response) and
+            // hand it to the pool; the response is appended when the
+            // worker finishes, possibly out of order.
+            if let Some(bh) = self.bg_handlers.get(&header.selector) {
+                let job = Job {
+                    request: OwnedRequest {
+                        proc_id: header.selector,
+                        req_id,
+                        payload: request.payload.to_vec(),
+                    },
+                    handler: bh.clone(),
+                };
+                self.pool.as_mut().expect("pool enabled").submit(job);
+                self.metrics.requests.inc();
+                n += 1;
+                continue;
+            }
+            // Foreground dispatch. Handlers are taken out of their maps
+            // so they can run while we keep `&mut self` for the response
+            // builder.
+            if let Some(mut wh) = self.writer_handlers.remove(&header.selector) {
+                let mut plan = wh(&request);
+                self.writer_handlers.insert(header.selector, wh);
+                let mut status_out = 0u16;
+                self.append_with(req_id, plan.size_hint, &mut |dst, host_addr| {
+                    let (used, status) = (plan.write)(dst, host_addr)?;
+                    status_out = status;
+                    Ok((used, status))
+                })?;
+                let _ = status_out;
+            } else {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.buf.clear();
+                let (status, handler) = match self.handlers.remove(&header.selector) {
+                    Some(mut h) => {
+                        let s = h(&request, &mut scratch);
+                        (s, Some(h))
+                    }
+                    None => (1, None),
+                };
+                if let Some(h) = handler {
+                    self.handlers.insert(header.selector, h);
+                }
+                let resp = std::mem::take(&mut scratch.buf);
+                self.append_response(req_id, status, &resp)?;
+                scratch.buf = resp;
+                scratch.buf.clear();
+                self.scratch = scratch;
+            }
+            self.metrics.requests.inc();
+            n += 1;
+        }
+        self.metrics.blocks_received.inc();
+        Ok(n)
+    }
+
+    fn append_response(
+        &mut self,
+        req_id: u16,
+        status: u16,
+        payload: &[u8],
+    ) -> Result<(), RpcError> {
+        self.append_response_with(
+            req_id,
+            status,
+            payload.len(),
+            &mut |dst: &mut [u8], _host_addr: u64| {
+                if dst.len() < payload.len() {
+                    return Err(crate::client::PayloadError::NeedMore);
+                }
+                dst[..payload.len()].copy_from_slice(payload);
+                Ok(payload.len())
+            },
+        )
+    }
+
+    /// Appends a response whose payload is materialized in place by
+    /// `write`, which receives the destination slice inside the response
+    /// block and the **client-side** virtual address that slice will
+    /// occupy in the client's receive buffer after the DMA write — the
+    /// symmetric hook to the client's [`crate::RpcClient::enqueue_with`],
+    /// enabling *response-serialization offload*: the host writes native
+    /// response objects with client-valid pointers and the DPU serializes
+    /// them for the xRPC client (§III.A: "serialization can be offloaded
+    /// with similar techniques").
+    pub fn append_response_with(
+        &mut self,
+        req_id: u16,
+        status: u16,
+        size_hint: usize,
+        write: &mut dyn FnMut(&mut [u8], u64) -> crate::client::PayloadResult,
+    ) -> Result<(), RpcError> {
+        self.append_with(req_id, size_hint, &mut |dst, host_addr| {
+            write(dst, host_addr).map(|used| (used, status))
+        })
+    }
+
+    /// Core zero-copy response appender: `write` returns
+    /// `(bytes_used, status)` so handlers can decide the status while
+    /// materializing the payload.
+    fn append_with(
+        &mut self,
+        req_id: u16,
+        size_hint: usize,
+        write: &mut StatusWriteFn<'_>,
+    ) -> Result<(), RpcError> {
+        let remote_rbuf_base = self.remote_rbuf.base_addr() as u64;
+        let mut grow_factor: usize = 1;
+        loop {
+            if self.open.is_none() {
+                let needed = align_up(
+                    (PREAMBLE_SIZE + HEADER_SIZE + size_hint) as u64,
+                    BLOCK_ALIGN,
+                ) as usize;
+                let size = self
+                    .cfg
+                    .block_size
+                    .max(needed)
+                    .checked_mul(grow_factor)
+                    .filter(|&n| n <= self.sbuf.len())
+                    .ok_or(RpcError::PayloadTooLarge {
+                        requested: size_hint.max(self.cfg.block_size * grow_factor.max(1)),
+                        limit: MAX_PAYLOAD,
+                    })?;
+                let alloc = self
+                    .alloc
+                    .alloc(size as u64, BLOCK_ALIGN)
+                    .map_err(|_| RpcError::SendBufferFull)?;
+                self.open = Some(OpenRespBlock {
+                    alloc,
+                    cursor: PREAMBLE_SIZE,
+                    ids: Vec::new(),
+                });
+            }
+            let open = self.open.as_mut().expect("opened");
+            let header_off = open.cursor;
+            let payload_off = header_off + HEADER_SIZE;
+            let block_len = open.alloc.size as usize;
+            if payload_off >= block_len {
+                self.seal_open();
+                continue;
+            }
+            let avail = (block_len - payload_off).min(MAX_PAYLOAD);
+            let abs_payload = open.alloc.offset as usize + payload_off;
+            let host_addr = remote_rbuf_base + abs_payload as u64;
+            let sbuf = self.sbuf.clone();
+            // SAFETY: the open block's range is exclusively ours.
+            let dst = unsafe { sbuf.slice_mut(abs_payload, avail) };
+            match write(dst, host_addr) {
+                Ok((used, status)) => {
+                    assert!(used <= avail, "response writer overran its slice");
+                    let open = self.open.as_mut().expect("still open");
+                    let base = open.alloc.offset as usize;
+                    let hdr = unsafe { sbuf.slice_mut(base + header_off, HEADER_SIZE) };
+                    Header {
+                        payload_size: used as u16,
+                        selector: req_id,
+                        status,
+                        meta_len: 0,
+                    }
+                    .write(hdr);
+                    open.cursor = align_up((payload_off + used) as u64, 8) as usize;
+                    open.ids.push(req_id);
+                    if open.cursor + HEADER_SIZE + 8 > open.alloc.size as usize {
+                        self.seal_open();
+                    }
+                    return Ok(());
+                }
+                Err(crate::client::PayloadError::NeedMore) => {
+                    let has_others = !self.open.as_ref().expect("open").ids.is_empty();
+                    if has_others {
+                        // Ship the others; retry in a fresh block.
+                        self.seal_open();
+                    } else {
+                        // Alone in its block and still too small: grow
+                        // geometrically ("the block is composed of a
+                        // single message", §IV).
+                        let cur = self.open.take().expect("open");
+                        self.alloc.free(cur.alloc);
+                        grow_factor =
+                            grow_factor
+                                .checked_mul(2)
+                                .ok_or(RpcError::PayloadTooLarge {
+                                    requested: size_hint,
+                                    limit: MAX_PAYLOAD,
+                                })?;
+                    }
+                }
+                Err(crate::client::PayloadError::Fail(m)) => {
+                    return Err(RpcError::PayloadWriter(m))
+                }
+            }
+        }
+    }
+
+    fn seal_open(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        if open.ids.is_empty() {
+            self.alloc.free(open.alloc);
+            return;
+        }
+        let sbuf = self.sbuf.clone();
+        // SAFETY: block range exclusively ours until posted.
+        let pre = unsafe { sbuf.slice_mut(open.alloc.offset as usize, PREAMBLE_SIZE) };
+        Preamble {
+            msg_count: open.ids.len() as u16,
+            ack_blocks: 0, // the server acks implicitly by responding
+            block_bytes: open.cursor as u32,
+        }
+        .write(pre);
+        self.sealed.push_back(SealedBlock {
+            alloc: open.alloc,
+            bytes: open.cursor,
+            ids: open.ids,
+        });
+    }
+
+    /// Sends sealed (and the current partial) response blocks while
+    /// credits allow.
+    pub fn flush_responses(&mut self) -> Result<(), RpcError> {
+        self.seal_open();
+        while !self.sealed.is_empty() {
+            if self.credits == 0 {
+                return Ok(()); // retry on a later loop; acks will arrive
+            }
+            let block = self.sealed.pop_front().expect("non-empty");
+            self.wr_seq += 1;
+            self.qp.post_write_imm(
+                WorkRequestId(self.wr_seq),
+                &self.sbuf,
+                block.alloc.offset as usize,
+                block.bytes,
+                &self.remote_rbuf,
+                block.alloc.offset as usize, // mirrored placement
+                offset_to_bucket(block.alloc.offset),
+                false,
+            )?;
+            self.credits -= 1;
+            self.metrics.credits.dec();
+            self.metrics.blocks_sent.inc();
+            self.metrics.bytes_sent.inc_by(block.bytes as u64);
+            self.sent_resp_blocks.push_back(block);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,439 @@
+//! Connection establishment: buffers, base-address exchange, initial
+//! receives, and the one-time control transfer (used for the ADT).
+
+use crate::client::RpcClient;
+use crate::config::Config;
+use crate::server::RpcServer;
+use pbo_metrics::Registry;
+use pbo_simnet::{Fabric, ProtectionDomain, RecvBufferSlot, WorkRequestId};
+use std::time::Duration;
+
+/// The two endpoints of one established connection.
+pub struct Endpoints {
+    /// DPU-side endpoint.
+    pub client: RpcClient,
+    /// Host-side endpoint.
+    pub server: RpcServer,
+    /// The control blob the server pushed during setup (the ADT bytes in
+    /// the offload stack), as received by the client.
+    pub control_blob: Option<Vec<u8>>,
+}
+
+/// Establishes one RPC-over-RDMA connection over `fabric`.
+///
+/// Reproduces the paper's setup sequence: register mirrored buffer pairs
+/// (each side's send buffer sized by its own config, each receive buffer
+/// mirroring the peer's send buffer), exchange base addresses, pre-post
+/// enough receives to absorb the peer's full credit allowance (so the
+/// receive queue can never underflow while credits are respected, §IV.C),
+/// and optionally push a one-time control blob host→DPU with a two-sided
+/// send ("The ADT is transmitted from the host to the DPU at the start of
+/// the application", §V.B).
+pub fn establish(
+    fabric: &Fabric,
+    client_cfg: Config,
+    server_cfg: Config,
+    registry: &Registry,
+    conn_label: &str,
+    control: Option<&[u8]>,
+) -> Endpoints {
+    client_cfg.validate();
+    server_cfg.validate();
+
+    let pd_dpu = ProtectionDomain::new();
+    let pd_host = ProtectionDomain::new();
+
+    let client_sbuf = pd_dpu.register(client_cfg.sbuf_size);
+    let client_rbuf = pd_dpu.register(server_cfg.sbuf_size);
+    let server_sbuf = pd_host.register(server_cfg.sbuf_size);
+    let server_rbuf = pd_host.register(client_cfg.sbuf_size);
+
+    let cq_depth = (client_cfg.credits + server_cfg.credits) as usize * 2 + 16;
+    let (qp_dpu, qp_host) = fabric.connect(&pd_dpu, &pd_host, cq_depth);
+
+    // One-time control transfer, host → DPU, two-sided. This runs before
+    // the bulk bufferless receives are posted so the send consumes the
+    // buffered receive (receives are consumed in post order).
+    let control_blob = control.map(|blob| {
+        let landing = pd_dpu.register(blob.len().max(1));
+        qp_dpu.post_recv(
+            WorkRequestId(u64::MAX),
+            Some(RecvBufferSlot {
+                mr: landing.clone(),
+                offset: 0,
+                len: blob.len().max(1),
+            }),
+        );
+        let staging = pd_host.register(blob.len().max(1));
+        staging.write(0, blob);
+        qp_host
+            .post_send(WorkRequestId(u64::MAX), &staging, 0, blob.len(), false)
+            .expect("control send");
+        let cqes = qp_dpu.recv_cq().wait(1, Duration::from_secs(5));
+        assert_eq!(cqes.len(), 1, "control transfer did not complete");
+        landing.read(0, blob.len())
+    });
+
+    // Pre-post receives to cover the peer's full credit allowance.
+    for _ in 0..server_cfg.credits {
+        qp_dpu.post_recv(WorkRequestId(0), None);
+    }
+    for _ in 0..client_cfg.credits {
+        qp_host.post_recv(WorkRequestId(0), None);
+    }
+
+    let remote_rbuf_base = server_rbuf.base_addr() as u64;
+    let client = RpcClient::new(
+        qp_dpu,
+        client_sbuf,
+        client_rbuf.clone(),
+        server_rbuf.clone(),
+        remote_rbuf_base,
+        client_cfg,
+        registry,
+        conn_label,
+    );
+    let server = RpcServer::new(
+        qp_host,
+        server_sbuf,
+        server_rbuf,
+        client_rbuf,
+        server_cfg,
+        client_cfg,
+        registry,
+        conn_label,
+    );
+    Endpoints {
+        client,
+        server,
+        control_blob,
+    }
+}
+
+/// Establishes `n` connections whose host-side receive completions share
+/// one completion queue, returning the client endpoints and a
+/// [`crate::ServerPoller`] over the server endpoints — §III.C's server
+/// threading model ("a single poller can share multiple connections on the
+/// server side using … a single completion queue shared between
+/// connections").
+pub fn establish_group(
+    fabric: &Fabric,
+    n: usize,
+    client_cfg: Config,
+    server_cfg: Config,
+    registry: &Registry,
+    control: Option<&[u8]>,
+) -> (Vec<RpcClient>, crate::ServerPoller) {
+    use pbo_simnet::CompletionQueue;
+    assert!(n > 0);
+    client_cfg.validate();
+    server_cfg.validate();
+    let shared_depth = (client_cfg.credits as usize * n) * 2 + 16;
+    let shared_recv = CompletionQueue::new(shared_depth);
+    let mut clients = Vec::with_capacity(n);
+    let mut servers = Vec::with_capacity(n);
+    for i in 0..n {
+        let pd_dpu = ProtectionDomain::new();
+        let pd_host = ProtectionDomain::new();
+        let client_sbuf = pd_dpu.register(client_cfg.sbuf_size);
+        let client_rbuf = pd_dpu.register(server_cfg.sbuf_size);
+        let server_sbuf = pd_host.register(server_cfg.sbuf_size);
+        let server_rbuf = pd_host.register(client_cfg.sbuf_size);
+        let depth = (client_cfg.credits + server_cfg.credits) as usize * 2 + 16;
+        let (qp_dpu, qp_host) = fabric.connect_shared(
+            &pd_dpu,
+            &pd_host,
+            CompletionQueue::new(depth),
+            CompletionQueue::new(depth),
+            CompletionQueue::new(depth),
+            shared_recv.clone(),
+        );
+        // Control transfer must precede the bufferless receives.
+        let control_blob = control.map(|blob| {
+            qp_dpu.post_recv(
+                WorkRequestId(u64::MAX),
+                Some(RecvBufferSlot {
+                    mr: pd_dpu.register(blob.len().max(1)),
+                    offset: 0,
+                    len: blob.len().max(1),
+                }),
+            );
+            let staging = pd_host.register(blob.len().max(1));
+            staging.write(0, blob);
+            qp_host
+                .post_send(WorkRequestId(u64::MAX), &staging, 0, blob.len(), false)
+                .expect("control send");
+            let got = qp_dpu.recv_cq().wait(1, Duration::from_secs(5));
+            assert_eq!(got.len(), 1, "control transfer incomplete");
+        });
+        let _ = control_blob;
+        for _ in 0..server_cfg.credits {
+            qp_dpu.post_recv(WorkRequestId(0), None);
+        }
+        for _ in 0..client_cfg.credits {
+            qp_host.post_recv(WorkRequestId(0), None);
+        }
+        let remote_rbuf_base = server_rbuf.base_addr() as u64;
+        clients.push(RpcClient::new(
+            qp_dpu,
+            client_sbuf,
+            client_rbuf.clone(),
+            server_rbuf.clone(),
+            remote_rbuf_base,
+            client_cfg,
+            registry,
+            &format!("g{i}"),
+        ));
+        servers.push(RpcServer::new(
+            qp_host,
+            server_sbuf,
+            server_rbuf,
+            client_rbuf,
+            server_cfg,
+            client_cfg,
+            registry,
+            &format!("g{i}"),
+        ));
+    }
+    (clients, crate::ServerPoller::new(servers, shared_recv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RpcError;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn pair(label: &str) -> Endpoints {
+        let fabric = Fabric::new();
+        let registry = Registry::new();
+        establish(
+            &fabric,
+            Config::test_small(),
+            Config::test_small(),
+            &registry,
+            label,
+            None,
+        )
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut ep = pair("echo");
+        ep.server.register(
+            7,
+            Box::new(|req, sink| {
+                sink.write(req.payload);
+                sink.write(b"!");
+                0
+            }),
+        );
+        let got = Arc::new(parking_lot_stub::Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        ep.client
+            .enqueue_bytes(
+                7,
+                b"hello",
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0);
+                    got2.lock().extend_from_slice(payload);
+                }),
+            )
+            .unwrap();
+        ep.client.flush().unwrap();
+        assert_eq!(ep.server.event_loop(Duration::ZERO).unwrap(), 1);
+        assert_eq!(ep.client.event_loop(Duration::ZERO).unwrap(), 1);
+        assert_eq!(got.lock().as_slice(), b"hello!");
+    }
+
+    // Minimal mutex shim to avoid importing parking_lot in tests for one
+    // use.
+    mod parking_lot_stub {
+        pub use std::sync::Mutex as StdMutex;
+        pub struct Mutex<T>(StdMutex<T>);
+        impl<T> Mutex<T> {
+            pub fn new(v: T) -> Self {
+                Self(StdMutex::new(v))
+            }
+            pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+                self.0.lock().unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn batching_many_small_requests_into_blocks() {
+        let mut ep = pair("batch");
+        let counter = Arc::new(AtomicUsize::new(0));
+        ep.server.register(
+            1,
+            Box::new(|_req, _sink| 0), // empty response
+        );
+        for i in 0..50u32 {
+            let c = counter.clone();
+            ep.client
+                .enqueue_bytes(
+                    1,
+                    &i.to_le_bytes(),
+                    Box::new(move |payload, status| {
+                        assert_eq!(status, 0);
+                        assert!(payload.is_empty());
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }),
+                )
+                .unwrap();
+        }
+        ep.client.flush().unwrap();
+        let sent_blocks = ep.client.snapshot().blocks_sent;
+        // 50 × (8 B header + 8 B payload-aligned) ≈ 800 B < one 1024-byte
+        // block… block_size=1024 in test_small, so all 50 fit in 1 block.
+        assert_eq!(sent_blocks, 1);
+        ep.server.event_loop(Duration::ZERO).unwrap();
+        ep.client.event_loop(Duration::ZERO).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn oversized_message_gets_single_message_block() {
+        let mut ep = pair("bigmsg");
+        ep.server.register(2, Box::new(|_r, _s| 0));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        // 5000 B payload > 1024 B test block size.
+        let payload = vec![0xa5u8; 5000];
+        let expected_len = payload.len();
+        ep.client
+            .enqueue_with(
+                2,
+                expected_len,
+                &mut |dst: &mut [u8], _| {
+                    if dst.len() < 5000 {
+                        return Err(crate::client::PayloadError::NeedMore);
+                    }
+                    dst[..5000].copy_from_slice(&vec![0xa5u8; 5000]);
+                    Ok(5000)
+                },
+                Box::new(move |_p, status| {
+                    assert_eq!(status, 0);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        ep.client.flush().unwrap();
+        ep.server.event_loop(Duration::ZERO).unwrap();
+        ep.client.event_loop(Duration::ZERO).unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_procedure_returns_error_status() {
+        let mut ep = pair("noproc");
+        let status_seen = Arc::new(AtomicUsize::new(999));
+        let s = status_seen.clone();
+        ep.client
+            .enqueue_bytes(
+                42,
+                b"x",
+                Box::new(move |_p, status| {
+                    s.store(status as usize, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        ep.client.flush().unwrap();
+        ep.server.event_loop(Duration::ZERO).unwrap();
+        ep.client.event_loop(Duration::ZERO).unwrap();
+        assert_eq!(status_seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sustained_traffic_recycles_ids_credits_and_memory() {
+        let mut ep = pair("sustain");
+        ep.server.register(1, Box::new(|_r, _s| 0));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let total = 2000usize;
+        let mut sent = 0usize;
+        let mut inflight = 0usize;
+        while completed.load(Ordering::Relaxed) < total {
+            while sent < total && inflight < 16 {
+                let c = completed.clone();
+                match ep.client.enqueue_bytes(
+                    1,
+                    b"payload",
+                    Box::new(move |_p, _s| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ) {
+                    Ok(()) => {
+                        sent += 1;
+                        inflight += 1;
+                    }
+                    Err(RpcError::NoCredits) | Err(RpcError::SendBufferFull) => break,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            let _ = ep.client.event_loop(Duration::ZERO).unwrap();
+            ep.server.event_loop(Duration::ZERO).unwrap();
+            let done_now = ep.client.event_loop(Duration::ZERO).unwrap();
+            inflight -= done_now.min(inflight);
+        }
+        assert_eq!(completed.load(Ordering::Relaxed), total);
+        // Steady state restored: full credits, no leaked memory.
+        assert_eq!(ep.client.credits(), ep.client.config().credits);
+        assert_eq!(ep.client.outstanding(), 0);
+    }
+
+    #[test]
+    fn control_blob_is_delivered() {
+        let fabric = Fabric::new();
+        let registry = Registry::new();
+        let blob = (0u16..500)
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<_>>();
+        let ep = establish(
+            &fabric,
+            Config::test_small(),
+            Config::test_small(),
+            &registry,
+            "ctrl",
+            Some(&blob),
+        );
+        assert_eq!(ep.control_blob.as_deref(), Some(blob.as_slice()));
+    }
+
+    #[test]
+    fn responses_with_payloads_roundtrip() {
+        let mut ep = pair("resp");
+        ep.server.register(
+            3,
+            Box::new(|req, sink| {
+                // Reverse the payload.
+                let mut v = req.payload.to_vec();
+                v.reverse();
+                sink.write(&v);
+                0
+            }),
+        );
+        let results = Arc::new(parking_lot_stub::Mutex::new(Vec::<Vec<u8>>::new()));
+        for msg in [b"abc".to_vec(), b"12345".to_vec(), vec![]] {
+            let r = results.clone();
+            ep.client
+                .enqueue_bytes(
+                    3,
+                    &msg,
+                    Box::new(move |p, _s| {
+                        r.lock().push(p.to_vec());
+                    }),
+                )
+                .unwrap();
+        }
+        ep.client.flush().unwrap();
+        ep.server.event_loop(Duration::ZERO).unwrap();
+        ep.client.event_loop(Duration::ZERO).unwrap();
+        let got = results.lock();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], b"cba");
+        assert_eq!(got[1], b"54321");
+        assert_eq!(got[2], b"");
+    }
+}

@@ -1,0 +1,338 @@
+//! Block wire format: preamble, per-message headers, bucket immediates.
+//!
+//! Figure 4/5 of the paper: a block is written to remote memory by one
+//! write-with-immediate and laid out as
+//!
+//! ```text
+//! [ preamble (8 B) ][ header #1 (8 B) ][ payload #1, 8-aligned ]
+//!                   [ header #2 (8 B) ][ payload #2 ] …
+//! ```
+//!
+//! * Preamble: message count (max 2¹⁶), the piggybacked ack counter, and
+//!   the block's total byte length.
+//! * Header: the payload size (max 2¹⁶, §IV.E) plus a 16-bit selector —
+//!   the procedure id in request blocks, the request id in response blocks
+//!   — and a 16-bit status for responses.
+//! * Immediate data: the *bucket*, locating the block in the receive
+//!   buffer: `offset = bucket × 1024` (§IV.E). 1024-byte block alignment
+//!   keeps the addressable range high while the optimal block size (8 KiB)
+//!   stays above it, preserving locality.
+
+use pbo_alloc::align_up;
+
+/// Block placement alignment inside buffers; the immediate's bucket unit.
+pub const BLOCK_ALIGN: u64 = 1024;
+
+/// Size of the block preamble.
+pub const PREAMBLE_SIZE: usize = 8;
+
+/// Size of each message header.
+pub const HEADER_SIZE: usize = 8;
+
+/// Payload alignment (§IV.A: "we set the alignment to 8 bytes").
+pub const PAYLOAD_ALIGN: usize = 8;
+
+/// Largest representable payload (2¹⁶ − 1).
+pub const MAX_PAYLOAD: usize = u16::MAX as usize;
+
+/// Block preamble.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Preamble {
+    /// Number of messages in the block.
+    pub msg_count: u16,
+    /// Piggybacked acknowledgment: response blocks fully processed by the
+    /// sender since its previous block (§IV.B).
+    pub ack_blocks: u16,
+    /// Total block length in bytes, preamble included.
+    pub block_bytes: u32,
+}
+
+impl Preamble {
+    /// Encodes into the first [`PREAMBLE_SIZE`] bytes of `buf`.
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.msg_count.to_le_bytes());
+        buf[2..4].copy_from_slice(&self.ack_blocks.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.block_bytes.to_le_bytes());
+    }
+
+    /// Decodes from the first [`PREAMBLE_SIZE`] bytes of `buf`.
+    pub fn read(buf: &[u8]) -> Self {
+        Self {
+            msg_count: u16::from_le_bytes(buf[0..2].try_into().unwrap()),
+            ack_blocks: u16::from_le_bytes(buf[2..4].try_into().unwrap()),
+            block_bytes: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        }
+    }
+}
+
+/// Per-message header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Payload bytes following this header.
+    pub payload_size: u16,
+    /// Request blocks: procedure id. Response blocks: request id.
+    pub selector: u16,
+    /// Response status (0 = OK); unused (0) in requests.
+    pub status: u16,
+    /// Bytes of call metadata trailing the (8-aligned) payload — the
+    /// paper's "metadata can also be passed along with the message in the
+    /// payload" (§V.D). Zero when no metadata travels.
+    pub meta_len: u16,
+}
+
+impl Header {
+    /// Encodes into the first [`HEADER_SIZE`] bytes of `buf`.
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.payload_size.to_le_bytes());
+        buf[2..4].copy_from_slice(&self.selector.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.status.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.meta_len.to_le_bytes());
+    }
+
+    /// Decodes from the first [`HEADER_SIZE`] bytes of `buf`.
+    pub fn read(buf: &[u8]) -> Self {
+        Self {
+            payload_size: u16::from_le_bytes(buf[0..2].try_into().unwrap()),
+            selector: u16::from_le_bytes(buf[2..4].try_into().unwrap()),
+            status: u16::from_le_bytes(buf[4..6].try_into().unwrap()),
+            meta_len: u16::from_le_bytes(buf[6..8].try_into().unwrap()),
+        }
+    }
+
+    /// Total 8-aligned extent of this message after the header: the
+    /// payload, padding, metadata, padding.
+    pub fn message_extent(&self) -> usize {
+        let payload_end = align_up(self.payload_size as u64, 8) as usize;
+        if self.meta_len == 0 {
+            payload_end
+        } else {
+            payload_end + align_up(self.meta_len as u64, 8) as usize
+        }
+    }
+}
+
+/// Converts a block offset to the bucket carried in the immediate.
+pub fn offset_to_bucket(offset: u64) -> u32 {
+    debug_assert_eq!(offset % BLOCK_ALIGN, 0, "blocks are 1024-aligned");
+    (offset / BLOCK_ALIGN) as u32
+}
+
+/// Converts a received immediate back to the block offset:
+/// `offset = rbuf + bucket * block_alignment` with `rbuf` applied by the
+/// caller (§IV.E).
+pub fn bucket_to_offset(bucket: u32) -> u64 {
+    bucket as u64 * BLOCK_ALIGN
+}
+
+/// Walks the `[header][payload]` sequence of a received block.
+pub struct BlockHeaderIter<'a> {
+    block: &'a [u8],
+    cursor: usize,
+    remaining: u16,
+}
+
+impl<'a> BlockHeaderIter<'a> {
+    /// Opens an iterator over `block` (which must start with its
+    /// preamble). Returns the preamble alongside.
+    pub fn new(block: &'a [u8]) -> (Preamble, Self) {
+        let preamble = Preamble::read(block);
+        (
+            preamble,
+            Self {
+                block,
+                cursor: PREAMBLE_SIZE,
+                remaining: preamble.msg_count,
+            },
+        )
+    }
+}
+
+impl<'a> Iterator for BlockHeaderIter<'a> {
+    /// `(header, payload_offset_within_block, payload, metadata)`.
+    type Item = (Header, usize, &'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let h = Header::read(&self.block[self.cursor..]);
+        let payload_off = self.cursor + HEADER_SIZE;
+        let payload = &self.block[payload_off..payload_off + h.payload_size as usize];
+        let meta_off = payload_off + align_up(h.payload_size as u64, 8) as usize;
+        let metadata = if h.meta_len == 0 {
+            &[][..]
+        } else {
+            &self.block[meta_off..meta_off + h.meta_len as usize]
+        };
+        self.cursor = payload_off + h.message_extent();
+        Some((h, payload_off, payload, metadata))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preamble_roundtrip() {
+        let p = Preamble {
+            msg_count: 300,
+            ack_blocks: 7,
+            block_bytes: 8192,
+        };
+        let mut buf = [0u8; PREAMBLE_SIZE];
+        p.write(&mut buf);
+        assert_eq!(Preamble::read(&buf), p);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            payload_size: 40,
+            selector: 0x1234,
+            status: 2,
+            meta_len: 0,
+        };
+        let mut buf = [0xffu8; HEADER_SIZE];
+        h.write(&mut buf);
+        assert_eq!(Header::read(&buf), h);
+        assert_eq!(&buf[6..8], &[0, 0]);
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(offset_to_bucket(0), 0);
+        assert_eq!(offset_to_bucket(8192), 8);
+        assert_eq!(bucket_to_offset(8), 8192);
+        // 16 MiB buffers still fit comfortably in 32 bits of bucket.
+        assert_eq!(
+            bucket_to_offset(offset_to_bucket(16 * 1024 * 1024 - 1024)),
+            16 * 1024 * 1024 - 1024
+        );
+    }
+
+    #[test]
+    fn block_iteration_with_alignment() {
+        // Build a block by hand: preamble + 3 messages with ragged sizes.
+        let mut block = vec![0u8; 256];
+        let payloads: [&[u8]; 3] = [b"0123456789", b"a", b""];
+        let mut cursor = PREAMBLE_SIZE;
+        for (i, p) in payloads.iter().enumerate() {
+            Header {
+                payload_size: p.len() as u16,
+                selector: i as u16,
+                status: 0,
+                meta_len: 0,
+            }
+            .write(&mut block[cursor..]);
+            block[cursor + HEADER_SIZE..cursor + HEADER_SIZE + p.len()].copy_from_slice(p);
+            cursor = align_up((cursor + HEADER_SIZE + p.len()) as u64, 8) as usize;
+        }
+        Preamble {
+            msg_count: 3,
+            ack_blocks: 0,
+            block_bytes: cursor as u32,
+        }
+        .write(&mut block);
+
+        let (pre, iter) = BlockHeaderIter::new(&block);
+        assert_eq!(pre.msg_count, 3);
+        let got: Vec<(u16, Vec<u8>)> = iter.map(|(h, _, p, _)| (h.selector, p.to_vec())).collect();
+        assert_eq!(got.len(), 3);
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(got[i].0, i as u16);
+            assert_eq!(got[i].1.as_slice(), *p);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Building a block from arbitrary payloads and walking it back
+            /// recovers every (selector, payload) pair in order, with all
+            /// payload offsets 8-aligned.
+            #[test]
+            fn block_build_iterate_roundtrip(
+                payloads in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 0..200), 0..40),
+                ack in any::<u16>(),
+            ) {
+                let mut block = vec![0u8; PREAMBLE_SIZE
+                    + payloads.iter().map(|p| HEADER_SIZE + p.len() + 8).sum::<usize>()];
+                let mut cursor = PREAMBLE_SIZE;
+                for (i, p) in payloads.iter().enumerate() {
+                    Header {
+                        payload_size: p.len() as u16,
+                        selector: i as u16,
+                        status: (i % 3) as u16,
+                        meta_len: 0,
+                    }
+                    .write(&mut block[cursor..]);
+                    block[cursor + HEADER_SIZE..cursor + HEADER_SIZE + p.len()]
+                        .copy_from_slice(p);
+                    cursor = align_up((cursor + HEADER_SIZE + p.len()) as u64, 8) as usize;
+                }
+                Preamble {
+                    msg_count: payloads.len() as u16,
+                    ack_blocks: ack,
+                    block_bytes: cursor as u32,
+                }
+                .write(&mut block);
+
+                let (pre, iter) = BlockHeaderIter::new(&block);
+                prop_assert_eq!(pre.ack_blocks, ack);
+                prop_assert_eq!(pre.msg_count as usize, payloads.len());
+                prop_assert_eq!(pre.block_bytes as usize, cursor);
+                let walked: Vec<(u16, u16, Vec<u8>)> = iter
+                    .map(|(h, off, p, m)| {
+                        assert_eq!(off % 8, 0);
+                        assert!(m.is_empty());
+                        (h.selector, h.status, p.to_vec())
+                    })
+                    .collect();
+                prop_assert_eq!(walked.len(), payloads.len());
+                for (i, p) in payloads.iter().enumerate() {
+                    prop_assert_eq!(walked[i].0, i as u16);
+                    prop_assert_eq!(walked[i].1, (i % 3) as u16);
+                    prop_assert_eq!(&walked[i].2, p);
+                }
+            }
+
+            /// Bucket addressing is lossless for every aligned offset a
+            /// 16 MiB buffer can hold.
+            #[test]
+            fn bucket_roundtrip(bucket in 0u32..16384) {
+                prop_assert_eq!(offset_to_bucket(bucket_to_offset(bucket)), bucket);
+            }
+        }
+    }
+
+    #[test]
+    fn payload_offsets_are_8_aligned() {
+        let mut block = vec![0u8; 128];
+        Preamble {
+            msg_count: 2,
+            ack_blocks: 0,
+            block_bytes: 64,
+        }
+        .write(&mut block);
+        let mut cursor = PREAMBLE_SIZE;
+        for size in [3u16, 5] {
+            Header {
+                payload_size: size,
+                selector: 0,
+                status: 0,
+                meta_len: 0,
+            }
+            .write(&mut block[cursor..]);
+            cursor = align_up((cursor + HEADER_SIZE + size as usize) as u64, 8) as usize;
+        }
+        let (_, iter) = BlockHeaderIter::new(&block);
+        for (_, off, _, _) in iter {
+            assert_eq!(off % 8, 0, "payload at {off}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Completion queues and blocking completion channels.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeKind {
+    /// A send-side work request completed (signaled send or RDMA write).
+    SendComplete,
+    /// A receive consumed by an incoming two-sided send.
+    Recv {
+        /// Bytes placed in the posted receive buffer.
+        len: u32,
+    },
+    /// A receive consumed by an incoming RDMA write-with-immediate.
+    RecvWriteImm {
+        /// The 4-byte immediate value.
+        imm: u32,
+        /// Bytes written into the remote region.
+        len: u32,
+    },
+}
+
+/// One completion-queue entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cqe {
+    /// The work-request id supplied at post time (send side) or the
+    /// consumed receive's id (responder side).
+    pub wr_id: u64,
+    /// Completion kind and payload.
+    pub kind: CqeKind,
+    /// Queue-pair number this completion belongs to (a single CQ may be
+    /// shared across connections — §III.C's server-side model).
+    pub qp_num: u32,
+}
+
+struct CqInner {
+    queue: Mutex<VecDeque<Cqe>>,
+    cond: Condvar,
+    capacity: usize,
+    overflowed: Mutex<bool>,
+}
+
+/// A completion queue with bounded capacity.
+///
+/// Overflow is sticky and fatal-ish, as on hardware: the paper stresses
+/// that the protocol's credit system exists precisely to keep CQs from
+/// overflowing (§IV.C). An overflowed CQ records the fact and drops the
+/// entry; tests assert the flag stays clear under correct credit
+/// accounting.
+#[derive(Clone)]
+pub struct CompletionQueue {
+    inner: Arc<CqInner>,
+}
+
+impl CompletionQueue {
+    /// Creates a CQ with room for `capacity` outstanding completions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            inner: Arc::new(CqInner {
+                queue: Mutex::new(VecDeque::with_capacity(capacity)),
+                cond: Condvar::new(),
+                capacity,
+                overflowed: Mutex::new(false),
+            }),
+        }
+    }
+
+    /// Pushes a completion (device side). Returns false on overflow.
+    pub(crate) fn push(&self, cqe: Cqe) -> bool {
+        let mut q = self.inner.queue.lock();
+        if q.len() >= self.inner.capacity {
+            *self.inner.overflowed.lock() = true;
+            return false;
+        }
+        q.push_back(cqe);
+        drop(q);
+        self.inner.cond.notify_one();
+        true
+    }
+
+    /// Non-blocking poll of up to `max` completions (verbs `ibv_poll_cq`).
+    pub fn poll(&self, max: usize) -> Vec<Cqe> {
+        let mut out = Vec::new();
+        self.poll_into(max, &mut out);
+        out
+    }
+
+    /// Allocation-free poll: appends up to `max` completions to `out`.
+    /// The datapath pollers reuse one buffer across iterations (§VI.C.5's
+    /// no-allocator-in-the-datapath discipline).
+    pub fn poll_into(&self, max: usize, out: &mut Vec<Cqe>) -> usize {
+        let mut q = self.inner.queue.lock();
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        n
+    }
+
+    /// Blocks until at least one completion arrives or `timeout` elapses,
+    /// then drains up to `max`. This is the `poll()`-system-call sleep the
+    /// paper uses instead of busy polling (§III.C).
+    pub fn wait(&self, max: usize, timeout: Duration) -> Vec<Cqe> {
+        let mut out = Vec::new();
+        self.wait_into(max, timeout, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CompletionQueue::wait`].
+    pub fn wait_into(&self, max: usize, timeout: Duration, out: &mut Vec<Cqe>) -> usize {
+        let mut q = self.inner.queue.lock();
+        if q.is_empty() {
+            let _ = self.inner.cond.wait_for(&mut q, timeout);
+        }
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        n
+    }
+
+    /// Number of completions currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the CQ has ever overflowed.
+    pub fn has_overflowed(&self) -> bool {
+        *self.inner.overflowed.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn cqe(id: u64) -> Cqe {
+        Cqe {
+            wr_id: id,
+            kind: CqeKind::SendComplete,
+            qp_num: 1,
+        }
+    }
+
+    #[test]
+    fn poll_drains_fifo() {
+        let cq = CompletionQueue::new(8);
+        for i in 0..5 {
+            assert!(cq.push(cqe(i)));
+        }
+        let got = cq.poll(3);
+        assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(cq.depth(), 2);
+        assert_eq!(cq.poll(10).len(), 2);
+        assert!(cq.poll(10).is_empty());
+    }
+
+    #[test]
+    fn overflow_is_sticky_and_drops() {
+        let cq = CompletionQueue::new(2);
+        assert!(cq.push(cqe(1)));
+        assert!(cq.push(cqe(2)));
+        assert!(!cq.push(cqe(3)));
+        assert!(cq.has_overflowed());
+        assert_eq!(cq.poll(10).len(), 2);
+        // Flag persists even after draining.
+        assert!(cq.has_overflowed());
+    }
+
+    #[test]
+    fn wait_times_out_when_idle() {
+        let cq = CompletionQueue::new(4);
+        let t0 = Instant::now();
+        let got = cq.wait(1, Duration::from_millis(30));
+        assert!(got.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn wait_wakes_on_push() {
+        let cq = CompletionQueue::new(4);
+        let cq2 = cq.clone();
+        let h = std::thread::spawn(move || cq2.wait(4, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        cq.push(cqe(42));
+        let got = h.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].wr_id, 42);
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_nonempty() {
+        let cq = CompletionQueue::new(4);
+        cq.push(cqe(1));
+        let t0 = Instant::now();
+        let got = cq.wait(4, Duration::from_secs(10));
+        assert_eq!(got.len(), 1);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+}

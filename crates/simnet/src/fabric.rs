@@ -1,0 +1,232 @@
+//! Connection establishment — the `rdma_cm` analogue.
+
+use crate::cq::CompletionQueue;
+use crate::fault::FaultInjector;
+use crate::pcie::{Direction, PcieLink};
+use crate::qp::{next_qpn, QueuePair, Responder};
+use crate::region::ProtectionDomain;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Creates a connected pair of RC queue pairs with private CQs of depth
+/// `cq_depth` on each side. Endpoint `a` plays the DPU (its traffic is
+/// accounted `ToHost`); endpoint `b` plays the host.
+pub fn connect_pair(
+    pd_a: &ProtectionDomain,
+    pd_b: &ProtectionDomain,
+    cq_depth: usize,
+    link: PcieLink,
+    faults: FaultInjector,
+) -> (QueuePair, QueuePair) {
+    connect_pair_with_cq_depth(pd_a, pd_b, cq_depth, cq_depth, link, faults)
+}
+
+/// [`connect_pair`] with distinct send/recv CQ depths (`recv_cq_depth` is
+/// the overflow-sensitive one the credit system protects).
+pub fn connect_pair_with_cq_depth(
+    pd_a: &ProtectionDomain,
+    pd_b: &ProtectionDomain,
+    send_cq_depth: usize,
+    recv_cq_depth: usize,
+    link: PcieLink,
+    faults: FaultInjector,
+) -> (QueuePair, QueuePair) {
+    connect_with_cqs(
+        pd_a,
+        pd_b,
+        CompletionQueue::new(send_cq_depth),
+        CompletionQueue::new(recv_cq_depth),
+        CompletionQueue::new(send_cq_depth),
+        CompletionQueue::new(recv_cq_depth),
+        link,
+        faults,
+    )
+}
+
+/// Full-control variant: caller supplies all four CQs, allowing the
+/// server-side pattern of one CQ shared across many connections (§III.C:
+/// "a single poller can share multiple connections on the server side using
+/// a single received queue and a single completion queue shared between
+/// connections").
+#[allow(clippy::too_many_arguments)]
+pub fn connect_with_cqs(
+    pd_a: &ProtectionDomain,
+    pd_b: &ProtectionDomain,
+    a_send_cq: CompletionQueue,
+    a_recv_cq: CompletionQueue,
+    b_send_cq: CompletionQueue,
+    b_recv_cq: CompletionQueue,
+    link: PcieLink,
+    faults: FaultInjector,
+) -> (QueuePair, QueuePair) {
+    let qpn_a = next_qpn();
+    let qpn_b = next_qpn();
+    let resp_a = Arc::new(Responder {
+        recv_queue: Mutex::new(VecDeque::new()),
+        recv_cq: a_recv_cq,
+        qp_num: qpn_a,
+        alive: AtomicBool::new(true),
+        order: Mutex::new(()),
+    });
+    let resp_b = Arc::new(Responder {
+        recv_queue: Mutex::new(VecDeque::new()),
+        recv_cq: b_recv_cq,
+        qp_num: qpn_b,
+        alive: AtomicBool::new(true),
+        order: Mutex::new(()),
+    });
+    let a = QueuePair {
+        qp_num: qpn_a,
+        pd: pd_a.id(),
+        send_cq: a_send_cq,
+        local: resp_a.clone(),
+        peer: resp_b.clone(),
+        link: link.clone(),
+        dir_to_peer: Direction::ToHost,
+        faults: faults.clone(),
+        rnr_count: AtomicU64::new(0),
+    };
+    let b = QueuePair {
+        qp_num: qpn_b,
+        pd: pd_b.id(),
+        send_cq: b_send_cq,
+        local: resp_b,
+        peer: resp_a,
+        link,
+        dir_to_peer: Direction::ToDevice,
+        faults,
+        rnr_count: AtomicU64::new(0),
+    };
+    (a, b)
+}
+
+/// A device-level context bundling the shared PCIe link and fault plane —
+/// one per simulated host↔DPU pairing.
+#[derive(Clone, Default)]
+pub struct Fabric {
+    link: PcieLink,
+    faults: FaultInjector,
+}
+
+impl Fabric {
+    /// Creates a fabric with fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared PCIe link.
+    pub fn link(&self) -> &PcieLink {
+        &self.link
+    }
+
+    /// The shared fault injector.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Connects a DPU-side PD to a host-side PD with private CQs.
+    pub fn connect(
+        &self,
+        pd_dpu: &ProtectionDomain,
+        pd_host: &ProtectionDomain,
+        cq_depth: usize,
+    ) -> (QueuePair, QueuePair) {
+        connect_pair(
+            pd_dpu,
+            pd_host,
+            cq_depth,
+            self.link.clone(),
+            self.faults.clone(),
+        )
+    }
+
+    /// Connects with caller-supplied CQs (for CQ sharing on the host side).
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_shared(
+        &self,
+        pd_dpu: &ProtectionDomain,
+        pd_host: &ProtectionDomain,
+        dpu_send_cq: CompletionQueue,
+        dpu_recv_cq: CompletionQueue,
+        host_send_cq: CompletionQueue,
+        host_recv_cq: CompletionQueue,
+    ) -> (QueuePair, QueuePair) {
+        connect_with_cqs(
+            pd_dpu,
+            pd_host,
+            dpu_send_cq,
+            dpu_recv_cq,
+            host_send_cq,
+            host_recv_cq,
+            self.link.clone(),
+            self.faults.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqeKind;
+    use crate::qp::WorkRequestId;
+
+    #[test]
+    fn fabric_connect_and_traffic() {
+        let fabric = Fabric::new();
+        let pd_dpu = ProtectionDomain::new();
+        let pd_host = ProtectionDomain::new();
+        let (dpu, host) = fabric.connect(&pd_dpu, &pd_host, 32);
+        let sbuf = pd_dpu.register(64);
+        let rbuf = pd_host.register(64);
+        sbuf.write(0, &[5; 16]);
+        host.post_recv(WorkRequestId(0), None);
+        dpu.post_write_imm(WorkRequestId(1), &sbuf, 0, 16, &rbuf, 0, 3, false)
+            .unwrap();
+        assert_eq!(rbuf.read(0, 16), vec![5; 16]);
+        assert_eq!(fabric.link().stats().bytes_to_host, 16);
+    }
+
+    #[test]
+    fn shared_host_cq_multiplexes_connections() {
+        let fabric = Fabric::new();
+        let pd_host = ProtectionDomain::new();
+        let shared_recv = CompletionQueue::new(64);
+        let mut dpu_sides = Vec::new();
+        let mut host_sides = Vec::new();
+        for _ in 0..3 {
+            let pd_dpu = ProtectionDomain::new();
+            let (d, h) = fabric.connect_shared(
+                &pd_dpu,
+                &pd_host,
+                CompletionQueue::new(16),
+                CompletionQueue::new(16),
+                CompletionQueue::new(16),
+                shared_recv.clone(),
+            );
+            let sbuf = pd_dpu.register(32);
+            dpu_sides.push((d, sbuf, pd_dpu));
+            host_sides.push(h);
+        }
+        let rbuf = pd_host.register(256);
+        for (i, h) in host_sides.iter().enumerate() {
+            h.post_recv(WorkRequestId(i as u64), None);
+        }
+        for (i, (d, sbuf, _)) in dpu_sides.iter().enumerate() {
+            d.post_write_imm(WorkRequestId(0), sbuf, 0, 8, &rbuf, i * 8, i as u32, false)
+                .unwrap();
+        }
+        // One shared CQ sees completions from all three QPs, and qp_num
+        // disambiguates them.
+        let cqes = shared_recv.poll(16);
+        assert_eq!(cqes.len(), 3);
+        let mut qpns: Vec<u32> = cqes.iter().map(|c| c.qp_num).collect();
+        qpns.dedup();
+        assert_eq!(qpns.len(), 3);
+        for c in &cqes {
+            assert!(matches!(c.kind, CqeKind::RecvWriteImm { .. }));
+        }
+    }
+}

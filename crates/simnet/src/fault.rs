@@ -1,0 +1,110 @@
+//! Deterministic fault injection.
+//!
+//! Robustness tests need to exercise the protocol's failure paths —
+//! receiver-not-ready, completion-queue pressure, link hiccups — without
+//! nondeterminism. Faults are scheduled by *operation index*: "fail the
+//! Nth post from now", so tests are exactly reproducible.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Kinds of injectable faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The responder had no posted receive (RNR NAK on hardware).
+    ReceiverNotReady,
+    /// The DMA engine reports a transport retry exhaustion.
+    TransportRetryExceeded,
+    /// The immediate data was delivered but the payload write failed
+    /// (catastrophic; used to verify the protocol fails loudly).
+    PayloadCorrupt,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Scheduled faults keyed by the send-operation index they hit.
+    scheduled: Mutex<BTreeMap<u64, FaultKind>>,
+    /// Monotric count of send operations checked so far.
+    op_counter: AtomicU64,
+    /// Faults actually fired.
+    fired: AtomicU64,
+}
+
+/// Shared, clonable fault-injection control plane.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<Inner>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no scheduled faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire on the `nth` subsequent checked operation
+    /// (0 = the very next one).
+    pub fn fail_nth(&self, nth: u64, kind: FaultKind) {
+        let base = self.inner.op_counter.load(Ordering::Relaxed);
+        self.inner.scheduled.lock().insert(base + nth, kind);
+    }
+
+    /// Called by the device on each send-side operation; returns the fault
+    /// to apply, if any.
+    pub(crate) fn check(&self) -> Option<FaultKind> {
+        let idx = self.inner.op_counter.fetch_add(1, Ordering::Relaxed);
+        let hit = self.inner.scheduled.lock().remove(&idx);
+        if hit.is_some() {
+            self.inner.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Number of faults that have fired.
+    pub fn fired(&self) -> u64 {
+        self.inner.fired.load(Ordering::Relaxed)
+    }
+
+    /// Number of faults still scheduled.
+    pub fn pending(&self) -> usize {
+        self.inner.scheduled.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_exact_index() {
+        let f = FaultInjector::new();
+        f.fail_nth(2, FaultKind::ReceiverNotReady);
+        assert_eq!(f.check(), None);
+        assert_eq!(f.check(), None);
+        assert_eq!(f.check(), Some(FaultKind::ReceiverNotReady));
+        assert_eq!(f.check(), None);
+        assert_eq!(f.fired(), 1);
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn relative_to_current_counter() {
+        let f = FaultInjector::new();
+        f.check();
+        f.check();
+        f.fail_nth(0, FaultKind::PayloadCorrupt);
+        assert_eq!(f.check(), Some(FaultKind::PayloadCorrupt));
+    }
+
+    #[test]
+    fn multiple_faults_independent() {
+        let f = FaultInjector::new();
+        f.fail_nth(0, FaultKind::ReceiverNotReady);
+        f.fail_nth(1, FaultKind::TransportRetryExceeded);
+        assert_eq!(f.check(), Some(FaultKind::ReceiverNotReady));
+        assert_eq!(f.check(), Some(FaultKind::TransportRetryExceeded));
+        assert_eq!(f.fired(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! An in-process model of the RDMA hardware the paper runs on.
+//!
+//! The reproduction has no BlueField-3 and no `libibverbs`; this crate
+//! supplies the exact *semantics* the RPC-over-RDMA protocol depends on
+//! (§II.A, §III):
+//!
+//! * [`MemoryRegion`] — registered ("pinned") memory with a stable base
+//!   address, the prerequisite for the shared-address-space trick: remote
+//!   pointers are crafted against the region's base and become valid after
+//!   the DMA copy, exactly as on hardware.
+//! * [`ProtectionDomain`] — groups MRs and QPs; cross-PD access is refused,
+//!   as on real devices.
+//! * [`QueuePair`] (reliable connection) — `post_recv`, two-sided `send`,
+//!   and the workhorse **write-with-immediate**, which copies bytes into
+//!   the remote MR *without remote CPU involvement* and consumes one
+//!   posted receive on the responder, delivering the 4-byte immediate in
+//!   the completion.
+//! * [`CompletionQueue`] / completion channels — non-blocking `poll` plus
+//!   blocking `wait` with timeout (the paper sleeps in `poll()` under low
+//!   load rather than busy-polling, §III.C).
+//! * [`PcieLink`] — per-direction byte accounting (Fig 8b's metric) with an
+//!   optional bandwidth model for virtual-time experiments.
+//! * [`SimTcpStream`]/[`SimTcpListener`] — reliable in-memory byte streams
+//!   standing in for the xRPC client's TCP leg.
+//! * [`FaultInjector`] — programmable failures (receiver-not-ready, CQ
+//!   overflow) for robustness tests; the paper notes overflowing the
+//!   receive side "causes data retransmission and massively reduces
+//!   performance", so the protocol must provably avoid it.
+//!
+//! Unsafe code is confined to [`region`]: the DMA engine copies through raw
+//! pointers while both endpoints hold handles, mirroring real RDMA, with
+//! happens-before provided by completion delivery — the same contract
+//! `libibverbs` gives applications.
+
+#![warn(missing_docs)]
+
+pub mod cq;
+pub mod fabric;
+pub mod fault;
+pub mod pcie;
+pub mod qp;
+pub mod region;
+pub mod tcp;
+
+pub use cq::{CompletionQueue, Cqe, CqeKind};
+pub use fabric::{connect_pair, Fabric};
+pub use fault::{FaultInjector, FaultKind};
+pub use pcie::{PcieLink, PcieStats};
+pub use qp::{QpError, QueuePair, RecvBufferSlot, WorkRequestId};
+pub use region::{MemoryRegion, ProtectionDomain};
+pub use tcp::{SimTcpListener, SimTcpStream, TcpFabric};

@@ -1,0 +1,521 @@
+//! Reliable-connection queue pairs.
+//!
+//! Semantics reproduced from verbs (§II.A):
+//!
+//! * **Reliable, in-order delivery** per connection — the property the
+//!   protocol exploits for implicit acknowledgments and request-ID
+//!   synchronization (§IV.B, §IV.D).
+//! * **Write-with-immediate** is *two-sided*: it writes into the remote
+//!   memory region without remote CPU involvement, consumes one posted
+//!   receive on the responder, and delivers 4 bytes of immediate data in
+//!   the responder's completion.
+//! * **Two-sided send/receive** copies into the responder's posted receive
+//!   buffer (used by setup/control traffic such as ADT transfer).
+//! * Posting to a queue pair whose responder has no receives outstanding
+//!   fails (receiver-not-ready) — the situation the credit system must
+//!   make impossible.
+
+use crate::cq::{CompletionQueue, Cqe, CqeKind};
+use crate::fault::{FaultInjector, FaultKind};
+use crate::pcie::{Direction, PcieLink};
+use crate::region::MemoryRegion;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Caller-chosen identifier echoed in completions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkRequestId(pub u64);
+
+/// A posted receive's landing buffer (used by two-sided sends; plain
+/// write-with-immediate receives need no buffer — the initiator names the
+/// destination).
+#[derive(Clone, Debug)]
+pub struct RecvBufferSlot {
+    /// Destination region.
+    pub mr: MemoryRegion,
+    /// Destination offset.
+    pub offset: usize,
+    /// Capacity of the slot.
+    pub len: usize,
+}
+
+/// Errors surfaced by queue-pair operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QpError {
+    /// Responder had no posted receive for a two-sided operation.
+    ReceiverNotReady,
+    /// A memory region from a foreign protection domain was used.
+    PdMismatch {
+        /// The QP's protection domain.
+        qp_pd: u32,
+        /// The offending region's domain.
+        mr_pd: u32,
+    },
+    /// The responder's posted receive buffer is smaller than the payload.
+    RecvBufferTooSmall {
+        /// Payload length.
+        needed: usize,
+        /// Posted capacity.
+        available: usize,
+    },
+    /// A completion queue overflowed — credits failed to bound the flight.
+    CqOverflow,
+    /// An injected fault fired.
+    Fault(FaultKind),
+    /// The peer endpoint was dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for QpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpError::ReceiverNotReady => write!(f, "receiver not ready (no posted receive)"),
+            QpError::PdMismatch { qp_pd, mr_pd } => {
+                write!(
+                    f,
+                    "protection-domain mismatch: QP in {qp_pd}, MR in {mr_pd}"
+                )
+            }
+            QpError::RecvBufferTooSmall { needed, available } => {
+                write!(
+                    f,
+                    "posted receive too small: need {needed}, have {available}"
+                )
+            }
+            QpError::CqOverflow => write!(f, "completion queue overflow"),
+            QpError::Fault(k) => write!(f, "injected fault: {k:?}"),
+            QpError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+/// The receive-side state of one endpoint, touched by the *peer's* posts.
+pub(crate) struct Responder {
+    pub(crate) recv_queue: Mutex<VecDeque<(WorkRequestId, Option<RecvBufferSlot>)>>,
+    pub(crate) recv_cq: CompletionQueue,
+    pub(crate) qp_num: u32,
+    pub(crate) alive: AtomicBool,
+    /// Serializes the peer's posts so delivery order matches post order.
+    pub(crate) order: Mutex<()>,
+}
+
+static NEXT_QPN: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_qpn() -> u32 {
+    NEXT_QPN.fetch_add(1, Ordering::Relaxed) as u32
+}
+
+/// One endpoint of a reliable connection.
+pub struct QueuePair {
+    pub(crate) qp_num: u32,
+    pub(crate) pd: u32,
+    pub(crate) send_cq: CompletionQueue,
+    pub(crate) local: Arc<Responder>,
+    pub(crate) peer: Arc<Responder>,
+    pub(crate) link: PcieLink,
+    pub(crate) dir_to_peer: Direction,
+    pub(crate) faults: FaultInjector,
+    pub(crate) rnr_count: AtomicU64,
+}
+
+impl Drop for QueuePair {
+    fn drop(&mut self) {
+        self.local.alive.store(false, Ordering::Release);
+    }
+}
+
+impl QueuePair {
+    /// This endpoint's queue-pair number.
+    pub fn qp_num(&self) -> u32 {
+        self.qp_num
+    }
+
+    /// The send-side completion queue.
+    pub fn send_cq(&self) -> &CompletionQueue {
+        &self.send_cq
+    }
+
+    /// The receive-side completion queue.
+    pub fn recv_cq(&self) -> &CompletionQueue {
+        &self.local.recv_cq
+    }
+
+    /// Receives currently posted and unconsumed.
+    pub fn posted_recvs(&self) -> usize {
+        self.local.recv_queue.lock().len()
+    }
+
+    /// Receiver-not-ready events observed by this sender.
+    pub fn rnr_events(&self) -> u64 {
+        self.rnr_count.load(Ordering::Relaxed)
+    }
+
+    /// Posts a receive. For write-with-immediate traffic `slot` may be
+    /// `None`; for two-sided sends it names the landing buffer.
+    pub fn post_recv(&self, wr_id: WorkRequestId, slot: Option<RecvBufferSlot>) {
+        if let Some(s) = &slot {
+            assert_eq!(
+                s.mr.pd_id(),
+                self.pd,
+                "posted receive buffer from foreign protection domain"
+            );
+        }
+        self.local.recv_queue.lock().push_back((wr_id, slot));
+    }
+
+    fn precheck(&self, local_mr: &MemoryRegion) -> Result<(), QpError> {
+        if local_mr.pd_id() != self.pd {
+            return Err(QpError::PdMismatch {
+                qp_pd: self.pd,
+                mr_pd: local_mr.pd_id(),
+            });
+        }
+        if !self.peer.alive.load(Ordering::Acquire) {
+            return Err(QpError::Disconnected);
+        }
+        if let Some(k) = self.faults.check() {
+            return Err(QpError::Fault(k));
+        }
+        Ok(())
+    }
+
+    /// RDMA write-with-immediate: copies
+    /// `local_mr[local_off .. local_off+len]` into
+    /// `remote_mr[remote_off ..]`, consuming one posted receive on the
+    /// responder and delivering `imm` in its completion. The responder's
+    /// CPU is not involved in the data movement.
+    ///
+    /// `signaled` requests a send-side completion as well.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_write_imm(
+        &self,
+        wr_id: WorkRequestId,
+        local_mr: &MemoryRegion,
+        local_off: usize,
+        len: usize,
+        remote_mr: &MemoryRegion,
+        remote_off: usize,
+        imm: u32,
+        signaled: bool,
+    ) -> Result<(), QpError> {
+        self.precheck(local_mr)?;
+        // Hold the ordering lock across consume-copy-complete so that the
+        // responder observes posts in post order (RC in-order delivery).
+        let _order = self.peer.order.lock();
+        let consumed = self.peer.recv_queue.lock().pop_front();
+        let Some((recv_id, _slot)) = consumed else {
+            self.rnr_count.fetch_add(1, Ordering::Relaxed);
+            return Err(QpError::ReceiverNotReady);
+        };
+        MemoryRegion::dma_copy(local_mr, local_off, remote_mr, remote_off, len);
+        self.link.record(self.dir_to_peer, len as u64);
+        if !self.peer.recv_cq.push(Cqe {
+            wr_id: recv_id.0,
+            kind: CqeKind::RecvWriteImm {
+                imm,
+                len: len as u32,
+            },
+            qp_num: self.peer.qp_num,
+        }) {
+            return Err(QpError::CqOverflow);
+        }
+        if signaled
+            && !self.send_cq.push(Cqe {
+                wr_id: wr_id.0,
+                kind: CqeKind::SendComplete,
+                qp_num: self.qp_num,
+            })
+        {
+            return Err(QpError::CqOverflow);
+        }
+        Ok(())
+    }
+
+    /// Two-sided send: copies the payload into the responder's posted
+    /// receive buffer.
+    pub fn post_send(
+        &self,
+        wr_id: WorkRequestId,
+        local_mr: &MemoryRegion,
+        local_off: usize,
+        len: usize,
+        signaled: bool,
+    ) -> Result<(), QpError> {
+        self.precheck(local_mr)?;
+        let _order = self.peer.order.lock();
+        let consumed = self.peer.recv_queue.lock().pop_front();
+        let Some((recv_id, slot)) = consumed else {
+            self.rnr_count.fetch_add(1, Ordering::Relaxed);
+            return Err(QpError::ReceiverNotReady);
+        };
+        let Some(slot) = slot else {
+            // A bufferless receive cannot absorb a two-sided send; the
+            // responder posted the wrong kind. Surface as too-small.
+            return Err(QpError::RecvBufferTooSmall {
+                needed: len,
+                available: 0,
+            });
+        };
+        if slot.len < len {
+            return Err(QpError::RecvBufferTooSmall {
+                needed: len,
+                available: slot.len,
+            });
+        }
+        MemoryRegion::dma_copy(local_mr, local_off, &slot.mr, slot.offset, len);
+        self.link.record(self.dir_to_peer, len as u64);
+        if !self.peer.recv_cq.push(Cqe {
+            wr_id: recv_id.0,
+            kind: CqeKind::Recv { len: len as u32 },
+            qp_num: self.peer.qp_num,
+        }) {
+            return Err(QpError::CqOverflow);
+        }
+        if signaled
+            && !self.send_cq.push(Cqe {
+                wr_id: wr_id.0,
+                kind: CqeKind::SendComplete,
+                qp_num: self.qp_num,
+            })
+        {
+            return Err(QpError::CqOverflow);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::connect_pair;
+    use crate::region::ProtectionDomain;
+
+    fn pair() -> (QueuePair, QueuePair, ProtectionDomain, ProtectionDomain) {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, PcieLink::new(), FaultInjector::new());
+        (a, b, pd_a, pd_b)
+    }
+
+    #[test]
+    fn write_imm_moves_bytes_and_delivers_imm() {
+        let (a, b, pd_a, pd_b) = pair();
+        let src = pd_a.register(128);
+        let dst = pd_b.register(128);
+        src.write(16, b"payload!");
+        b.post_recv(WorkRequestId(700), None);
+        a.post_write_imm(WorkRequestId(1), &src, 16, 8, &dst, 64, 0xabcd, true)
+            .unwrap();
+
+        assert_eq!(&dst.read(64, 8), b"payload!");
+        let rx = b.recv_cq().poll(4);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].wr_id, 700);
+        assert_eq!(
+            rx[0].kind,
+            CqeKind::RecvWriteImm {
+                imm: 0xabcd,
+                len: 8
+            }
+        );
+        let tx = a.send_cq().poll(4);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].wr_id, 1);
+    }
+
+    #[test]
+    fn unsignaled_write_skips_send_cqe() {
+        let (a, b, pd_a, pd_b) = pair();
+        let src = pd_a.register(32);
+        let dst = pd_b.register(32);
+        b.post_recv(WorkRequestId(0), None);
+        a.post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 0, 1, false)
+            .unwrap();
+        assert!(a.send_cq().poll(4).is_empty());
+        assert_eq!(b.recv_cq().poll(4).len(), 1);
+    }
+
+    #[test]
+    fn rnr_when_no_posted_receive() {
+        let (a, _b, pd_a, pd_b) = pair();
+        let src = pd_a.register(32);
+        let dst = pd_b.register(32);
+        let err = a
+            .post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 0, 0, true)
+            .unwrap_err();
+        assert_eq!(err, QpError::ReceiverNotReady);
+        assert_eq!(a.rnr_events(), 1);
+    }
+
+    #[test]
+    fn pd_mismatch_rejected() {
+        let (a, b, _pd_a, pd_b) = pair();
+        let foreign = ProtectionDomain::new().register(32);
+        let dst = pd_b.register(32);
+        b.post_recv(WorkRequestId(0), None);
+        let err = a
+            .post_write_imm(WorkRequestId(1), &foreign, 0, 4, &dst, 0, 0, true)
+            .unwrap_err();
+        assert!(matches!(err, QpError::PdMismatch { .. }));
+    }
+
+    #[test]
+    fn two_sided_send_lands_in_posted_buffer() {
+        let (a, b, pd_a, pd_b) = pair();
+        let src = pd_a.register(64);
+        let landing = pd_b.register(64);
+        src.write(0, b"ADT bytes");
+        b.post_recv(
+            WorkRequestId(9),
+            Some(RecvBufferSlot {
+                mr: landing.clone(),
+                offset: 32,
+                len: 32,
+            }),
+        );
+        a.post_send(WorkRequestId(2), &src, 0, 9, true).unwrap();
+        assert_eq!(&landing.read(32, 9), b"ADT bytes");
+        let rx = b.recv_cq().poll(4);
+        assert_eq!(rx[0].kind, CqeKind::Recv { len: 9 });
+    }
+
+    #[test]
+    fn send_too_big_for_slot_rejected() {
+        let (a, b, pd_a, pd_b) = pair();
+        let src = pd_a.register(64);
+        let landing = pd_b.register(64);
+        b.post_recv(
+            WorkRequestId(9),
+            Some(RecvBufferSlot {
+                mr: landing,
+                offset: 0,
+                len: 4,
+            }),
+        );
+        let err = a
+            .post_send(WorkRequestId(2), &src, 0, 32, true)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            QpError::RecvBufferTooSmall {
+                needed: 32,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn in_order_delivery_of_immediates() {
+        let (a, b, pd_a, pd_b) = pair();
+        let src = pd_a.register(32);
+        let dst = pd_b.register(1024);
+        for i in 0..16u32 {
+            b.post_recv(WorkRequestId(i as u64), None);
+        }
+        for i in 0..16u32 {
+            a.post_write_imm(
+                WorkRequestId(i as u64),
+                &src,
+                0,
+                4,
+                &dst,
+                (i * 8) as usize,
+                i,
+                false,
+            )
+            .unwrap();
+        }
+        let rx = b.recv_cq().poll(32);
+        let imms: Vec<u32> = rx
+            .iter()
+            .map(|c| match c.kind {
+                CqeKind::RecvWriteImm { imm, .. } => imm,
+                _ => panic!("wrong kind"),
+            })
+            .collect();
+        assert_eq!(imms, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pcie_accounting_per_direction() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let link = PcieLink::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, link.clone(), FaultInjector::new());
+        let mr_a = pd_a.register(256);
+        let mr_b = pd_b.register(256);
+        b.post_recv(WorkRequestId(0), None);
+        a.post_write_imm(WorkRequestId(0), &mr_a, 0, 100, &mr_b, 0, 0, false)
+            .unwrap();
+        a.post_recv(WorkRequestId(0), None);
+        b.post_write_imm(WorkRequestId(0), &mr_b, 0, 40, &mr_a, 0, 0, false)
+            .unwrap();
+        let s = link.stats();
+        assert_eq!(s.bytes_to_host, 100);
+        assert_eq!(s.bytes_to_device, 40);
+    }
+
+    #[test]
+    fn injected_fault_surfaces() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let faults = FaultInjector::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, PcieLink::new(), faults.clone());
+        let src = pd_a.register(32);
+        let dst = pd_b.register(32);
+        b.post_recv(WorkRequestId(0), None);
+        b.post_recv(WorkRequestId(1), None);
+        faults.fail_nth(1, FaultKind::TransportRetryExceeded);
+        a.post_write_imm(WorkRequestId(0), &src, 0, 4, &dst, 0, 0, false)
+            .unwrap();
+        let err = a
+            .post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 0, 0, false)
+            .unwrap_err();
+        assert_eq!(err, QpError::Fault(FaultKind::TransportRetryExceeded));
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (a, b, pd_a, pd_b) = pair();
+        let src = pd_a.register(32);
+        let dst = pd_b.register(32);
+        drop(b);
+        let err = a
+            .post_write_imm(WorkRequestId(0), &src, 0, 4, &dst, 0, 0, false)
+            .unwrap_err();
+        assert_eq!(err, QpError::Disconnected);
+    }
+
+    #[test]
+    fn cq_overflow_reported_not_silent() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        // Tiny recv CQ: 2 entries.
+        let (a, b) = crate::fabric::connect_pair_with_cq_depth(
+            &pd_a,
+            &pd_b,
+            64,
+            2,
+            PcieLink::new(),
+            FaultInjector::new(),
+        );
+        let src = pd_a.register(32);
+        let dst = pd_b.register(64);
+        for i in 0..8 {
+            b.post_recv(WorkRequestId(i), None);
+        }
+        a.post_write_imm(WorkRequestId(0), &src, 0, 4, &dst, 0, 0, false)
+            .unwrap();
+        a.post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 8, 0, false)
+            .unwrap();
+        let err = a
+            .post_write_imm(WorkRequestId(2), &src, 0, 4, &dst, 16, 0, false)
+            .unwrap_err();
+        assert_eq!(err, QpError::CqOverflow);
+        assert!(b.recv_cq().has_overflowed());
+    }
+}

@@ -1,0 +1,330 @@
+//! Registered (pinned) memory regions and protection domains.
+//!
+//! This is the only module in the networking substrate with `unsafe` code.
+//! A [`MemoryRegion`] is a fixed, never-reallocated byte buffer that both
+//! the owning "CPU" and the remote "DMA engine" access — exactly the
+//! aliasing situation real RDMA creates. Synchronization is by protocol:
+//! a range is written by exactly one side at a time, and the reader learns
+//! of new data only through a completion-queue pop, which provides the
+//! happens-before edge (the CQ is a mutex-protected queue).
+
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+static NEXT_PD_ID: AtomicU32 = AtomicU32::new(1);
+static NEXT_KEY: AtomicU32 = AtomicU32::new(0x1000);
+
+/// Groups memory regions and queue pairs that may work together (§II.A:
+/// "All RDMA resources are grouped in protection domains").
+#[derive(Clone, Debug)]
+pub struct ProtectionDomain {
+    id: u32,
+}
+
+impl ProtectionDomain {
+    /// Allocates a new protection domain.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            id: NEXT_PD_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The domain's identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Registers a zeroed memory region of `len` bytes in this domain.
+    ///
+    /// The backing store is allocated as `u64` words so the region's base
+    /// address is 8-aligned — pinned RDMA buffers are page-aligned on real
+    /// hardware, and the shared-address-space pointer arithmetic (§III.B)
+    /// relies on aligned bases.
+    pub fn register(&self, len: usize) -> MemoryRegion {
+        MemoryRegion {
+            inner: Arc::new(MrInner {
+                buf: UnsafeCell::new(vec![0u64; len.div_ceil(8)].into_boxed_slice()),
+                len,
+                pd: self.id,
+                lkey: NEXT_KEY.fetch_add(1, Ordering::Relaxed),
+                write_guard: Mutex::new(()),
+            }),
+        }
+    }
+}
+
+struct MrInner {
+    /// Word-typed storage for 8-aligned base; accessed as bytes.
+    buf: UnsafeCell<Box<[u64]>>,
+    len: usize,
+    pd: u32,
+    lkey: u32,
+    /// Serializes whole-region administrative writes (e.g. `fill`); the
+    /// datapath's disjoint-range contract does not take this lock.
+    write_guard: Mutex<()>,
+}
+
+// SAFETY: concurrent access is governed by the RDMA protocol contract
+// documented at module level — writers own disjoint ranges and readers
+// synchronize through completion queues.
+unsafe impl Send for MrInner {}
+unsafe impl Sync for MrInner {}
+
+/// A registered memory region. Cloning yields another handle to the same
+/// bytes (like sharing an `lkey`).
+#[derive(Clone)]
+pub struct MemoryRegion {
+    inner: Arc<MrInner>,
+}
+
+impl std::fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryRegion")
+            .field("len", &self.inner.len)
+            .field("pd", &self.inner.pd)
+            .field("lkey", &self.inner.lkey)
+            .finish()
+    }
+}
+
+impl MemoryRegion {
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// The owning protection domain's id.
+    pub fn pd_id(&self) -> u32 {
+        self.inner.pd
+    }
+
+    /// The local key (diagnostic identity).
+    pub fn lkey(&self) -> u32 {
+        self.inner.lkey
+    }
+
+    /// The *virtual address* of byte 0 — what the host exchanges with the
+    /// DPU at setup so the DPU can craft shared-address-space pointers.
+    pub fn base_addr(&self) -> usize {
+        unsafe { (*self.inner.buf.get()).as_ptr() as usize }
+    }
+
+    fn check(&self, offset: usize, len: usize) {
+        assert!(
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= self.inner.len),
+            "MR access out of bounds: [{offset}, {offset}+{len}) in region of {}",
+            self.inner.len
+        );
+    }
+
+    /// Copies `data` into the region at `offset`.
+    ///
+    /// Contract: the caller owns `[offset, offset+len)` for writing (no
+    /// concurrent reader or writer of that range).
+    pub fn write(&self, offset: usize, data: &[u8]) {
+        self.check(offset, data.len());
+        // SAFETY: bounds checked; range ownership per module contract.
+        unsafe {
+            let base = (*self.inner.buf.get()).as_mut_ptr() as *mut u8;
+            std::ptr::copy_nonoverlapping(data.as_ptr(), base.add(offset), data.len());
+        }
+    }
+
+    /// Copies `len` bytes at `offset` into a fresh vector.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.read_into(offset, &mut out);
+        out
+    }
+
+    /// Copies bytes at `offset` into `out`.
+    ///
+    /// Contract: the range was published to this reader via a completion.
+    pub fn read_into(&self, offset: usize, out: &mut [u8]) {
+        self.check(offset, out.len());
+        // SAFETY: bounds checked; range ownership per module contract.
+        unsafe {
+            let base = (*self.inner.buf.get()).as_ptr() as *const u8;
+            std::ptr::copy_nonoverlapping(base.add(offset), out.as_mut_ptr(), out.len());
+        }
+    }
+
+    /// Zero-copy view of a received range. The returned slice aliases the
+    /// region; the caller must not write the range while holding it.
+    ///
+    /// # Safety
+    /// The caller must guarantee the range is quiescent (published by a
+    /// completion and not yet recycled) for the borrow's duration — the
+    /// same guarantee an RDMA application relies on when parsing a receive
+    /// buffer in place.
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        self.check(offset, len);
+        std::slice::from_raw_parts(
+            ((*self.inner.buf.get()).as_ptr() as *const u8).add(offset),
+            len,
+        )
+    }
+
+    /// Zero-copy mutable view for in-place construction (e.g. building a
+    /// block in a send buffer before posting it).
+    ///
+    /// # Safety
+    /// The caller must own the range exclusively for the borrow's duration.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [u8] {
+        self.check(offset, len);
+        std::slice::from_raw_parts_mut(
+            ((*self.inner.buf.get()).as_mut_ptr() as *mut u8).add(offset),
+            len,
+        )
+    }
+
+    /// Fills the whole region with `byte` (test/setup helper; takes the
+    /// administrative write lock).
+    pub fn fill(&self, byte: u8) {
+        let _g = self.inner.write_guard.lock();
+        // SAFETY: administrative lock held; not called concurrently with
+        // datapath traffic by contract.
+        unsafe {
+            let words = &mut *self.inner.buf.get();
+            let b = byte as u64;
+            let word = b | b << 8 | b << 16 | b << 24 | b << 32 | b << 40 | b << 48 | b << 56;
+            words.fill(word);
+        }
+    }
+
+    /// DMA copy between regions (the device's engine). Copies
+    /// `len` bytes from `src[src_off]` to `dst[dst_off]`.
+    pub(crate) fn dma_copy(
+        src: &MemoryRegion,
+        src_off: usize,
+        dst: &MemoryRegion,
+        dst_off: usize,
+        len: usize,
+    ) {
+        src.check(src_off, len);
+        dst.check(dst_off, len);
+        // SAFETY: bounds checked; the protocol guarantees the source range
+        // is stable and the destination range is owned by this transfer.
+        unsafe {
+            let s = ((*src.inner.buf.get()).as_ptr() as *const u8).add(src_off);
+            let d = ((*dst.inner.buf.get()).as_mut_ptr() as *mut u8).add(dst_off);
+            std::ptr::copy_nonoverlapping(s, d, len);
+        }
+    }
+
+    /// True if both handles refer to the same underlying region.
+    pub fn same_region(&self, other: &MemoryRegion) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_rw() {
+        let pd = ProtectionDomain::new();
+        let mr = pd.register(64);
+        assert_eq!(mr.len(), 64);
+        mr.write(8, &[1, 2, 3, 4]);
+        assert_eq!(mr.read(8, 4), vec![1, 2, 3, 4]);
+        assert_eq!(mr.read(0, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn base_addr_is_8_aligned() {
+        for len in [1usize, 7, 8, 1023, 4096] {
+            let mr = ProtectionDomain::new().register(len);
+            assert_eq!(mr.base_addr() % 8, 0, "len={len}");
+            assert_eq!(mr.len(), len);
+        }
+    }
+
+    #[test]
+    fn base_addr_is_stable() {
+        let pd = ProtectionDomain::new();
+        let mr = pd.register(1024);
+        let a = mr.base_addr();
+        mr.write(0, &[9; 100]);
+        let clone = mr.clone();
+        assert_eq!(a, mr.base_addr());
+        assert_eq!(a, clone.base_addr());
+        assert!(clone.same_region(&mr));
+    }
+
+    #[test]
+    fn dma_copy_moves_bytes() {
+        let pd = ProtectionDomain::new();
+        let src = pd.register(32);
+        let dst = pd.register(32);
+        src.write(0, b"hello rdma");
+        MemoryRegion::dma_copy(&src, 0, &dst, 10, 10);
+        assert_eq!(&dst.read(10, 10), b"hello rdma");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        let pd = ProtectionDomain::new();
+        let mr = pd.register(16);
+        mr.write(10, &[0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let pd = ProtectionDomain::new();
+        let mr = pd.register(16);
+        let _ = mr.read(16, 1);
+    }
+
+    #[test]
+    fn pds_have_distinct_ids() {
+        let a = ProtectionDomain::new();
+        let b = ProtectionDomain::new();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.register(8).pd_id(), a.id());
+    }
+
+    #[test]
+    fn zero_copy_slice_reflects_writes() {
+        let pd = ProtectionDomain::new();
+        let mr = pd.register(16);
+        mr.write(4, &[7, 8, 9]);
+        // SAFETY: single-threaded test, range quiescent.
+        let s = unsafe { mr.slice(4, 3) };
+        assert_eq!(s, &[7, 8, 9]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let pd = ProtectionDomain::new();
+        let mr = pd.register(4096);
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let mr = mr.clone();
+            handles.push(std::thread::spawn(move || {
+                let off = t as usize * 1024;
+                mr.write(off, &vec![t + 1; 1024]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u8 {
+            assert!(mr.read(t as usize * 1024, 1024).iter().all(|&b| b == t + 1));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Simulated TCP: reliable in-memory byte streams with a listener registry.
+//!
+//! The xRPC clients in Figure 1 reach the DPU over ordinary TCP/IP. The
+//! reproduction keeps that leg in-process: [`SimTcpStream`] is a pair of
+//! unidirectional byte pipes with blocking reads, and [`TcpFabric`] is the
+//! address registry standing in for the IP stack ("the DPU is a SmartNIC
+//! but has a distinct IP address to the host", §III.A).
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One direction of a stream.
+#[derive(Debug)]
+struct Pipe {
+    tx: Sender<Vec<u8>>,
+}
+
+/// A connected, reliable, ordered byte stream.
+#[derive(Debug)]
+pub struct SimTcpStream {
+    tx: Pipe,
+    rx: Receiver<Vec<u8>>,
+    /// Partially consumed incoming chunk.
+    pending: Vec<u8>,
+    pending_pos: usize,
+    bytes_tx: Arc<AtomicU64>,
+    bytes_rx: Arc<AtomicU64>,
+    read_timeout: Option<Duration>,
+}
+
+impl SimTcpStream {
+    /// Creates a connected pair of streams.
+    pub fn pair() -> (SimTcpStream, SimTcpStream) {
+        let (atx, brx) = unbounded();
+        let (btx, arx) = unbounded();
+        (
+            SimTcpStream {
+                tx: Pipe { tx: atx },
+                rx: arx,
+                pending: Vec::new(),
+                pending_pos: 0,
+                bytes_tx: Arc::new(AtomicU64::new(0)),
+                bytes_rx: Arc::new(AtomicU64::new(0)),
+                read_timeout: None,
+            },
+            SimTcpStream {
+                tx: Pipe { tx: btx },
+                rx: brx,
+                pending: Vec::new(),
+                pending_pos: 0,
+                bytes_tx: Arc::new(AtomicU64::new(0)),
+                bytes_rx: Arc::new(AtomicU64::new(0)),
+                read_timeout: None,
+            },
+        )
+    }
+
+    /// Sets (or clears) the blocking-read timeout.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) {
+        self.read_timeout = t;
+    }
+
+    /// Bytes written into this stream so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_tx.load(Ordering::Relaxed)
+    }
+
+    /// Reads exactly `buf.len()` bytes (blocking), like
+    /// `Read::read_exact` but honoring the stream timeout per chunk.
+    pub fn read_exact_timeout(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read(&mut buf[filled..])?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+}
+
+impl Write for SimTcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.tx
+            .tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+        self.bytes_tx.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for SimTcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pending_pos >= self.pending.len() {
+            let chunk = match self.read_timeout {
+                Some(t) => match self.rx.recv_timeout(t) {
+                    Ok(c) => c,
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read timeout"))
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return Ok(0),
+                },
+                None => match self.rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => return Ok(0), // EOF
+                },
+            };
+            self.pending = chunk;
+            self.pending_pos = 0;
+        }
+        let n = buf.len().min(self.pending.len() - self.pending_pos);
+        buf[..n].copy_from_slice(&self.pending[self.pending_pos..self.pending_pos + n]);
+        self.pending_pos += n;
+        self.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+type PendingConn = Sender<SimTcpStream>;
+
+/// The address registry: binds listeners to string addresses and brokers
+/// connections.
+#[derive(Clone, Default)]
+pub struct TcpFabric {
+    listeners: Arc<Mutex<HashMap<String, PendingConn>>>,
+}
+
+/// An accepting endpoint bound to an address.
+pub struct SimTcpListener {
+    incoming: Receiver<SimTcpStream>,
+    addr: String,
+    fabric: TcpFabric,
+}
+
+impl TcpFabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a listener at `addr`.
+    ///
+    /// # Panics
+    /// Panics if the address is already bound (address-in-use is a
+    /// programming error in the in-process world).
+    pub fn bind(&self, addr: &str) -> SimTcpListener {
+        let (tx, rx) = unbounded();
+        let prev = self.listeners.lock().insert(addr.to_string(), tx);
+        assert!(prev.is_none(), "address already bound: {addr}");
+        SimTcpListener {
+            incoming: rx,
+            addr: addr.to_string(),
+            fabric: self.clone(),
+        }
+    }
+
+    /// Connects to `addr`, returning the client stream.
+    pub fn connect(&self, addr: &str) -> io::Result<SimTcpStream> {
+        let listeners = self.listeners.lock();
+        let Some(l) = listeners.get(addr) else {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("no listener at {addr}"),
+            ));
+        };
+        let (client, server) = SimTcpStream::pair();
+        l.send(server)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener dropped"))?;
+        Ok(client)
+    }
+}
+
+impl SimTcpListener {
+    /// Blocks until a client connects.
+    pub fn accept(&self) -> io::Result<SimTcpStream> {
+        self.incoming
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "fabric closed"))
+    }
+
+    /// Accepts with a timeout.
+    pub fn accept_timeout(&self, t: Duration) -> io::Result<SimTcpStream> {
+        self.incoming.recv_timeout(t).map_err(|e| match e {
+            RecvTimeoutError::Timeout => io::Error::new(io::ErrorKind::TimedOut, "accept timeout"),
+            RecvTimeoutError::Disconnected => {
+                io::Error::new(io::ErrorKind::BrokenPipe, "fabric closed")
+            }
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Drop for SimTcpListener {
+    fn drop(&mut self) {
+        self.fabric.listeners.lock().remove(&self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let (mut a, mut b) = SimTcpStream::pair();
+        a.write_all(b"hello").unwrap();
+        a.write_all(b" world").unwrap();
+        let mut buf = [0u8; 11];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+        assert_eq!(a.bytes_sent(), 11);
+    }
+
+    #[test]
+    fn partial_reads_across_chunks() {
+        let (mut a, mut b) = SimTcpStream::pair();
+        a.write_all(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let mut buf = [0u8; 3];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        let mut rest = [0u8; 5];
+        b.read_exact(&mut rest).unwrap();
+        assert_eq!(rest, [4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn eof_on_peer_drop() {
+        let (a, mut b) = SimTcpStream::pair();
+        drop(a);
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_timeout_fires() {
+        let (_a, mut b) = SimTcpStream::pair();
+        b.set_read_timeout(Some(Duration::from_millis(20)));
+        let mut buf = [0u8; 1];
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn fabric_bind_connect_accept() {
+        let fabric = TcpFabric::new();
+        let listener = fabric.bind("dpu:50051");
+        let mut client = fabric.connect("dpu:50051").unwrap();
+        client.write_all(b"rpc!").unwrap();
+        let mut server = listener.accept().unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"rpc!");
+        // Bidirectional.
+        server.write_all(b"ok").unwrap();
+        let mut r = [0u8; 2];
+        client.read_exact(&mut r).unwrap();
+        assert_eq!(&r, b"ok");
+    }
+
+    #[test]
+    fn connect_to_unbound_refused() {
+        let fabric = TcpFabric::new();
+        let err = fabric.connect("nobody:1").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn rebind_after_drop() {
+        let fabric = TcpFabric::new();
+        let l = fabric.bind("a:1");
+        drop(l);
+        let _l2 = fabric.bind("a:1"); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let fabric = TcpFabric::new();
+        let _a = fabric.bind("a:1");
+        let _b = fabric.bind("a:1");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary write chunkings reassemble into the same byte
+            /// stream under arbitrary read chunkings.
+            #[test]
+            fn chunked_writes_reassemble(
+                data in proptest::collection::vec(any::<u8>(), 1..2000),
+                write_cuts in proptest::collection::vec(1usize..100, 0..20),
+                read_size in 1usize..64,
+            ) {
+                let (mut a, mut b) = SimTcpStream::pair();
+                let mut pos = 0;
+                let mut cuts = write_cuts.into_iter();
+                while pos < data.len() {
+                    let n = cuts.next().unwrap_or(data.len()).min(data.len() - pos);
+                    a.write_all(&data[pos..pos + n]).unwrap();
+                    pos += n;
+                }
+                drop(a);
+                let mut out = Vec::new();
+                let mut buf = vec![0u8; read_size];
+                loop {
+                    let n = b.read(&mut buf).unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    out.extend_from_slice(&buf[..n]);
+                }
+                prop_assert_eq!(out, data);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_client_server() {
+        let fabric = TcpFabric::new();
+        let listener = fabric.bind("svc:9");
+        let h = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let mut c = fabric.connect("svc:9").unwrap();
+        c.write_all(b"echo!").unwrap();
+        let mut buf = [0u8; 5];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"echo!");
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,294 @@
+//! Advanced-features tour: full symmetric offload, background RPCs, and
+//! the shared host poller — the three extensions the paper sketches
+//! (§III.A, §III.D, §III.C), composed in one application.
+//!
+//! Scenario: an "order pricing" service. The host prices shopping carts
+//! (native request in, native response out — the host runs zero protobuf
+//! code), while a slow "fraud audit" procedure runs on background workers
+//! so it never stalls the pricing datapath. One host poller serves two DPU
+//! connections over a shared completion queue.
+//!
+//! Run with: `cargo run --release --example full_offload`
+
+use pbo_core::{serialize_view, OffloadClient, ServiceSchema};
+use pbo_grpc::ServiceDescriptor;
+use pbo_metrics::Registry;
+use pbo_protowire::{decode_message, encode_message, parse_proto, DynamicMessage, Value};
+use pbo_rpcrdma::server::NativeResponse;
+use pbo_rpcrdma::{establish_group, Config};
+use pbo_simnet::Fabric;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PROTO: &str = r#"
+    syntax = "proto3";
+    package shop;
+
+    message LineItem {
+        string sku = 1;
+        uint32 quantity = 2;
+        uint32 unit_cents = 3;
+    }
+
+    message Cart {
+        uint64 customer_id = 1;
+        repeated LineItem items = 2;
+        string coupon = 3;
+    }
+
+    message Quote {
+        uint64 customer_id = 1;
+        uint64 subtotal_cents = 2;
+        uint64 discount_cents = 3;
+        uint64 total_cents = 4;
+        string note = 5;
+    }
+
+    message AuditVerdict {
+        bool flagged = 1;
+        string reason = 2;
+    }
+"#;
+
+fn main() {
+    let schema = parse_proto(PROTO).expect("valid proto");
+    let service = ServiceDescriptor::new("shop.Pricing")
+        .method("Price", 1, "shop.Cart", "shop.Quote")
+        .method("Audit", 2, "shop.Cart", "shop.AuditVerdict");
+    let bundle = ServiceSchema::new(schema, service, pbo_adt::StdLib::Libstdcxx);
+
+    let fabric = Fabric::new();
+    let registry = Registry::new();
+    // Two DPU connections, ONE host poller over a shared CQ (§III.C).
+    let (clients, mut poller) = establish_group(
+        &fabric,
+        2,
+        Config::paper_client(),
+        Config::paper_server(),
+        &registry,
+        Some(&bundle.adt_bytes()),
+    );
+
+    // Host-side registration, per connection endpoint.
+    let audits_done = Arc::new(AtomicU64::new(0));
+    for i in 0..poller.len() {
+        // "Price": FULLY offloaded — native request in, native response
+        // out, via the zero-copy writer-handler plumbing.
+        {
+            let bundle = bundle.clone();
+            let adt = bundle.adt().clone();
+            let schema = bundle.schema().clone();
+            let cart_class = adt.class_id("shop.Cart").unwrap();
+            let quote_desc = bundle.schema().message("shop.Quote").unwrap().clone();
+            poller.server_mut(i).register_writer(
+                1,
+                Box::new(move |req| {
+                    let (payload_addr, region_base, region_len) =
+                        (req.payload_addr, req.region_base, req.region_len);
+                    let adt = adt.clone();
+                    let schema = schema.clone();
+                    let quote_desc = quote_desc.clone();
+                    NativeResponse {
+                        size_hint: 256,
+                        write: Box::new(move |dst, host_addr| {
+                            use pbo_rpcrdma::client::PayloadError;
+                            let cart = pbo_adt::NativeObject::from_addr(
+                                &adt,
+                                cart_class,
+                                payload_addr,
+                                region_base,
+                                region_len,
+                            )
+                            .map_err(|e| PayloadError::Fail(e.to_string()))?;
+                            // Business logic on the in-place object graph.
+                            let items = cart
+                                .get_repeated(2)
+                                .map_err(|e| PayloadError::Fail(e.to_string()))?;
+                            let mut subtotal = 0u64;
+                            for j in 0..items.len() {
+                                let it = items
+                                    .message_at(j)
+                                    .map_err(|e| PayloadError::Fail(e.to_string()))?;
+                                subtotal += it.get_u32(2).unwrap_or(0) as u64
+                                    * it.get_u32(3).unwrap_or(0) as u64;
+                            }
+                            let coupon = cart.get_str(3).unwrap_or("");
+                            let discount = if coupon == "SAVE10" { subtotal / 10 } else { 0 };
+                            // Build the native Quote straight into the
+                            // response block.
+                            let map_b = |e: pbo_adt::BuildError| {
+                                if e.to_string().contains("arena exhausted") {
+                                    PayloadError::NeedMore
+                                } else {
+                                    PayloadError::Fail(e.to_string())
+                                }
+                            };
+                            let mut quote = pbo_adt::NativeBuilder::new(
+                                &adt,
+                                &schema,
+                                &quote_desc,
+                                dst,
+                                host_addr,
+                            )
+                            .map_err(map_b)?;
+                            quote
+                                .set_u64("customer_id", cart.get_u64(1).unwrap_or(0))
+                                .map_err(map_b)?;
+                            quote.set_u64("subtotal_cents", subtotal).map_err(map_b)?;
+                            quote.set_u64("discount_cents", discount).map_err(map_b)?;
+                            quote
+                                .set_u64("total_cents", subtotal - discount)
+                                .map_err(map_b)?;
+                            if discount > 0 {
+                                quote.set_str("note", "coupon applied").map_err(map_b)?;
+                            }
+                            let used = quote.finish().map_err(map_b)?.used;
+                            Ok((used, 0))
+                        }),
+                    }
+                }),
+            );
+        }
+        // "Audit": background — slow, runs on pool workers (§III.D).
+        poller.server_mut(i).enable_background(2);
+        let audits = audits_done.clone();
+        poller.server_mut(i).register_background(
+            2,
+            Arc::new(move |req| {
+                std::thread::sleep(Duration::from_millis(3)); // "long-running"
+                audits.fetch_add(1, Ordering::Relaxed);
+                // AuditVerdict { flagged: false } — canonical empty msg,
+                // plus a reason when the payload looks big.
+                let mut out = Vec::new();
+                if req.payload.len() > 200 {
+                    out.extend_from_slice(&[0x08, 0x01]); // flagged = true
+                    out.extend_from_slice(&[0x12, 0x09]);
+                    out.extend_from_slice(b"big order");
+                }
+                (0, out)
+            }),
+        );
+    }
+
+    // One host poller thread for everything.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hstop = stop.clone();
+    let host = std::thread::spawn(move || {
+        while !hstop.load(Ordering::Acquire) {
+            poller.event_loop(Duration::from_millis(1)).expect("host");
+        }
+        while poller.event_loop(Duration::ZERO).expect("drain") > 0 {}
+    });
+
+    // DPU side: each connection gets its own poller thread driving a mix
+    // of priced carts and audits, with DPU-side response serialization.
+    let quotes_checked = Arc::new(AtomicU64::new(0));
+    let mut dpu_threads = Vec::new();
+    for (conn, rpc_client) in clients.into_iter().enumerate() {
+        let bundle = bundle.clone();
+        let quotes_checked = quotes_checked.clone();
+        dpu_threads.push(std::thread::spawn(move || {
+            let mut client = OffloadClient::new(rpc_client, bundle.clone(), None).unwrap();
+            let schema = bundle.schema().clone();
+            let quote_desc = schema.message("shop.Quote").unwrap().clone();
+            let adt = bundle.adt().clone();
+            let done = Arc::new(AtomicU64::new(0));
+            let total = 300u64;
+            let mut issued = 0u64;
+            while done.load(Ordering::Relaxed) < total {
+                while issued < total && issued - done.load(Ordering::Relaxed) < 16 {
+                    // Build a cart as an xRPC client would.
+                    let mut cart = DynamicMessage::of(&schema, "shop.Cart");
+                    cart.set(1, Value::U64(conn as u64 * 1000 + issued));
+                    for k in 0..(issued % 4 + 1) {
+                        let mut item = DynamicMessage::of(&schema, "shop.LineItem");
+                        item.set(1, Value::Str(format!("sku-{k}")));
+                        item.set(2, Value::U64(k + 1));
+                        item.set(3, Value::U64(250));
+                        cart.push(2, Value::Message(Box::new(item)));
+                    }
+                    if issued.is_multiple_of(3) {
+                        cart.set(3, Value::Str("SAVE10".into()));
+                    }
+                    let wire = encode_message(&cart);
+                    let expect_subtotal: u64 = (0..(issued % 4 + 1)).map(|k| (k + 1) * 250).sum();
+                    let has_coupon = issued.is_multiple_of(3);
+
+                    let d = done.clone();
+                    let q = quotes_checked.clone();
+                    let adt = adt.clone();
+                    let schema2 = schema.clone();
+                    let quote_desc = quote_desc.clone();
+                    let res = if issued % 5 == 4 {
+                        // Occasional slow audit in the background.
+                        let d2 = d.clone();
+                        client.call_forwarded(
+                            2,
+                            &wire,
+                            Box::new(move |_p, s| {
+                                assert_eq!(s, 0);
+                                d2.fetch_add(1, Ordering::Relaxed);
+                            }),
+                        )
+                    } else {
+                        client.call_offloaded(
+                            1,
+                            &wire,
+                            Box::new(move |payload, s| {
+                                assert_eq!(s, 0);
+                                // DPU-side serialization of the native
+                                // Quote, then decode as any gRPC client
+                                // would.
+                                let class = adt.class_id("shop.Quote").unwrap();
+                                let view =
+                                    pbo_adt::NativeObject::from_slice(&adt, class, payload, 0)
+                                        .expect("valid response object");
+                                let wire = serialize_view(&view, &quote_desc, &schema2).unwrap();
+                                let quote = decode_message(&schema2, &quote_desc, &wire).unwrap();
+                                let subtotal = quote.get(2).and_then(|v| v.as_u64()).unwrap_or(0);
+                                assert_eq!(subtotal, expect_subtotal);
+                                if has_coupon {
+                                    assert_eq!(
+                                        quote.get(5).and_then(|v| v.as_str()),
+                                        Some("coupon applied")
+                                    );
+                                }
+                                q.fetch_add(1, Ordering::Relaxed);
+                                d.fetch_add(1, Ordering::Relaxed);
+                            }),
+                        )
+                    };
+                    match res {
+                        Ok(()) => issued += 1,
+                        Err(pbo_rpcrdma::RpcError::NoCredits)
+                        | Err(pbo_rpcrdma::RpcError::SendBufferFull) => break,
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                client.event_loop(Duration::from_micros(300)).unwrap();
+            }
+        }));
+    }
+    for t in dpu_threads {
+        t.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    host.join().unwrap();
+
+    println!("full_offload: 600 RPCs across 2 connections through 1 host poller");
+    println!(
+        "  {} quotes priced fully offloaded (host ran zero protobuf code)",
+        quotes_checked.load(Ordering::Relaxed)
+    );
+    println!(
+        "  {} fraud audits executed on background workers without stalling pricing",
+        audits_done.load(Ordering::Relaxed)
+    );
+    let pcie = fabric.link().stats();
+    println!(
+        "  PCIe: {:.1} KiB of native objects to host, {:.1} KiB of native responses back",
+        pcie.bytes_to_host as f64 / 1024.0,
+        pcie.bytes_to_device as f64 / 1024.0
+    );
+}

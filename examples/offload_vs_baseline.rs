@@ -1,0 +1,43 @@
+//! Runs the paper's three synthetic workloads through the *measured*
+//! datapath (real threads, real protocol, simulated device) in both
+//! scenarios and prints a Fig-8-shaped comparison table.
+//!
+//! Container-scale absolute numbers; the paper-scale figures come from
+//! `cargo run -p pbo-bench --bin fig8`.
+//!
+//! Run with: `cargo run --release --example offload_vs_baseline`
+
+use pbo_core::{run_scenario, ScenarioConfig, ScenarioKind};
+use pbo_protowire::workloads::WorkloadKind;
+
+fn main() {
+    println!(
+        "{:<12} {:<20} {:>12} {:>14} {:>16} {:>14}",
+        "workload", "scenario", "requests/s", "PCIe req MiB", "PCIe resp MiB", "host ns/req"
+    );
+    for workload in WorkloadKind::ALL {
+        let requests = match workload {
+            WorkloadKind::Small => 40_000,
+            WorkloadKind::Ints512 => 12_000,
+            WorkloadKind::Chars8000 => 4_000,
+        };
+        for kind in [ScenarioKind::Offloaded, ScenarioKind::Baseline] {
+            let mut cfg = ScenarioConfig::quick(workload, kind);
+            cfg.requests = requests;
+            let stats = run_scenario(cfg).expect("scenario");
+            println!(
+                "{:<12} {:<20} {:>12.0} {:>14.2} {:>16.2} {:>14.0}",
+                workload.label(),
+                kind.label(),
+                stats.rps,
+                stats.pcie.bytes_to_host as f64 / (1024.0 * 1024.0),
+                stats.pcie.bytes_to_device as f64 / (1024.0 * 1024.0),
+                stats.host_busy_per_request_ns,
+            );
+        }
+    }
+    println!();
+    println!("Expected shape (paper Fig 8): request-direction PCIe bytes inflate under");
+    println!("offload for Small and x512 Ints, stay ~equal for x8000 Chars; host ns/req");
+    println!("drops under offload for every workload, most strongly for x512 Ints.");
+}

@@ -1,0 +1,200 @@
+//! Integration: background RPC execution (§III.D's thread-pool extension).
+//!
+//! Long-running procedures execute on pool workers while the poller keeps
+//! the datapath moving; completions arrive out of order and the client's
+//! continuations still match (response headers carry the request id, and
+//! request-ID recycling follows response-block order on both sides).
+
+use parking_lot::Mutex;
+use pbo_core::{OffloadClient, ServiceSchema};
+use pbo_metrics::Registry;
+use pbo_protowire::encode_message;
+use pbo_protowire::workloads::{gen_small, paper_schema};
+use pbo_rpcrdma::{establish, Config, RpcError, RpcServer};
+use pbo_simnet::Fabric;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn stack(workers: usize) -> (OffloadClient, RpcServer) {
+    let bundle = ServiceSchema::paper_bench();
+    let fabric = Fabric::new();
+    let registry = Registry::new();
+    let adt = bundle.adt_bytes();
+    let ep = establish(
+        &fabric,
+        Config::paper_client(),
+        Config::paper_server(),
+        &registry,
+        "bg",
+        Some(&adt),
+    );
+    let client = OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref()).unwrap();
+    let mut server = ep.server;
+    server.enable_background(workers);
+    (client, server)
+}
+
+#[test]
+fn background_rpcs_complete_out_of_order_and_match() {
+    let (mut client, mut server) = stack(4);
+    // Proc 1: background, sleeps proportionally to a byte of the payload —
+    // later requests finish first.
+    server.register_background(
+        1,
+        Arc::new(|req| {
+            let delay = req.payload.first().copied().unwrap_or(0) as u64;
+            std::thread::sleep(Duration::from_millis(delay));
+            (0, vec![req.payload[0]])
+        }),
+    );
+
+    let completion_order = Arc::new(Mutex::new(Vec::<u8>::new()));
+    // Request i sleeps (4 - i) * 15 ms: completion order should reverse.
+    for i in 0..4u8 {
+        let order = completion_order.clone();
+        let delay = (3 - i) * 15;
+        client
+            .call_forwarded(
+                1,
+                &[delay, i],
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0);
+                    assert_eq!(payload, [delay]);
+                    order.lock().push(delay);
+                }),
+            )
+            .unwrap();
+    }
+    client.rpc().flush().unwrap();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while completion_order.lock().len() < 4 {
+        server.event_loop(Duration::from_millis(2)).unwrap();
+        client.event_loop(Duration::from_millis(1)).unwrap();
+        assert!(std::time::Instant::now() < deadline, "stalled");
+    }
+    // Shortest sleeps completed first, regardless of request order.
+    let order = completion_order.lock().clone();
+    assert_eq!(order, vec![0, 15, 30, 45], "completion order: {order:?}");
+    assert_eq!(server.background_outstanding(), 0);
+    assert_eq!(client.rpc().outstanding(), 0);
+}
+
+#[test]
+fn foreground_and_background_coexist() {
+    let (mut client, mut server) = stack(2);
+    server.register_background(
+        1,
+        Arc::new(|_req| {
+            std::thread::sleep(Duration::from_millis(20));
+            (0, b"slow".to_vec())
+        }),
+    );
+    server.register(
+        2,
+        Box::new(|_req, sink| {
+            sink.write(b"fast");
+            0
+        }),
+    );
+
+    let results = Arc::new(Mutex::new(Vec::<String>::new()));
+    let r = results.clone();
+    client
+        .call_forwarded(
+            1,
+            b"x",
+            Box::new(move |p, _s| r.lock().push(String::from_utf8_lossy(p).into_owned())),
+        )
+        .unwrap();
+    let r = results.clone();
+    client
+        .call_forwarded(
+            2,
+            b"y",
+            Box::new(move |p, _s| r.lock().push(String::from_utf8_lossy(p).into_owned())),
+        )
+        .unwrap();
+    client.rpc().flush().unwrap();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while results.lock().len() < 2 {
+        server.event_loop(Duration::from_millis(2)).unwrap();
+        client.event_loop(Duration::from_millis(1)).unwrap();
+        assert!(std::time::Instant::now() < deadline);
+    }
+    // The foreground call must not have waited behind the sleeping
+    // background one.
+    assert_eq!(results.lock().as_slice(), ["fast", "slow"]);
+}
+
+#[test]
+fn sustained_background_load_recycles_everything() {
+    let (mut client, mut server) = stack(3);
+    server.register_background(
+        2,
+        Arc::new(|req| {
+            // Sum the payload bytes; no sleep — throughput mode.
+            let sum: u64 = req.payload.iter().map(|&b| b as u64).sum();
+            (0, sum.to_le_bytes().to_vec())
+        }),
+    );
+    let schema = paper_schema();
+    let wire = encode_message(&gen_small(&schema));
+    let expect: u64 = wire.iter().map(|&b| b as u64).sum();
+    let done = Arc::new(AtomicU64::new(0));
+    let total = 1500u64;
+    let mut issued = 0u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while done.load(Ordering::Relaxed) < total {
+        while issued < total && issued - done.load(Ordering::Relaxed) < 64 {
+            let d = done.clone();
+            match client.call_forwarded(
+                2,
+                &wire,
+                Box::new(move |p, s| {
+                    assert_eq!(s, 0);
+                    assert_eq!(u64::from_le_bytes(p.try_into().unwrap()), expect);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            ) {
+                Ok(()) => issued += 1,
+                Err(RpcError::NoCredits) | Err(RpcError::SendBufferFull) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        client.event_loop(Duration::ZERO).unwrap();
+        server.event_loop(Duration::from_micros(200)).unwrap();
+        client.event_loop(Duration::ZERO).unwrap();
+        assert!(std::time::Instant::now() < deadline, "stalled");
+    }
+    // Drain and audit steady state.
+    for _ in 0..50 {
+        server.event_loop(Duration::ZERO).unwrap();
+        client.event_loop(Duration::ZERO).unwrap();
+    }
+    assert_eq!(done.load(Ordering::Relaxed), total);
+    assert_eq!(client.rpc().outstanding(), 0);
+    assert_eq!(client.rpc().credits(), client.rpc().config().credits);
+    assert_eq!(server.background_outstanding(), 0);
+}
+
+#[test]
+#[should_panic(expected = "enable_background first")]
+fn background_registration_requires_pool() {
+    let bundle = ServiceSchema::paper_bench();
+    let fabric = Fabric::new();
+    let registry = Registry::new();
+    let ep = establish(
+        &fabric,
+        Config::test_small(),
+        Config::test_small(),
+        &registry,
+        "nopool",
+        None,
+    );
+    let _ = bundle;
+    let mut server = ep.server;
+    server.register_background(1, Arc::new(|_r| (0, vec![])));
+}

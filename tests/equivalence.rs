@@ -1,0 +1,380 @@
+//! Integration: offloaded deserialization is *lossless*.
+//!
+//! For arbitrary messages, the native object the host receives through the
+//! full offload datapath must agree field-for-field with the reference
+//! recursive decoding of the same wire bytes. This is the correctness core
+//! of the whole system: if it holds, the DPU's in-place deserialization is
+//! semantically invisible.
+
+use parking_lot::Mutex;
+use pbo_adt::NativeObject;
+use pbo_core::compat::PayloadMode;
+use pbo_core::{CompatServer, OffloadClient, ServiceSchema};
+use pbo_grpc::ServiceDescriptor;
+use pbo_metrics::Registry;
+use pbo_protowire::{
+    decode_message, encode_message, parse_proto, Cardinality, DynamicMessage, FieldType, Schema,
+    Value,
+};
+use pbo_rpcrdma::{establish, Config};
+use pbo_simnet::Fabric;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PROTO: &str = r#"
+    syntax = "proto3";
+    package eq;
+
+    message Leaf {
+        sint64 s = 1;
+        string name = 2;
+        double d = 3;
+        bytes blob = 4;
+        bool flag = 5;
+    }
+
+    message Node {
+        uint32 id = 1;
+        Leaf leaf = 2;
+        repeated uint32 nums = 3;
+        repeated string tags = 4;
+        repeated Leaf leaves = 5;
+        fixed64 fx = 6;
+        float f = 7;
+        optional int32 opt = 8;
+    }
+"#;
+
+/// Compares a native view against the reference dynamic decoding,
+/// recursively, field by field.
+#[allow(clippy::only_used_in_recursion)]
+fn assert_view_matches(view: &NativeObject<'_>, reference: &DynamicMessage, schema: &Schema) {
+    for fd in &reference.descriptor().fields {
+        match (fd.cardinality, fd.ty) {
+            (Cardinality::Repeated, FieldType::Message) => {
+                let rep = view.get_repeated(fd.number).expect("repeated view");
+                let expect = reference.get_repeated(fd.number);
+                assert_eq!(rep.len(), expect.len(), "field {}", fd.name);
+                for (i, e) in expect.iter().enumerate() {
+                    let child = rep.message_at(i).expect("child view");
+                    assert_view_matches(&child, e.as_message().unwrap(), schema);
+                }
+            }
+            (Cardinality::Repeated, FieldType::String) => {
+                let rep = view.get_repeated(fd.number).expect("repeated view");
+                let expect = reference.get_repeated(fd.number);
+                assert_eq!(rep.len(), expect.len());
+                for (i, e) in expect.iter().enumerate() {
+                    assert_eq!(rep.str_at(i).unwrap(), e.as_str().unwrap());
+                }
+            }
+            (Cardinality::Repeated, FieldType::UInt32) => {
+                let rep = view.get_repeated(fd.number).expect("repeated view");
+                let expect = reference.get_repeated(fd.number);
+                assert_eq!(rep.len(), expect.len());
+                for (i, e) in expect.iter().enumerate() {
+                    assert_eq!(rep.u32_at(i).unwrap() as u64, e.as_u64().unwrap());
+                }
+            }
+            (Cardinality::Repeated, other) => panic!("unhandled repeated {other:?}"),
+            (_, FieldType::Message) => {
+                let child = view.get_message(fd.number).expect("message view");
+                match reference.get(fd.number) {
+                    Some(v) => assert_view_matches(
+                        &child.expect("present"),
+                        v.as_message().unwrap(),
+                        schema,
+                    ),
+                    None => assert!(child.is_none(), "field {} spuriously present", fd.name),
+                }
+            }
+            (_, ty) => {
+                // Scalar: unset fields read as defaults.
+                let expect = reference.get(fd.number);
+                match ty {
+                    FieldType::UInt32 => assert_eq!(
+                        view.get_u32(fd.number).unwrap() as u64,
+                        expect.and_then(|v| v.as_u64()).unwrap_or(0)
+                    ),
+                    FieldType::SInt64 => assert_eq!(
+                        view.get_i64(fd.number).unwrap(),
+                        expect.and_then(|v| v.as_i64()).unwrap_or(0)
+                    ),
+                    FieldType::Int32 => assert_eq!(
+                        view.get_i32(fd.number).unwrap() as i64,
+                        expect.and_then(|v| v.as_i64()).unwrap_or(0)
+                    ),
+                    FieldType::Fixed64 => assert_eq!(
+                        view.get_u64(fd.number).unwrap(),
+                        expect.and_then(|v| v.as_u64()).unwrap_or(0)
+                    ),
+                    FieldType::Double => {
+                        let want = match expect {
+                            Some(Value::F64(x)) => *x,
+                            _ => 0.0,
+                        };
+                        let got = view.get_f64(fd.number).unwrap();
+                        assert!(got == want || (got.is_nan() && want.is_nan()));
+                    }
+                    FieldType::Float => {
+                        let want = match expect {
+                            Some(Value::F32(x)) => *x,
+                            _ => 0.0,
+                        };
+                        let got = view.get_f32(fd.number).unwrap();
+                        assert!(got == want || (got.is_nan() && want.is_nan()));
+                    }
+                    FieldType::Bool => assert_eq!(
+                        view.get_bool(fd.number).unwrap(),
+                        matches!(expect, Some(Value::Bool(true)))
+                    ),
+                    FieldType::String => assert_eq!(
+                        view.get_str(fd.number).unwrap(),
+                        expect.and_then(|v| v.as_str()).unwrap_or("")
+                    ),
+                    FieldType::Bytes => assert_eq!(
+                        view.get_bytes(fd.number).unwrap(),
+                        expect.and_then(|v| v.as_bytes()).unwrap_or(&[])
+                    ),
+                    other => panic!("unhandled scalar {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+fn arb_leaf(schema: Arc<Schema>) -> impl Strategy<Value = DynamicMessage> {
+    (
+        any::<i64>(),
+        "\\PC{0,40}",
+        any::<f64>(),
+        proptest::collection::vec(any::<u8>(), 0..60),
+        any::<bool>(),
+    )
+        .prop_map(move |(s, name, d, blob, flag)| {
+            let mut m = DynamicMessage::of(&schema, "eq.Leaf");
+            if s != 0 {
+                m.set(1, Value::I64(s));
+            }
+            if !name.is_empty() {
+                m.set(2, Value::Str(name));
+            }
+            if d != 0.0 {
+                m.set(3, Value::F64(d));
+            }
+            if !blob.is_empty() {
+                m.set(4, Value::Bytes(blob));
+            }
+            if flag {
+                m.set(5, Value::Bool(true));
+            }
+            m
+        })
+}
+
+fn arb_node(schema: Arc<Schema>) -> impl Strategy<Value = DynamicMessage> {
+    let leaf1 = arb_leaf(schema.clone());
+    let leaves = proptest::collection::vec(arb_leaf(schema.clone()), 0..4);
+    (
+        any::<u32>(),
+        proptest::option::of(leaf1),
+        proptest::collection::vec(any::<u32>(), 0..40),
+        proptest::collection::vec("\\PC{0,30}", 0..6),
+        leaves,
+        any::<u64>(),
+        any::<f32>(),
+        proptest::option::of(any::<i32>()),
+    )
+        .prop_map(move |(id, leaf, nums, tags, leaves, fx, f, opt)| {
+            let mut m = DynamicMessage::of(&schema, "eq.Node");
+            if id != 0 {
+                m.set(1, Value::U64(id as u64));
+            }
+            if let Some(l) = leaf {
+                m.set(2, Value::Message(Box::new(l)));
+            }
+            for n in nums {
+                m.push(3, Value::U64(n as u64));
+            }
+            for t in tags {
+                m.push(4, Value::Str(t));
+            }
+            for l in leaves {
+                m.push(5, Value::Message(Box::new(l)));
+            }
+            if fx != 0 {
+                m.set(6, Value::U64(fx));
+            }
+            if f != 0.0 {
+                m.set(7, Value::F32(f));
+            }
+            if let Some(o) = opt {
+                m.set(8, Value::I64(o as i64));
+            }
+            m
+        })
+}
+
+/// One reusable offload stack whose handler checks each received view
+/// against an expectation deposited beforehand.
+struct EquivalenceRig {
+    client: OffloadClient,
+    server: CompatServer,
+    expected: Arc<Mutex<Option<DynamicMessage>>>,
+    checked: Arc<Mutex<u64>>,
+}
+
+fn build_rig() -> EquivalenceRig {
+    build_rig_with(pbo_adt::StdLib::Libstdcxx)
+}
+
+fn build_rig_with(stdlib: pbo_adt::StdLib) -> EquivalenceRig {
+    let schema = parse_proto(PROTO).expect("valid proto");
+    let service = ServiceDescriptor::new("eq.Svc").method("Check", 1, "eq.Node", "eq.Node");
+    let bundle = ServiceSchema::new(schema, service, stdlib);
+    let fabric = Fabric::new();
+    let registry = Registry::new();
+    let adt = bundle.adt_bytes();
+    let ep = establish(
+        &fabric,
+        Config::paper_client(),
+        Config::paper_server(),
+        &registry,
+        "eq",
+        Some(&adt),
+    );
+    let client = OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref()).unwrap();
+    let mut server = CompatServer::new(ep.server, PayloadMode::Native);
+    let expected: Arc<Mutex<Option<DynamicMessage>>> = Arc::new(Mutex::new(None));
+    let checked = Arc::new(Mutex::new(0u64));
+    {
+        let expected = expected.clone();
+        let checked = checked.clone();
+        let schema = bundle.schema().clone();
+        server.register_native(
+            &bundle,
+            1,
+            Arc::new(move |view, _out| {
+                let guard = expected.lock();
+                let reference = guard.as_ref().expect("expectation set");
+                assert_view_matches(view, reference, &schema);
+                *checked.lock() += 1;
+                0
+            }),
+        );
+    }
+    EquivalenceRig {
+        client,
+        server,
+        expected,
+        checked,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn offloaded_objects_match_reference_decoding(seed_msgs in proptest::collection::vec(arb_node(Arc::new(parse_proto(PROTO).unwrap())), 1..4)) {
+        let mut rig = build_rig();
+        let schema = parse_proto(PROTO).unwrap();
+        let desc = schema.message("eq.Node").unwrap().clone();
+        for msg in seed_msgs {
+            let wire = encode_message(&msg);
+            // The reference: recursive decode of the same bytes (this also
+            // normalizes proto3 default-value semantics).
+            let reference = decode_message(&schema, &desc, &wire).unwrap();
+            *rig.expected.lock() = Some(reference);
+            rig.client
+                .call_offloaded(1, &wire, Box::new(|_p, s| assert_eq!(s, 0)))
+                .unwrap();
+            rig.client.rpc().flush().unwrap();
+            rig.server.event_loop(Duration::ZERO).unwrap();
+            rig.client.event_loop(Duration::ZERO).unwrap();
+        }
+        prop_assert!(*rig.checked.lock() > 0);
+    }
+}
+
+#[test]
+fn libcxx_abi_flows_through_the_full_datapath() {
+    // The alternate 24-byte string ABI (§V.C's libc++ discussion), end to
+    // end: DPU writes libc++-shaped strings, host reads them in place.
+    let mut rig = build_rig_with(pbo_adt::StdLib::Libcxx);
+    let schema = parse_proto(PROTO).unwrap();
+    let desc = schema.message("eq.Node").unwrap().clone();
+    for len in [0usize, 1, 21, 22, 23, 24, 400] {
+        let mut m = DynamicMessage::of(&schema, "eq.Node");
+        let mut leaf = DynamicMessage::of(&schema, "eq.Leaf");
+        if len > 0 {
+            leaf.set(2, Value::Str("y".repeat(len)));
+        }
+        m.set(2, Value::Message(Box::new(leaf)));
+        for i in 0..3 {
+            m.push(4, Value::Str(format!("{}{}", "t".repeat(len % 30), i)));
+        }
+        let wire = encode_message(&m);
+        let reference = decode_message(&schema, &desc, &wire).unwrap();
+        *rig.expected.lock() = Some(reference);
+        rig.client
+            .call_offloaded(1, &wire, Box::new(|_p, s| assert_eq!(s, 0)))
+            .unwrap();
+        rig.client.rpc().flush().unwrap();
+        rig.server.event_loop(Duration::ZERO).unwrap();
+        rig.client.event_loop(Duration::ZERO).unwrap();
+    }
+    assert_eq!(*rig.checked.lock(), 7);
+}
+
+#[test]
+fn equivalence_on_handcrafted_edge_cases() {
+    let mut rig = build_rig();
+    let schema = parse_proto(PROTO).unwrap();
+    let desc = schema.message("eq.Node").unwrap().clone();
+
+    let mut cases: Vec<DynamicMessage> = Vec::new();
+    // Empty message.
+    cases.push(DynamicMessage::of(&schema, "eq.Node"));
+    // SSO boundary strings in repeated field (15 and 16 chars).
+    let mut m = DynamicMessage::of(&schema, "eq.Node");
+    m.push(4, Value::Str("exactly15bytes!".into()));
+    m.push(4, Value::Str("exactly16bytes!!".into()));
+    m.push(4, Value::Str(String::new()));
+    cases.push(m);
+    // Extreme scalars.
+    let mut m = DynamicMessage::of(&schema, "eq.Node");
+    m.set(1, Value::U64(u32::MAX as u64));
+    m.set(6, Value::U64(u64::MAX));
+    m.set(7, Value::F32(f32::NEG_INFINITY));
+    let mut leaf = DynamicMessage::of(&schema, "eq.Leaf");
+    leaf.set(1, Value::I64(i64::MIN));
+    leaf.set(3, Value::F64(f64::NAN));
+    m.set(2, Value::Message(Box::new(leaf)));
+    cases.push(m);
+    // Large repeated numeric field crossing block-growth paths.
+    let mut m = DynamicMessage::of(&schema, "eq.Node");
+    for i in 0..5000u32 {
+        m.push(
+            3,
+            Value::U64((i.wrapping_mul(2654435761)) as u64 & 0xffff_ffff),
+        );
+    }
+    cases.push(m);
+
+    for msg in cases {
+        let wire = encode_message(&msg);
+        let reference = decode_message(&schema, &desc, &wire).unwrap();
+        *rig.expected.lock() = Some(reference);
+        rig.client
+            .call_offloaded(1, &wire, Box::new(|_p, s| assert_eq!(s, 0)))
+            .unwrap();
+        rig.client.rpc().flush().unwrap();
+        rig.server.event_loop(Duration::ZERO).unwrap();
+        rig.client.event_loop(Duration::ZERO).unwrap();
+    }
+    assert_eq!(*rig.checked.lock(), 4);
+}
