@@ -1,0 +1,174 @@
+//! E11 — per-stage latency breakdown of the measured datapath.
+//!
+//! Runs the real threaded datapath with tracing on, for the offload and
+//! baseline arms, and reports where each request's time goes: block
+//! build, credit waits, RDMA write + DMA, host dispatch, response. Also
+//! writes the merged span stream as Chrome trace-event JSON, loadable in
+//! Perfetto / `chrome://tracing` (offload = pid 0, baseline = pid 1).
+//!
+//! Run: `cargo run --release -p pbo-bench --bin stagebreak -- \
+//!       [small|ints|chars] [--requests N] [--sample N] [--out FILE] [--check]`
+
+use pbo_core::{run_scenario_traced, ScenarioConfig, ScenarioKind};
+use pbo_metrics::Registry;
+use pbo_protowire::workloads::WorkloadKind;
+use pbo_trace::{
+    chrome_trace_json, stage_table, stages, waterfall, Span, TraceConfig, TraceProcess, Tracer,
+};
+use std::sync::Arc;
+
+struct Args {
+    workload: WorkloadKind,
+    requests: u64,
+    sample_every: u64,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: WorkloadKind::Small,
+        requests: 8_000,
+        sample_every: 16,
+        out: "stagebreak.trace.json".to_string(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "small" => args.workload = WorkloadKind::Small,
+            "ints" => args.workload = WorkloadKind::Ints512,
+            "chars" => args.workload = WorkloadKind::Chars8000,
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--requests needs a number"));
+            }
+            "--sample" => {
+                args.sample_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sample needs a number"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => args.check = true,
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    if args.check && args.sample_every == 0 {
+        usage("--check needs sampling on (--sample 0 disables tracing)");
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("stagebreak: {msg}");
+    eprintln!(
+        "usage: stagebreak [small|ints|chars] [--requests N] [--sample N] [--out FILE] [--check]"
+    );
+    std::process::exit(2);
+}
+
+/// One traced scenario run: the drained tracks plus the metrics registry
+/// that received the per-stage histograms.
+fn run_arm(args: &Args, kind: ScenarioKind) -> (Vec<(String, Vec<Span>)>, Arc<Registry>) {
+    let registry = Arc::new(Registry::new());
+    let tracer = Tracer::new(TraceConfig::sampled(args.sample_every));
+    tracer.bind_registry(&registry);
+    let mut cfg = ScenarioConfig::quick(args.workload, kind);
+    cfg.requests = args.requests;
+    cfg.concurrency = 32;
+    let stats = run_scenario_traced(cfg, &tracer).expect("scenario runs");
+    println!(
+        "{:>22}: {} requests in {:.1} ms ({:.0} req/s), {} spans dropped",
+        kind.label(),
+        stats.requests,
+        stats.elapsed.as_secs_f64() * 1e3,
+        stats.rps,
+        tracer.dropped(),
+    );
+    (tracer.drain(), registry)
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "== stagebreak: {:?}, {} requests/arm, sampling 1-in-{} ==",
+        args.workload, args.requests, args.sample_every
+    );
+
+    let (off_tracks, off_reg) = run_arm(&args, ScenarioKind::Offloaded);
+    let (base_tracks, _base_reg) = run_arm(&args, ScenarioKind::Baseline);
+
+    let mut processes = Vec::new();
+    for (pid, (name, tracks)) in [("offload", &off_tracks), ("baseline", &base_tracks)]
+        .into_iter()
+        .enumerate()
+    {
+        let all: Vec<Span> = tracks.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        println!("\n{}", stage_table(name, &all));
+        // A per-request waterfall for the first sampled request that has a
+        // full chain (skip early ids whose spans raced the warm-up).
+        if let Some(id) = all.iter().map(|s| s.trace_id).min() {
+            println!("{}", waterfall(id, &all));
+        }
+        processes.push(TraceProcess {
+            pid: pid as u32,
+            name: name.to_string(),
+            tracks: tracks.clone(),
+        });
+    }
+
+    let json = chrome_trace_json(&processes);
+    std::fs::write(&args.out, &json).expect("write trace file");
+    println!(
+        "\nwrote {} ({} bytes) — open in https://ui.perfetto.dev",
+        args.out,
+        json.len()
+    );
+    println!("per-stage histograms exported by the offload arm's registry:");
+    for line in off_reg
+        .expose()
+        .lines()
+        .filter(|l| l.contains("pbo_trace_stage_ns_count"))
+    {
+        println!("  {line}");
+    }
+
+    if args.check {
+        check(&off_tracks, &base_tracks);
+    }
+}
+
+/// CI smoke validation: both arms produced spans, every stage name is in
+/// the documented set, and every span is well-formed.
+fn check(off: &[(String, Vec<Span>)], base: &[(String, Vec<Span>)]) {
+    let mut total = 0usize;
+    for (label, tracks) in [("offload", off), ("baseline", base)] {
+        let spans: Vec<&Span> = tracks.iter().flat_map(|(_, s)| s).collect();
+        assert!(!spans.is_empty(), "{label}: no spans captured");
+        for s in &spans {
+            assert!(
+                stages::ALL.contains(&s.stage),
+                "{label}: undocumented stage {:?}",
+                s.stage
+            );
+            assert!(s.end_ns >= s.start_ns, "{label}: negative span");
+        }
+        total += spans.len();
+    }
+    // The offload arm must show DPU-side deserialization; the baseline
+    // must not (the host deserializes, which is dispatch time there).
+    assert!(off
+        .iter()
+        .flat_map(|(_, s)| s)
+        .any(|s| s.stage == stages::DESERIALIZE));
+    assert!(base
+        .iter()
+        .flat_map(|(_, s)| s)
+        .all(|s| s.stage != stages::DESERIALIZE));
+    println!("check: OK ({total} spans validated)");
+}

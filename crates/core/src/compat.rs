@@ -72,6 +72,13 @@ impl CompatServer {
         self.mode
     }
 
+    /// Attaches a tracer to the underlying protocol server. Use the same
+    /// `conn_label` as the client side: both ends derive identical trace
+    /// ids from it (§IV.D determinism), so spans line up per request.
+    pub fn set_tracer(&mut self, tracer: &pbo_trace::Tracer, conn_label: &str) {
+        self.rpc.set_tracer(tracer, conn_label);
+    }
+
     /// The underlying protocol server.
     pub fn rpc(&mut self) -> &mut RpcServer {
         &mut self.rpc

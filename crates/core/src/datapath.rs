@@ -95,9 +95,22 @@ pub struct MeasuredStats {
 
 /// Runs one scenario to completion and reports the measurements.
 pub fn run_scenario(cfg: ScenarioConfig) -> Result<MeasuredStats, RpcError> {
+    run_scenario_traced(cfg, &pbo_trace::Tracer::disabled())
+}
+
+/// [`run_scenario`] with per-request tracing: every connection's client
+/// *and* server get the tracer (labelled `c{conn}` on both sides so trace
+/// ids agree), and sampled requests emit the full span chain — terminate
+/// is absent here because the load generator calls the offload client
+/// directly rather than through the xRPC terminator.
+pub fn run_scenario_traced(
+    cfg: ScenarioConfig,
+    tracer: &pbo_trace::Tracer,
+) -> Result<MeasuredStats, RpcError> {
     let bundle = ServiceSchema::paper_bench();
     let fabric = Fabric::new();
     let registry = Registry::new();
+    fabric.link().bind_metrics(&registry, "host0");
     let adt_bytes = bundle.adt_bytes();
 
     let proc_id = match cfg.workload {
@@ -127,11 +140,13 @@ pub fn run_scenario(cfg: ScenarioConfig) -> Result<MeasuredStats, RpcError> {
         );
         let mut client = OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref())
             .map_err(|e| RpcError::Desync(e.to_string()))?;
+        client.set_tracer(tracer, &format!("c{conn}"));
         let mode = match cfg.kind {
             ScenarioKind::Offloaded => PayloadMode::Native,
             ScenarioKind::Baseline => PayloadMode::Serialized,
         };
         let mut server = CompatServer::new(ep.server, mode);
+        server.set_tracer(tracer, &format!("c{conn}"));
         server.register_empty_logic(&bundle, proc_id);
 
         let stop = stop_hosts.clone();

@@ -55,7 +55,8 @@ pub mod terminator;
 pub use alloc_track::{AllocStats, CountingAllocator, ALLOC_TRACKER};
 pub use compat::CompatServer;
 pub use datapath::{
-    run_scenario, run_scenario_monitored, MeasuredStats, ScenarioConfig, ScenarioKind,
+    run_scenario, run_scenario_monitored, run_scenario_traced, MeasuredStats, ScenarioConfig,
+    ScenarioKind,
 };
 pub use offload::OffloadClient;
 pub use serialize::{serialize_view, SerializeError};

@@ -19,6 +19,8 @@ use pbo_adt::{NativeWriter, WriterConfig};
 use pbo_protowire::{DecodeError, StackDeserializer};
 use pbo_rpcrdma::client::{Continuation, PayloadError};
 use pbo_rpcrdma::{RpcClient, RpcError};
+use pbo_trace::{stages, Span, SpanSink, Tracer};
+use std::cell::Cell;
 use std::time::Duration;
 
 /// Continuation for [`OffloadClient::call_full`]: receives the serialized
@@ -29,6 +31,7 @@ pub type FullContinuation = Box<dyn FnOnce(Result<Vec<u8>, String>, u16) + Send>
 pub struct OffloadClient {
     rpc: RpcClient,
     bundle: ServiceSchema,
+    trace: Option<(Tracer, SpanSink)>,
 }
 
 impl OffloadClient {
@@ -47,7 +50,24 @@ impl OffloadClient {
             let remote = pbo_adt::Adt::from_bytes(blob)?;
             bundle.adt().verify_compatible(&remote)?;
         }
-        Ok(Self { rpc, bundle })
+        Ok(Self {
+            rpc,
+            bundle,
+            trace: None,
+        })
+    }
+
+    /// Attaches a tracer to this engine and its underlying RPC client.
+    /// Sampled offloaded calls get a `deserialize` span (the DPU-side
+    /// wire→native transformation) on the `{conn_label}/client` track, in
+    /// addition to the client's transport-stage spans.
+    pub fn set_tracer(&mut self, tracer: &Tracer, conn_label: &str) {
+        self.rpc.set_tracer(tracer, conn_label);
+        self.trace = if tracer.is_enabled() {
+            Some((tracer.clone(), tracer.sink(&format!("{conn_label}/client"))))
+        } else {
+            None
+        };
     }
 
     /// The underlying RPC client (metrics, flushing).
@@ -92,11 +112,17 @@ impl OffloadClient {
         // (that inflation is Fig 8b); start with 2× + slack and let
         // NeedMore grow the block when a message defeats the estimate.
         let hint = wire.len() * 2 + 128;
+        // Deserialization happens inside the payload writer; time it there
+        // (last attempt wins — NeedMore retries rerun the writer) and
+        // attribute it once the enqueue commits and reports a sampled id.
+        let deser_window: Cell<(u64, u64)> = Cell::new((0, 0));
+        let clock = self.trace.as_ref().map(|(t, _)| t.clone());
         self.rpc.enqueue_with_meta(
             proc_id,
             hint,
             metadata,
             &mut |dst: &mut [u8], host_addr: u64| {
+                let start_ns = clock.as_ref().map(|c| c.now_ns()).unwrap_or(0);
                 let mut writer = NativeWriter::new(
                     &adt,
                     &desc,
@@ -110,10 +136,26 @@ impl OffloadClient {
                     .deserialize(&desc, wire, &mut writer)
                     .map_err(map_decode_err)?;
                 let result = writer.finish().map_err(map_decode_err)?;
+                if let Some(c) = &clock {
+                    deser_window.set((start_ns, c.now_ns()));
+                }
                 Ok(result.used)
             },
             cont,
-        )
+        )?;
+        if let Some((_, sink)) = &self.trace {
+            if let Some(ctx) = self.rpc.last_trace_ctx() {
+                let (start_ns, end_ns) = deser_window.get();
+                sink.record(Span {
+                    trace_id: ctx.trace_id,
+                    stage: stages::DESERIALIZE,
+                    start_ns,
+                    end_ns,
+                    bytes: wire.len() as u64,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Fully offloaded call: the request is deserialized here (as in

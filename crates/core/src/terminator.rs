@@ -16,6 +16,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use pbo_grpc::{spawn_server, ServerHandle, ServiceRegistry};
 use pbo_rpcrdma::RpcError;
 use pbo_simnet::TcpFabric;
+use pbo_trace::{stages, Span, SpanSink, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -40,6 +41,9 @@ pub struct ForwardRequest {
     pub metadata: Vec<u8>,
     /// Completion slot: `(status, response bytes)`.
     pub resp_tx: Sender<(u16, Vec<u8>)>,
+    /// Tracer timestamp taken when the xRPC frame was received (0 when
+    /// tracing is off); start of the `terminate` span.
+    pub recv_ns: u64,
 }
 
 /// Builds the gRPC-side registry whose handlers forward into the poller
@@ -48,9 +52,21 @@ pub fn forwarding_registry(
     bundle: &crate::service::ServiceSchema,
     tx: Sender<ForwardRequest>,
 ) -> ServiceRegistry {
+    forwarding_registry_traced(bundle, tx, &Tracer::disabled())
+}
+
+/// [`forwarding_registry`] with a tracer: each forwarded request is
+/// stamped with the receive time so the poller can emit a `terminate`
+/// span (xRPC frame in → handed to the RDMA datapath).
+pub fn forwarding_registry_traced(
+    bundle: &crate::service::ServiceSchema,
+    tx: Sender<ForwardRequest>,
+    tracer: &Tracer,
+) -> ServiceRegistry {
     let registry = ServiceRegistry::new();
     for m in &bundle.service().methods {
         let tx = tx.clone();
+        let tracer = tracer.is_enabled().then(|| tracer.clone());
         let id = m.id;
         registry.add_raw(
             id,
@@ -61,6 +77,7 @@ pub fn forwarding_registry(
                 if metadata.get("authorization") == Some(b"deny" as &[u8]) {
                     return 16; // UNAUTHENTICATED, decided on the DPU
                 }
+                let recv_ns = tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
                 let (resp_tx, resp_rx) = bounded(1);
                 if tx
                     .send(ForwardRequest {
@@ -72,6 +89,7 @@ pub fn forwarding_registry(
                             metadata.encode()
                         },
                         resp_tx,
+                        recv_ns,
                     })
                     .is_err()
                 {
@@ -102,13 +120,32 @@ impl XrpcTerminator {
     /// Binds the xRPC server at `addr` on `fabric` and starts the poller
     /// thread that owns `client`.
     pub fn spawn(fabric: &TcpFabric, addr: &str, client: OffloadClient, mode: ForwardMode) -> Self {
+        Self::spawn_traced(fabric, addr, client, mode, &Tracer::disabled(), addr)
+    }
+
+    /// [`XrpcTerminator::spawn`] with tracing wired end to end: attaches
+    /// `tracer` to the offload client (transport + deserialize spans) and
+    /// emits `terminate` spans for sampled requests on the
+    /// `{conn_label}/client` track.
+    pub fn spawn_traced(
+        fabric: &TcpFabric,
+        addr: &str,
+        mut client: OffloadClient,
+        mode: ForwardMode,
+        tracer: &Tracer,
+        conn_label: &str,
+    ) -> Self {
+        client.set_tracer(tracer, conn_label);
         let (tx, rx) = bounded::<ForwardRequest>(4096);
-        let registry = forwarding_registry(client.bundle(), tx);
+        let registry = forwarding_registry_traced(client.bundle(), tx, tracer);
         let listener = fabric.bind(addr);
         let grpc = spawn_server(listener, registry);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let poller = std::thread::spawn(move || poller_loop(client, rx, mode, stop2));
+        let trace = tracer
+            .is_enabled()
+            .then(|| tracer.sink(&format!("{conn_label}/client")));
+        let poller = std::thread::spawn(move || poller_loop_traced(client, rx, mode, stop2, trace));
         Self {
             grpc,
             poller: Some(poller),
@@ -147,10 +184,23 @@ impl Drop for XrpcTerminator {
 /// event loop. Public so measured-mode harnesses can run it on a thread
 /// they control.
 pub fn poller_loop(
+    client: OffloadClient,
+    rx: Receiver<ForwardRequest>,
+    mode: ForwardMode,
+    stop: Arc<AtomicBool>,
+) -> Result<(), RpcError> {
+    poller_loop_traced(client, rx, mode, stop, None)
+}
+
+/// [`poller_loop`] with an optional span sink: when a sampled request is
+/// accepted by the RDMA client, its `terminate` span (xRPC receive →
+/// enqueue into the outgoing block) is recorded here.
+pub fn poller_loop_traced(
     mut client: OffloadClient,
     rx: Receiver<ForwardRequest>,
     mode: ForwardMode,
     stop: Arc<AtomicBool>,
+    trace: Option<SpanSink>,
 ) -> Result<(), RpcError> {
     let mut backlog: VecDeque<ForwardRequest> = VecDeque::new();
     loop {
@@ -186,7 +236,22 @@ pub fn poller_loop(
                 }
             };
             match result {
-                Ok(()) => {}
+                Ok(()) => {
+                    // Termination span: frame received on the xRPC side →
+                    // committed into the outgoing block (which is exactly
+                    // where the block_build span picks up).
+                    if let (Some(sink), true) = (&trace, req.recv_ns != 0) {
+                        if let Some(ctx) = client.rpc().last_trace_ctx() {
+                            sink.record(Span {
+                                trace_id: ctx.trace_id,
+                                stage: stages::TERMINATE,
+                                start_ns: req.recv_ns,
+                                end_ns: ctx.begin_ns,
+                                bytes: req.wire.len() as u64,
+                            });
+                        }
+                    }
+                }
                 Err(RpcError::NoCredits)
                 | Err(RpcError::SendBufferFull)
                 | Err(RpcError::TooManyOutstanding) => {

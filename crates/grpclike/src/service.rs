@@ -241,10 +241,12 @@ fn serve_connection(
             Ok(Some((header, payload))) => {
                 response.clear();
                 let status = registry.dispatch(header.selector, &payload, &mut response);
+                // Count before writing the response: a client that has seen
+                // N responses must observe calls_served() >= N.
+                calls.fetch_add(1, Ordering::Relaxed);
                 if write_frame(&mut stream, status, header.call_tag, &response).is_err() {
                     return;
                 }
-                calls.fetch_add(1, Ordering::Relaxed);
             }
             Ok(None) => return, // clean close
             Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::TimedOut => continue,

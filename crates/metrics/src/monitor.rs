@@ -244,6 +244,65 @@ mod tests {
     }
 
     #[test]
+    fn zero_elapsed_time_yields_none_and_preserves_state() {
+        // Two scrapes landing on the same timestamp would divide by zero;
+        // the sample must be absorbed without producing a rate, and the
+        // next well-spaced sample must compute against the *latest* point,
+        // not the stale one.
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.push(sample(1000, 1000));
+        assert_eq!(m.push(sample(1000, 2000)), None);
+        // 1 s later, +1000 over the zero-elapsed sample's value.
+        let r = m.push(sample(2000, 3000)).unwrap();
+        assert!((r - 1000.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn never_moving_counter_converges_to_stable_zero_rate() {
+        // A dead counter produces a 0/s instant rate every window; equal
+        // zero rates are within any tolerance (the comparison guards the
+        // zero denominator), so the monitor converges instead of spinning
+        // until max_samples.
+        let mut m = Monitor::new(MonitorConfig {
+            tolerance: 0.01,
+            required_stable: 3,
+            max_samples: 100,
+        });
+        for i in 0..6 {
+            m.push(sample((i + 1) * 1000, 42));
+        }
+        let rep = m.report();
+        assert!(rep.stable, "{rep:?}");
+        assert_eq!(rep.rate_per_sec, 0.0);
+        assert!(rep.samples < 100);
+    }
+
+    #[test]
+    fn tolerance_boundary_counts_as_stable() {
+        // Consecutive rates differing by *exactly* the tolerance are
+        // stable (<=, not <): 1000/s then 1010/s at 1% tolerance.
+        let mut m = Monitor::new(MonitorConfig {
+            tolerance: 0.01,
+            required_stable: 1,
+            max_samples: 100,
+        });
+        m.push(sample(0, 0));
+        m.push(sample(1000, 1000)); // 1000/s
+        m.push(sample(2000, 2010)); // 1010/s: drift / prev = exactly 0.01
+        assert!(m.is_stable());
+        // One part in a million past the boundary is not stable.
+        let mut m = Monitor::new(MonitorConfig {
+            tolerance: 0.01,
+            required_stable: 1,
+            max_samples: 100,
+        });
+        m.push(sample(0, 0));
+        m.push(sample(1_000_000, 1_000_000)); // 1000/s over 1000 s
+        m.push(sample(2_000_000, 2_010_001)); // 1010.001/s: drift 0.010001
+        assert!(!m.is_stable());
+    }
+
+    #[test]
     fn non_monotonic_time_is_ignored() {
         let mut m = Monitor::new(MonitorConfig::default());
         m.push(sample(10, 100));

@@ -218,7 +218,7 @@ pub fn gen_char_array(schema: &Schema, rng: &mut Mt19937, n: usize) -> DynamicMe
 
 /// Samples a *realistic* mixed request: the paper motivates its
 /// small-message focus with the observation that "nearly 90% of analyzed
-/// messages are 512 bytes or less" [8], [13]. The mix: 60% Small, 30%
+/// messages are 512 bytes or less" \[8\], \[13\]. The mix: 60% Small, 30%
 /// short strings (wire ≤ 512 B), 8% mid-size int arrays, 2% large strings
 /// — the rest exceed it. Returns the message plus the
 /// benchmark-service procedure id it targets (1 = Small, 2 = IntArray,

@@ -19,6 +19,7 @@ use crate::wire::{
 use pbo_alloc::{align_up, Allocation, IdPool, OffsetAllocator};
 use pbo_metrics::{Counter, Gauge, Registry};
 use pbo_simnet::{CqeKind, MemoryRegion, QueuePair, WorkRequestId};
+use pbo_trace::{stages, ConnTracer, MsgCtx, Span, SpanSink, Tracer};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -44,11 +45,27 @@ struct OpenBlock {
     cursor: usize,
     /// Continuations of the messages queued in this block, in order.
     conts: Vec<Continuation>,
+    /// Sampled-message trace contexts, parallel to `conts` (empty when
+    /// tracing is off).
+    traces: Vec<Option<MsgCtx>>,
+    /// When this block first stalled on zero credits (trace clock).
+    first_stall_ns: Option<u64>,
 }
 
 struct PendingRequest {
     cont: Continuation,
     block_seq: u64,
+    /// Sampled request identity, if traced.
+    trace_id: Option<u64>,
+    /// When the carrying block was posted (trace clock).
+    sent_ns: u64,
+}
+
+/// Per-connection tracing state (present only when a tracer is attached
+/// and sampling is enabled).
+struct ClientTraceState {
+    conn: ConnTracer,
+    sink: SpanSink,
 }
 
 /// Counters exposed by the client (Prometheus-instrumented at the library
@@ -127,6 +144,10 @@ pub struct RpcClient {
     /// Reusable completion buffer (no allocator in the datapath, §VI.C.5).
     cqe_buf: Vec<pbo_simnet::Cqe>,
     metrics: ClientMetrics,
+    trace: Option<ClientTraceState>,
+    /// Trace context of the most recently committed enqueue (lets callers
+    /// attribute work done inside the payload writer, e.g. deserialization).
+    last_ctx: Option<MsgCtx>,
 }
 
 impl RpcClient {
@@ -170,7 +191,32 @@ impl RpcClient {
             remote_rbuf_base,
             cfg,
             metrics,
+            trace: None,
+            last_ctx: None,
         }
+    }
+
+    /// Attaches a tracer: subsequent requests get per-stage spans
+    /// (`block_build`, `credit_wait`, `rdma_write`, `response`) recorded
+    /// under the `{conn_label}/client` track. The server side of the same
+    /// connection must attach with the same `conn_label` so request
+    /// identities match (paper §IV.D determinism; no ids on the wire).
+    pub fn set_tracer(&mut self, tracer: &Tracer, conn_label: &str) {
+        if !tracer.is_enabled() {
+            self.trace = None;
+            return;
+        }
+        self.trace = Some(ClientTraceState {
+            conn: ConnTracer::new(tracer.clone(), conn_label),
+            sink: tracer.sink(&format!("{conn_label}/client")),
+        });
+    }
+
+    /// Trace context of the most recent successful enqueue, when that
+    /// request is sampled. Callers use it to record spans for work they
+    /// performed inside the payload writer.
+    pub fn last_trace_ctx(&self) -> Option<MsgCtx> {
+        self.last_ctx
     }
 
     /// The configuration in force.
@@ -251,6 +297,10 @@ impl RpcClient {
         write: &mut dyn FnMut(&mut [u8], u64) -> PayloadResult,
         cont: Continuation,
     ) -> Result<(), RpcError> {
+        self.last_ctx = None;
+        // Sampling decision for this message; the sequence advances only
+        // on successful enqueue so rejected calls keep both ends in step.
+        let msg_ctx = self.trace.as_ref().and_then(|t| t.conn.begin_msg());
         if metadata.len() > MAX_PAYLOAD {
             return Err(RpcError::PayloadTooLarge {
                 requested: metadata.len(),
@@ -318,6 +368,20 @@ impl RpcClient {
                     }
                     open.cursor = end;
                     open.conts.push(cont);
+                    if let Some(t) = self.trace.as_mut() {
+                        open.traces.push(msg_ctx);
+                        t.conn.commit_msg();
+                        if let Some(ctx) = msg_ctx {
+                            t.sink.record(Span {
+                                trace_id: ctx.trace_id,
+                                stage: stages::BLOCK_BUILD,
+                                start_ns: ctx.begin_ns,
+                                end_ns: t.conn.tracer().now_ns(),
+                                bytes: used as u64,
+                            });
+                            self.last_ctx = Some(ctx);
+                        }
+                    }
                     self.metrics.requests_enqueued.inc();
                     // Full block ⇒ ship it now (Nagle-style batching).
                     if open.cursor + HEADER_SIZE + 8 > open.alloc.size as usize {
@@ -382,6 +446,8 @@ impl RpcClient {
             alloc,
             cursor: PREAMBLE_SIZE,
             conts: Vec::new(),
+            traces: Vec::new(),
+            first_stall_ns: None,
         });
         Ok(())
     }
@@ -399,12 +465,30 @@ impl RpcClient {
         }
         if self.credits == 0 {
             self.metrics.credit_stalls.inc();
+            // Remember when a traced block first stalled on credits so the
+            // eventual post carries a `credit_wait` span.
+            if let Some(t) = &self.trace {
+                let open = self.open.as_mut().expect("checked");
+                if open.first_stall_ns.is_none() && open.traces.iter().any(Option::is_some) {
+                    open.first_stall_ns = Some(t.conn.tracer().now_ns());
+                }
+            }
             return Err(RpcError::NoCredits);
         }
         let mut open = self.open.take().expect("checked");
         let msg_count = open.conts.len() as u16;
         let seq = self.next_block_seq;
         self.next_block_seq += 1;
+        let post_ns = self
+            .trace
+            .as_ref()
+            .map(|t| t.conn.tracer().now_ns())
+            .unwrap_or(0);
+        let first_stall_ns = open.first_stall_ns;
+        let mut sampled_ids: Vec<u64> = Vec::new();
+        let mut traces = std::mem::take(&mut open.traces)
+            .into_iter()
+            .chain(std::iter::repeat(None));
 
         // §IV.D order: free the acknowledged IDs, then allocate new ones.
         for id in self.pending_free_ids.drain(..) {
@@ -415,11 +499,17 @@ impl RpcClient {
                 .id_pool
                 .alloc()
                 .expect("pool sized to bound outstanding requests");
+            let trace = traces.next().flatten();
+            if let Some(ctx) = trace {
+                sampled_ids.push(ctx.trace_id);
+            }
             self.pending.insert(
                 id,
                 PendingRequest {
                     cont,
                     block_seq: seq,
+                    trace_id: trace.map(|c| c.trace_id),
+                    sent_ns: post_ns,
                 },
             );
         }
@@ -452,6 +542,37 @@ impl RpcClient {
         self.metrics.blocks_sent.inc();
         self.metrics.bytes_sent.inc_by(block_bytes as u64);
         self.sent_blocks.insert(seq, open.alloc);
+        if let Some(t) = &self.trace {
+            let end_ns = t.conn.tracer().now_ns();
+            let dma_ns = self.qp.last_dma_duration_ns();
+            for id in &sampled_ids {
+                if let Some(stall_ns) = first_stall_ns {
+                    t.sink.record(Span {
+                        trace_id: *id,
+                        stage: stages::CREDIT_WAIT,
+                        start_ns: stall_ns,
+                        end_ns: post_ns,
+                        bytes: 0,
+                    });
+                }
+                t.sink.record(Span {
+                    trace_id: *id,
+                    stage: stages::RDMA_WRITE,
+                    start_ns: post_ns,
+                    end_ns,
+                    bytes: block_bytes as u64,
+                });
+                // The simulated write is synchronous: its tail `dma_ns` is
+                // the PCIe copy itself.
+                t.sink.record(Span {
+                    trace_id: *id,
+                    stage: stages::DMA,
+                    start_ns: end_ns.saturating_sub(dma_ns).max(post_ns),
+                    end_ns,
+                    bytes: block_bytes as u64,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -533,6 +654,15 @@ impl RpcClient {
                 self.metrics.credits.inc();
             }
             (entry.cont)(payload, header.status);
+            if let (Some(trace_id), Some(t)) = (entry.trace_id, &self.trace) {
+                t.sink.record(Span {
+                    trace_id,
+                    stage: stages::RESPONSE,
+                    start_ns: entry.sent_ns,
+                    end_ns: t.conn.tracer().now_ns(),
+                    bytes: payload.len() as u64,
+                });
+            }
             self.pending_free_ids.push(id);
             self.metrics.responses_completed.inc();
             n += 1;

@@ -20,8 +20,16 @@ use crate::wire::{
 use pbo_alloc::{align_up, Allocation, IdPool, OffsetAllocator};
 use pbo_metrics::{Counter, Gauge, Registry};
 use pbo_simnet::{CqeKind, MemoryRegion, QueuePair, WorkRequestId};
+use pbo_trace::{stages, ConnTracer, Span, SpanSink, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
+
+/// Per-connection tracing state (present only when a tracer is attached
+/// and sampling is enabled).
+struct ServerTraceState {
+    conn: ConnTracer,
+    sink: SpanSink,
+}
 
 /// A received request, presented zero-copy.
 #[derive(Debug)]
@@ -172,6 +180,7 @@ pub struct RpcServer {
     /// Reusable completion buffer (no allocator in the datapath, §VI.C.5).
     cqe_buf: Vec<pbo_simnet::Cqe>,
     metrics: ServerMetrics,
+    trace: Option<ServerTraceState>,
 }
 
 impl RpcServer {
@@ -215,7 +224,24 @@ impl RpcServer {
             remote_rbuf,
             cfg,
             metrics,
+            trace: None,
         }
+    }
+
+    /// Attaches a tracer: dispatched requests get `host_dispatch` and
+    /// `response_build` spans under the `{conn_label}/server` track. Must
+    /// use the same `conn_label` as the client side so the mirrored
+    /// per-connection sequence (§IV.D dispatch order == enqueue order)
+    /// yields identical trace ids.
+    pub fn set_tracer(&mut self, tracer: &Tracer, conn_label: &str) {
+        if !tracer.is_enabled() {
+            self.trace = None;
+            return;
+        }
+        self.trace = Some(ServerTraceState {
+            conn: ConnTracer::new(tracer.clone(), conn_label),
+            sink: tracer.sink(&format!("{conn_label}/server")),
+        });
     }
 
     /// Registers the callback for `proc_id` (§III.D: "the user can
@@ -396,6 +422,14 @@ impl RpcServer {
         let (_, iter) = BlockHeaderIter::new(block);
         let mut n = 0;
         for (header, payload_off, payload, metadata) in iter {
+            // Mirror of the client's per-message sequence: dispatch order
+            // within blocks in arrival order equals enqueue-commit order,
+            // so this yields the client's trace id without wire bytes.
+            let msg_ctx = self.trace.as_mut().and_then(|t| {
+                let ctx = t.conn.begin_msg();
+                t.conn.commit_msg();
+                ctx
+            });
             let req_id = self
                 .id_pool
                 .alloc()
@@ -430,16 +464,30 @@ impl RpcServer {
             // Foreground dispatch. Handlers are taken out of their maps
             // so they can run while we keep `&mut self` for the response
             // builder.
+            let dispatch_start_ns = match (&msg_ctx, &self.trace) {
+                (Some(_), Some(t)) => t.conn.tracer().now_ns(),
+                _ => 0,
+            };
+            let req_bytes = request.payload.len() as u64;
+            let build_start_ns;
+            let resp_bytes;
             if let Some(mut wh) = self.writer_handlers.remove(&header.selector) {
                 let mut plan = wh(&request);
                 self.writer_handlers.insert(header.selector, wh);
+                build_start_ns = match (&msg_ctx, &self.trace) {
+                    (Some(_), Some(t)) => t.conn.tracer().now_ns(),
+                    _ => 0,
+                };
                 let mut status_out = 0u16;
+                let mut used_out = 0usize;
                 self.append_with(req_id, plan.size_hint, &mut |dst, host_addr| {
                     let (used, status) = (plan.write)(dst, host_addr)?;
                     status_out = status;
+                    used_out = used;
                     Ok((used, status))
                 })?;
                 let _ = status_out;
+                resp_bytes = used_out as u64;
             } else {
                 let mut scratch = std::mem::take(&mut self.scratch);
                 scratch.buf.clear();
@@ -453,11 +501,33 @@ impl RpcServer {
                 if let Some(h) = handler {
                     self.handlers.insert(header.selector, h);
                 }
+                build_start_ns = match (&msg_ctx, &self.trace) {
+                    (Some(_), Some(t)) => t.conn.tracer().now_ns(),
+                    _ => 0,
+                };
                 let resp = std::mem::take(&mut scratch.buf);
+                resp_bytes = resp.len() as u64;
                 self.append_response(req_id, status, &resp)?;
                 scratch.buf = resp;
                 scratch.buf.clear();
                 self.scratch = scratch;
+            }
+            if let (Some(ctx), Some(t)) = (msg_ctx, &self.trace) {
+                let end_ns = t.conn.tracer().now_ns();
+                t.sink.record(Span {
+                    trace_id: ctx.trace_id,
+                    stage: stages::HOST_DISPATCH,
+                    start_ns: dispatch_start_ns,
+                    end_ns: build_start_ns,
+                    bytes: req_bytes,
+                });
+                t.sink.record(Span {
+                    trace_id: ctx.trace_id,
+                    stage: stages::RESPONSE_BUILD,
+                    start_ns: build_start_ns,
+                    end_ns,
+                    bytes: resp_bytes,
+                });
             }
             self.metrics.requests.inc();
             n += 1;

@@ -88,6 +88,7 @@ pub fn connect_with_cqs(
         dir_to_peer: Direction::ToHost,
         faults: faults.clone(),
         rnr_count: AtomicU64::new(0),
+        last_dma_ns: AtomicU64::new(0),
     };
     let b = QueuePair {
         qp_num: qpn_b,
@@ -99,6 +100,7 @@ pub fn connect_with_cqs(
         dir_to_peer: Direction::ToDevice,
         faults,
         rnr_count: AtomicU64::new(0),
+        last_dma_ns: AtomicU64::new(0),
     };
     (a, b)
 }

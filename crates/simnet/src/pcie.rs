@@ -6,13 +6,23 @@
 //! virtual-time runs the link also converts transfer sizes into
 //! nanoseconds using a configurable line rate.
 
+use pbo_metrics::{Counter, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Direction-tagged byte counters for one host↔DPU link.
 #[derive(Clone, Default)]
 pub struct PcieLink {
     inner: Arc<Inner>,
+}
+
+/// Registry-backed counters mirroring the link's atomics (bound at most
+/// once per link via [`PcieLink::bind_metrics`]).
+struct LinkMetrics {
+    bytes_to_host: Counter,
+    bytes_to_device: Counter,
+    transfers_to_host: Counter,
+    transfers_to_device: Counter,
 }
 
 #[derive(Default)]
@@ -24,6 +34,9 @@ struct Inner {
     /// Individual DMA transfers in each direction.
     transfers_to_host: AtomicU64,
     transfers_to_device: AtomicU64,
+    /// Optional registry export (one atomic load on the record path when
+    /// unbound).
+    metrics: OnceLock<LinkMetrics>,
 }
 
 /// Point-in-time snapshot of link counters.
@@ -69,18 +82,55 @@ impl PcieLink {
         Self::default()
     }
 
+    /// Exports this link's counters into `registry` as
+    /// `pcie_dma_bytes_total` / `pcie_dma_transfers_total` series labeled
+    /// `{link, dir}`. Binds once; later calls are ignored.
+    pub fn bind_metrics(&self, registry: &Registry, link_label: &str) {
+        let _ = self.inner.metrics.set(LinkMetrics {
+            bytes_to_host: registry.counter(
+                "pcie_dma_bytes_total",
+                "DMA bytes moved over the PCIe link",
+                &[("link", link_label), ("dir", "to_host")],
+            ),
+            bytes_to_device: registry.counter(
+                "pcie_dma_bytes_total",
+                "DMA bytes moved over the PCIe link",
+                &[("link", link_label), ("dir", "to_device")],
+            ),
+            transfers_to_host: registry.counter(
+                "pcie_dma_transfers_total",
+                "DMA transfers over the PCIe link",
+                &[("link", link_label), ("dir", "to_host")],
+            ),
+            transfers_to_device: registry.counter(
+                "pcie_dma_transfers_total",
+                "DMA transfers over the PCIe link",
+                &[("link", link_label), ("dir", "to_device")],
+            ),
+        });
+    }
+
     /// Records one DMA transfer.
     pub fn record(&self, dir: Direction, bytes: u64) {
+        let metrics = self.inner.metrics.get();
         match dir {
             Direction::ToHost => {
                 self.inner.to_host.fetch_add(bytes, Ordering::Relaxed);
                 self.inner.transfers_to_host.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics {
+                    m.bytes_to_host.inc_by(bytes);
+                    m.transfers_to_host.inc();
+                }
             }
             Direction::ToDevice => {
                 self.inner.to_device.fetch_add(bytes, Ordering::Relaxed);
                 self.inner
                     .transfers_to_device
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics {
+                    m.bytes_to_device.inc_by(bytes);
+                    m.transfers_to_device.inc();
+                }
             }
         }
     }
@@ -169,6 +219,23 @@ mod tests {
         link.record(Direction::ToHost, 5);
         link.reset();
         assert_eq!(link.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn bound_registry_mirrors_counters() {
+        let reg = Registry::new();
+        let link = PcieLink::new();
+        link.record(Direction::ToHost, 11); // before binding: registry silent
+        link.bind_metrics(&reg, "pcie0");
+        link.record(Direction::ToHost, 1000);
+        link.record(Direction::ToDevice, 64);
+        let l = &[("link", "pcie0"), ("dir", "to_host")];
+        assert_eq!(reg.counter_value("pcie_dma_bytes_total", l), Some(1000));
+        assert_eq!(reg.counter_value("pcie_dma_transfers_total", l), Some(1));
+        let l = &[("link", "pcie0"), ("dir", "to_device")];
+        assert_eq!(reg.counter_value("pcie_dma_bytes_total", l), Some(64));
+        // Link atomics saw everything, including the pre-bind record.
+        assert_eq!(link.stats().bytes_to_host, 1011);
     }
 
     #[test]

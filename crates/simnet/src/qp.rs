@@ -120,6 +120,9 @@ pub struct QueuePair {
     pub(crate) dir_to_peer: Direction,
     pub(crate) faults: FaultInjector,
     pub(crate) rnr_count: AtomicU64,
+    /// Wall-clock duration of the most recent DMA copy posted from this
+    /// endpoint, for tracers that attribute transfer time to requests.
+    pub(crate) last_dma_ns: AtomicU64,
 }
 
 impl Drop for QueuePair {
@@ -152,6 +155,12 @@ impl QueuePair {
     /// Receiver-not-ready events observed by this sender.
     pub fn rnr_events(&self) -> u64 {
         self.rnr_count.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock nanoseconds the most recent successful post from this
+    /// endpoint spent in its DMA copy (0 before the first post).
+    pub fn last_dma_duration_ns(&self) -> u64 {
+        self.last_dma_ns.load(Ordering::Relaxed)
     }
 
     /// Posts a receive. For write-with-immediate traffic `slot` may be
@@ -211,7 +220,10 @@ impl QueuePair {
             self.rnr_count.fetch_add(1, Ordering::Relaxed);
             return Err(QpError::ReceiverNotReady);
         };
+        let dma_start = std::time::Instant::now();
         MemoryRegion::dma_copy(local_mr, local_off, remote_mr, remote_off, len);
+        self.last_dma_ns
+            .store(dma_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.link.record(self.dir_to_peer, len as u64);
         if !self.peer.recv_cq.push(Cqe {
             wr_id: recv_id.0,

@@ -1,0 +1,95 @@
+//! Trace clocks: monotonic wall time or an externally driven virtual time.
+//!
+//! Simulation backends (`pbo-dpusim`, `pbo-des`) advance a [`VirtualClock`]
+//! from their event loops so they emit the same span stream as wall-clock
+//! runs, at simulated timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handle for driving a virtual trace clock from a simulator.
+#[derive(Clone, Default)]
+pub struct VirtualClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current virtual time. Simulators call this as they pop
+    /// events; time may only move forward.
+    pub fn set_ns(&self, t_ns: u64) {
+        self.now_ns.fetch_max(t_ns, Ordering::Relaxed);
+    }
+
+    /// The current virtual time.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone)]
+enum Kind {
+    /// Monotonic wall time, nanoseconds since the anchor.
+    Wall(Instant),
+    /// Simulator-driven time.
+    Virtual(VirtualClock),
+}
+
+/// The clock a [`crate::Tracer`] stamps spans with.
+#[derive(Clone)]
+pub struct Clock {
+    kind: Kind,
+}
+
+impl Clock {
+    /// Wall clock anchored at creation; timestamps are ns since then.
+    pub fn wall() -> Self {
+        Self {
+            kind: Kind::Wall(Instant::now()),
+        }
+    }
+
+    /// Simulator-driven clock; timestamps are whatever the driver sets.
+    pub fn virtual_from(vc: &VirtualClock) -> Self {
+        Self {
+            kind: Kind::Virtual(vc.clone()),
+        }
+    }
+
+    /// Current time in nanoseconds on this clock.
+    pub fn now_ns(&self) -> u64 {
+        match &self.kind {
+            Kind::Wall(anchor) => anchor.elapsed().as_nanos() as u64,
+            Kind::Virtual(vc) => vc.now_ns(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = Clock::wall();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_follows_driver_and_never_rewinds() {
+        let vc = VirtualClock::new();
+        let c = Clock::virtual_from(&vc);
+        assert_eq!(c.now_ns(), 0);
+        vc.set_ns(1500);
+        assert_eq!(c.now_ns(), 1500);
+        vc.set_ns(900); // backwards set is ignored
+        assert_eq!(c.now_ns(), 1500);
+    }
+}

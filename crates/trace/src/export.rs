@@ -1,0 +1,289 @@
+//! Exporters: Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) and text summaries (per-request waterfall,
+//! per-stage latency table).
+
+use crate::span::Span;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One process row in a Chrome trace: a scenario (e.g. "offload" vs
+/// "baseline") with its tracks of spans.
+pub struct TraceProcess {
+    /// Chrome `pid`; keep distinct per scenario.
+    pub pid: u32,
+    /// Process display name.
+    pub name: String,
+    /// `(track_name, spans)` — one Chrome `tid` per track, numbered in
+    /// order.
+    pub tracks: Vec<(String, Vec<Span>)>,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders processes as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}` with `"X"` complete events and `"M"`
+/// name metadata). Timestamps are microseconds, as the format requires.
+pub fn chrome_trace_json(processes: &[TraceProcess]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: &str, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(s);
+    };
+    for proc in processes {
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"",
+            proc.pid
+        );
+        escape_json(&proc.name, &mut ev);
+        ev.push_str("\"}}");
+        emit(&ev, &mut out);
+        for (tid0, (track, spans)) in proc.tracks.iter().enumerate() {
+            let tid = tid0 as u32 + 1;
+            let mut ev = String::new();
+            let _ = write!(
+                ev,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\"args\":{{\"name\":\"",
+                proc.pid
+            );
+            escape_json(track, &mut ev);
+            ev.push_str("\"}}");
+            emit(&ev, &mut out);
+            for span in spans {
+                let ts_us = span.start_ns as f64 / 1000.0;
+                let dur_us = span.duration_ns() as f64 / 1000.0;
+                let mut ev = String::new();
+                let _ = write!(
+                    ev,
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\
+                     \"pid\":{},\"tid\":{tid},\"args\":{{\"trace_id\":{},\"bytes\":{}}}}}",
+                    span.stage, proc.pid, span.trace_id, span.bytes
+                );
+                emit(&ev, &mut out);
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Aggregate statistics for one stage across sampled spans.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Sampled span count.
+    pub count: u64,
+    /// Mean duration, ns.
+    pub mean_ns: f64,
+    /// Median duration, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile duration, ns.
+    pub p99_ns: u64,
+    /// Total bytes across spans.
+    pub bytes: u64,
+}
+
+/// Aggregates spans per stage, ordered by the canonical stage order
+/// (unknown stages last, alphabetically).
+pub fn stage_stats(spans: &[Span]) -> Vec<StageStats> {
+    let mut by_stage: BTreeMap<&'static str, (Vec<u64>, u64)> = BTreeMap::new();
+    for s in spans {
+        let e = by_stage.entry(s.stage).or_default();
+        e.0.push(s.duration_ns());
+        e.1 += s.bytes;
+    }
+    let order = |stage: &str| {
+        crate::span::stages::ALL
+            .iter()
+            .position(|s| *s == stage)
+            .unwrap_or(usize::MAX)
+    };
+    let mut stats: Vec<StageStats> = by_stage
+        .into_iter()
+        .map(|(stage, (mut durs, bytes))| {
+            durs.sort_unstable();
+            let count = durs.len() as u64;
+            let sum: u64 = durs.iter().sum();
+            // Nearest-rank percentile: ceil(q*n) - 1.
+            let pct = |q: f64| durs[((q * durs.len() as f64).ceil() as usize).max(1) - 1];
+            StageStats {
+                stage,
+                count,
+                mean_ns: sum as f64 / count as f64,
+                p50_ns: pct(0.50),
+                p99_ns: pct(0.99),
+                bytes,
+            }
+        })
+        .collect();
+    stats.sort_by_key(|s| (order(s.stage), s.stage));
+    stats
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Renders a per-stage latency table.
+pub fn stage_table(title: &str, spans: &[Span]) -> String {
+    let stats = stage_stats(spans);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "count", "mean", "p50", "p99", "bytes"
+    );
+    for s in &stats {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            s.stage,
+            s.count,
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.p50_ns as f64),
+            fmt_ns(s.p99_ns as f64),
+            s.bytes
+        );
+    }
+    out
+}
+
+/// Renders an aligned text waterfall of one request's span chain:
+/// stages in start order, each with an offset/duration bar.
+pub fn waterfall(trace_id: u64, spans: &[Span]) -> String {
+    let mut chain: Vec<&Span> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    chain.sort_by_key(|s| (s.start_ns, s.end_ns));
+    let mut out = String::new();
+    let _ = writeln!(out, "trace {trace_id:#018x}");
+    let Some(first) = chain.first() else {
+        let _ = writeln!(out, "  (no spans)");
+        return out;
+    };
+    let t0 = first.start_ns;
+    let t_end = chain.iter().map(|s| s.end_ns).max().unwrap_or(t0);
+    let total = (t_end - t0).max(1);
+    const WIDTH: u64 = 40;
+    for s in &chain {
+        let off = (s.start_ns - t0) * WIDTH / total;
+        let len = (s.duration_ns() * WIDTH / total)
+            .max(1)
+            .min(WIDTH - off.min(WIDTH - 1));
+        let bar: String = std::iter::repeat_n(' ', off as usize)
+            .chain(std::iter::repeat_n('#', len as usize))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:<16} [{bar:<width$}] +{:<10} {}",
+            s.stage,
+            fmt_ns((s.start_ns - t0) as f64),
+            fmt_ns(s.duration_ns() as f64),
+            width = WIDTH as usize,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::stages;
+
+    fn spans() -> Vec<Span> {
+        vec![
+            Span {
+                trace_id: 7,
+                stage: stages::TERMINATE,
+                start_ns: 1000,
+                end_ns: 2000,
+                bytes: 128,
+            },
+            Span {
+                trace_id: 7,
+                stage: stages::DESERIALIZE,
+                start_ns: 2000,
+                end_ns: 4500,
+                bytes: 128,
+            },
+            Span {
+                trace_id: 9,
+                stage: stages::DESERIALIZE,
+                start_ns: 3000,
+                end_ns: 3500,
+                bytes: 64,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = chrome_trace_json(&[TraceProcess {
+            pid: 0,
+            name: "offload".into(),
+            tracks: vec![("dpu\"client".into(), spans())],
+        }]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"terminate\""));
+        assert!(json.contains("dpu\\\"client")); // name was escaped
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn stage_stats_aggregate_in_datapath_order() {
+        let stats = stage_stats(&spans());
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].stage, stages::TERMINATE);
+        assert_eq!(stats[1].stage, stages::DESERIALIZE);
+        assert_eq!(stats[1].count, 2);
+        assert_eq!(stats[1].bytes, 192);
+        assert_eq!(stats[1].p50_ns, 500);
+        assert_eq!(stats[1].p99_ns, 2500);
+    }
+
+    #[test]
+    fn waterfall_filters_by_trace_id() {
+        let text = waterfall(7, &spans());
+        assert!(text.contains("terminate"));
+        assert!(text.contains("deserialize"));
+        assert_eq!(text.matches('\n').count(), 3); // header + 2 spans
+        let none = waterfall(42, &spans());
+        assert!(none.contains("(no spans)"));
+    }
+
+    #[test]
+    fn stage_table_renders_rows() {
+        let t = stage_table("stagebreak", &spans());
+        assert!(t.contains("stagebreak"));
+        assert!(t.contains("terminate"));
+        assert!(t.contains("p99"));
+    }
+}

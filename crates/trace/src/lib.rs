@@ -1,0 +1,34 @@
+//! End-to-end datapath tracing for the offload RPC pipeline.
+//!
+//! A [`Tracer`] hands out per-thread ring-buffered [`SpanSink`]s and a
+//! per-connection [`ConnTracer`] whose request identities — and therefore
+//! 1-in-N sampling decisions — are identical on both ends of a connection
+//! without any id bytes on the wire, by mirroring the datapath's
+//! deterministic request-id synchronization (paper §IV.D).
+//!
+//! Spans cover the full offload path: protocol termination on the DPU,
+//! deserialize-into-native-layout, block build, credit wait, RDMA
+//! write-with-immediate, PCIe DMA, host dispatch, response build, and
+//! the client-visible response wait (see [`stages`]). Collected spans
+//! export as Chrome trace-event JSON ([`chrome_trace_json`], loadable in
+//! Perfetto) or as text summaries ([`stage_table`], [`waterfall`]), and
+//! optionally feed per-stage latency histograms into a
+//! `pbo-metrics` [`pbo_metrics::Registry`].
+//!
+//! Simulation backends stamp spans from a [`VirtualClock`] so wall-clock
+//! runs and discrete-event runs produce the same span stream shape.
+//!
+//! Sampling defaults to off; a disabled tracer costs one branch per
+//! instrumentation site.
+
+mod clock;
+mod export;
+mod span;
+mod tracer;
+
+pub use clock::{Clock, VirtualClock};
+pub use export::{
+    chrome_trace_json, stage_stats, stage_table, waterfall, StageStats, TraceProcess,
+};
+pub use span::{stages, Span, SpanSink};
+pub use tracer::{ConnTracer, MsgCtx, TraceConfig, Tracer, STAGE_HISTOGRAM_METRIC};

@@ -1,0 +1,162 @@
+//! Span records and bounded per-thread collection buffers.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Well-known datapath stage names, in datapath order.
+///
+/// Everything that emits spans uses these constants so exporters, docs,
+/// and CI validation agree on the vocabulary.
+pub mod stages {
+    /// xRPC protocol termination on the DPU (frame received → forwarded).
+    pub const TERMINATE: &str = "terminate";
+    /// Protobuf deserialization into the native host layout.
+    pub const DESERIALIZE: &str = "deserialize";
+    /// Building/appending the message into an open RDMA block.
+    pub const BLOCK_BUILD: &str = "block_build";
+    /// Waiting for send credits before a block could be posted.
+    pub const CREDIT_WAIT: &str = "credit_wait";
+    /// RDMA write-with-immediate of a sealed block.
+    pub const RDMA_WRITE: &str = "rdma_write";
+    /// PCIe/DMA transfer of block bytes.
+    pub const DMA: &str = "dma";
+    /// Host-side handler execution for one request.
+    pub const HOST_DISPATCH: &str = "host_dispatch";
+    /// Building the response message into a response block.
+    pub const RESPONSE_BUILD: &str = "response_build";
+    /// Client-visible wait from block post until the response callback.
+    pub const RESPONSE: &str = "response";
+
+    /// Every stage name the datapath can emit, in datapath order.
+    pub const ALL: &[&str] = &[
+        TERMINATE,
+        DESERIALIZE,
+        BLOCK_BUILD,
+        CREDIT_WAIT,
+        RDMA_WRITE,
+        DMA,
+        HOST_DISPATCH,
+        RESPONSE_BUILD,
+        RESPONSE,
+    ];
+}
+
+/// One completed interval of work attributed to a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Request identity; equal on both sides of the wire (see
+    /// [`crate::ConnTracer`]).
+    pub trace_id: u64,
+    /// Stage name, one of [`stages`].
+    pub stage: &'static str,
+    /// Start timestamp on the tracer's clock, nanoseconds.
+    pub start_ns: u64,
+    /// End timestamp on the tracer's clock, nanoseconds.
+    pub end_ns: u64,
+    /// Bytes the stage handled (0 when not meaningful).
+    pub bytes: u64,
+}
+
+impl Span {
+    /// Span duration in nanoseconds (0 if the clock didn't advance).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+pub(crate) struct SinkShared {
+    pub(crate) name: String,
+    pub(crate) buf: Mutex<VecDeque<Span>>,
+    pub(crate) capacity: usize,
+    pub(crate) dropped: Mutex<u64>,
+}
+
+/// Handle to one named ring buffer of spans (one per datapath thread).
+///
+/// Recording is lock-cheap (one uncontended mutex per sampled span) and
+/// bounded: when the ring is full the oldest span is dropped and counted,
+/// so a long run cannot grow memory without bound.
+#[derive(Clone)]
+pub struct SpanSink {
+    pub(crate) shared: Arc<SinkShared>,
+    pub(crate) recorder: Option<crate::tracer::StageRecorder>,
+}
+
+impl SpanSink {
+    /// Records a completed span (and feeds its duration into the bound
+    /// per-stage histogram, when a registry is attached).
+    pub fn record(&self, span: Span) {
+        if let Some(rec) = &self.recorder {
+            rec.observe(span.stage, span.duration_ns());
+        }
+        let mut buf = self.shared.buf.lock();
+        if buf.len() == self.shared.capacity {
+            buf.pop_front();
+            *self.shared.dropped.lock() += 1;
+        }
+        buf.push_back(span);
+    }
+
+    /// The sink's thread/track name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.buf.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(capacity: usize) -> SpanSink {
+        SpanSink {
+            shared: Arc::new(SinkShared {
+                name: "t".into(),
+                buf: Mutex::new(VecDeque::new()),
+                capacity,
+                dropped: Mutex::new(0),
+            }),
+            recorder: None,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let s = sink(2);
+        for i in 0..3u64 {
+            s.record(Span {
+                trace_id: i,
+                stage: stages::TERMINATE,
+                start_ns: i,
+                end_ns: i + 1,
+                bytes: 0,
+            });
+        }
+        let buf = s.shared.buf.lock();
+        let ids: Vec<u64> = buf.iter().map(|s| s.trace_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(*s.shared.dropped.lock(), 1);
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let s = Span {
+            trace_id: 0,
+            stage: stages::DMA,
+            start_ns: 10,
+            end_ns: 4,
+            bytes: 0,
+        };
+        assert_eq!(s.duration_ns(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The tracer: sampling decisions, sink registry, clock, and the
+//! deterministic per-connection request identity.
+
+use crate::clock::Clock;
+use crate::span::{SinkShared, Span, SpanSink};
+use parking_lot::Mutex;
+use pbo_metrics::{Histogram, Registry, DEFAULT_BUCKETS};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Metric name for the per-stage latency histograms a bound
+/// [`Registry`] receives (label: `stage`).
+pub const STAGE_HISTOGRAM_METRIC: &str = "pbo_trace_stage_ns";
+
+/// Feeds sampled span durations into per-stage histograms of a bound
+/// metrics registry. Histogram handles are cached per stage name so the
+/// hot path avoids registry lookups.
+#[derive(Clone)]
+pub(crate) struct StageRecorder {
+    registry: Arc<Registry>,
+    cache: Arc<Mutex<HashMap<&'static str, Histogram>>>,
+}
+
+impl StageRecorder {
+    pub(crate) fn observe(&self, stage: &'static str, duration_ns: u64) {
+        let hist = {
+            let mut cache = self.cache.lock();
+            cache
+                .entry(stage)
+                .or_insert_with(|| {
+                    self.registry.histogram(
+                        STAGE_HISTOGRAM_METRIC,
+                        "Datapath stage latency from sampled trace spans (ns)",
+                        &[("stage", stage)],
+                        DEFAULT_BUCKETS,
+                    )
+                })
+                .clone()
+        };
+        hist.observe(duration_ns as f64);
+    }
+}
+
+/// Tracer configuration.
+pub struct TraceConfig {
+    /// Sample one request in `sample_every`; `0` disables tracing.
+    pub sample_every: u64,
+    /// Clock the spans are stamped with.
+    pub clock: Clock,
+    /// Ring-buffer capacity of each sink (spans per thread).
+    pub sink_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Wall-clock tracing sampling one request in `sample_every`.
+    pub fn sampled(sample_every: u64) -> Self {
+        Self {
+            sample_every,
+            clock: Clock::wall(),
+            sink_capacity: 65_536,
+        }
+    }
+}
+
+struct TracerInner {
+    sample_every: u64,
+    clock: Clock,
+    sink_capacity: usize,
+    sinks: Mutex<Vec<Arc<SinkShared>>>,
+    recorder: Mutex<Option<StageRecorder>>,
+}
+
+/// Entry point for datapath tracing. Cheap to clone; all clones share
+/// the sinks and sampling configuration.
+///
+/// The disabled tracer ([`Tracer::disabled`]) reduces every hot-path
+/// instrumentation site to a single branch on `sample_every == 0`, so
+/// production-shaped benchmark runs pay effectively nothing.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer that samples nothing and records nothing.
+    pub fn disabled() -> Self {
+        Self::new(TraceConfig {
+            sample_every: 0,
+            clock: Clock::wall(),
+            sink_capacity: 1,
+        })
+    }
+
+    /// Creates a tracer from `config`.
+    pub fn new(config: TraceConfig) -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                sample_every: config.sample_every,
+                clock: config.clock,
+                sink_capacity: config.sink_capacity.max(1),
+                sinks: Mutex::new(Vec::new()),
+                recorder: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// True when some requests are sampled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.sample_every != 0
+    }
+
+    /// The sampling divisor (0 = disabled).
+    pub fn sample_every(&self) -> u64 {
+        self.inner.sample_every
+    }
+
+    /// Whether the request with this id is sampled. Deterministic in the
+    /// id, so the two ends of a connection agree without coordination.
+    pub fn sampled(&self, trace_id: u64) -> bool {
+        let n = self.inner.sample_every;
+        n != 0 && trace_id % n == 0
+    }
+
+    /// Current time on the tracer's clock (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    /// Registers (or re-opens) a named span sink — one per datapath
+    /// thread/track. Sinks with the same name share a buffer.
+    pub fn sink(&self, name: &str) -> SpanSink {
+        let mut sinks = self.inner.sinks.lock();
+        let shared = match sinks.iter().find(|s| s.name == name) {
+            Some(s) => s.clone(),
+            None => {
+                let s = Arc::new(SinkShared {
+                    name: name.to_string(),
+                    buf: Mutex::new(VecDeque::new()),
+                    capacity: self.inner.sink_capacity,
+                    dropped: Mutex::new(0),
+                });
+                sinks.push(s.clone());
+                s
+            }
+        };
+        SpanSink {
+            shared,
+            recorder: self.inner.recorder.lock().clone(),
+        }
+    }
+
+    /// Binds a metrics registry: from now on, sinks obtained via
+    /// [`Tracer::sink`] feed span durations into
+    /// `pbo_trace_stage_ns{stage=...}` histograms of `registry`.
+    pub fn bind_registry(&self, registry: &Arc<Registry>) {
+        *self.inner.recorder.lock() = Some(StageRecorder {
+            registry: registry.clone(),
+            cache: Arc::new(Mutex::new(HashMap::new())),
+        });
+    }
+
+    /// Drains all sinks, returning `(track_name, spans)` per sink in
+    /// registration order. Spans within a track keep recording order.
+    pub fn drain(&self) -> Vec<(String, Vec<Span>)> {
+        let sinks = self.inner.sinks.lock();
+        sinks
+            .iter()
+            .map(|s| {
+                let mut buf = s.buf.lock();
+                (s.name.clone(), buf.drain(..).collect())
+            })
+            .collect()
+    }
+
+    /// Total spans dropped to ring-buffer overflow across all sinks.
+    pub fn dropped(&self) -> u64 {
+        let sinks = self.inner.sinks.lock();
+        sinks.iter().map(|s| *s.dropped.lock()).sum()
+    }
+}
+
+/// A sampled message's identity and begin timestamp, handed out by
+/// [`ConnTracer::begin_msg`].
+#[derive(Clone, Copy, Debug)]
+pub struct MsgCtx {
+    /// Deterministic request identity (same on client and server).
+    pub trace_id: u64,
+    /// Timestamp when the message entered this stage.
+    pub begin_ns: u64,
+}
+
+/// Per-connection span context exploiting the datapath's deterministic
+/// request-id synchronization (paper §IV.D): both ends replay allocation
+/// in the same order, so a per-connection message sequence number is
+/// identical on the client (enqueue/commit order into blocks) and the
+/// server (dispatch order within blocks in arrival order). The trace id
+/// `(fnv(conn_label) << 32) | seq` therefore matches across the wire with
+/// no id bytes on it — and so does the 1-in-N sampling decision.
+pub struct ConnTracer {
+    tracer: Tracer,
+    conn_hash: u64,
+    seq: u64,
+}
+
+impl ConnTracer {
+    /// Creates the context for one connection. Both endpoints must use
+    /// the same `conn_label`.
+    pub fn new(tracer: Tracer, conn_label: &str) -> Self {
+        // FNV-1a, truncated to 32 bits for the id's high half.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in conn_label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            tracer,
+            conn_hash: (h & 0xffff_ffff) << 32,
+            seq: 0,
+        }
+    }
+
+    /// The shared tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Peeks the next message: `Some(ctx)` when it is sampled, without
+    /// advancing the sequence. Call [`ConnTracer::commit_msg`] only once
+    /// the message actually entered the datapath — error paths that
+    /// reject the message must not commit, or the two ends desynchronize.
+    pub fn begin_msg(&self) -> Option<MsgCtx> {
+        let trace_id = self.conn_hash | (self.seq & 0xffff_ffff);
+        if !self.tracer.sampled(trace_id) {
+            return None;
+        }
+        Some(MsgCtx {
+            trace_id,
+            begin_ns: self.tracer.now_ns(),
+        })
+    }
+
+    /// Advances the per-connection sequence after a successful
+    /// enqueue/dispatch.
+    pub fn commit_msg(&mut self) {
+        self.seq = self.seq.wrapping_add(1);
+    }
+
+    /// Sequence of the next uncommitted message (test hook).
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::stages;
+
+    #[test]
+    fn disabled_tracer_samples_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        for id in 0..100 {
+            assert!(!t.sampled(id));
+        }
+    }
+
+    #[test]
+    fn sampling_is_one_in_n() {
+        let t = Tracer::new(TraceConfig::sampled(4));
+        let hits = (0..1000u64).filter(|&id| t.sampled(id)).count();
+        assert_eq!(hits, 250);
+    }
+
+    #[test]
+    fn conn_tracer_ids_match_across_sides() {
+        let t = Tracer::new(TraceConfig::sampled(1));
+        let mut client = ConnTracer::new(t.clone(), "c0");
+        let mut server = ConnTracer::new(t, "c0");
+        for _ in 0..10 {
+            let a = client.begin_msg().expect("sampled");
+            let b = server.begin_msg().expect("sampled");
+            assert_eq!(a.trace_id, b.trace_id);
+            client.commit_msg();
+            server.commit_msg();
+        }
+        assert_eq!(client.next_seq(), server.next_seq());
+    }
+
+    #[test]
+    fn different_connections_get_distinct_ids() {
+        let t = Tracer::new(TraceConfig::sampled(1));
+        let a = ConnTracer::new(t.clone(), "c0").begin_msg().unwrap();
+        let b = ConnTracer::new(t, "c1").begin_msg().unwrap();
+        assert_ne!(a.trace_id, b.trace_id);
+    }
+
+    #[test]
+    fn uncommitted_begin_does_not_advance() {
+        let t = Tracer::new(TraceConfig::sampled(1));
+        let mut c = ConnTracer::new(t, "c0");
+        let first = c.begin_msg().unwrap();
+        // Rejected enqueue: peek again, same identity.
+        let retry = c.begin_msg().unwrap();
+        assert_eq!(first.trace_id, retry.trace_id);
+        c.commit_msg();
+        let second = c.begin_msg().unwrap();
+        assert_ne!(first.trace_id, second.trace_id);
+    }
+
+    #[test]
+    fn bound_registry_gets_stage_histograms() {
+        let t = Tracer::new(TraceConfig::sampled(1));
+        let reg = Arc::new(Registry::new());
+        t.bind_registry(&reg);
+        let sink = t.sink("client");
+        sink.record(Span {
+            trace_id: 0,
+            stage: stages::DESERIALIZE,
+            start_ns: 100,
+            end_ns: 350,
+            bytes: 64,
+        });
+        let text = reg.expose();
+        assert!(text.contains(STAGE_HISTOGRAM_METRIC));
+        assert!(text.contains("stage=\"deserialize\""));
+    }
+
+    #[test]
+    fn drain_returns_tracks_in_registration_order() {
+        let t = Tracer::new(TraceConfig::sampled(1));
+        let a = t.sink("client");
+        let b = t.sink("server");
+        a.record(Span {
+            trace_id: 1,
+            stage: stages::BLOCK_BUILD,
+            start_ns: 0,
+            end_ns: 5,
+            bytes: 10,
+        });
+        b.record(Span {
+            trace_id: 1,
+            stage: stages::HOST_DISPATCH,
+            start_ns: 6,
+            end_ns: 9,
+            bytes: 10,
+        });
+        let tracks = t.drain();
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(tracks[0].0, "client");
+        assert_eq!(tracks[0].1.len(), 1);
+        assert_eq!(tracks[1].0, "server");
+        // Second drain is empty.
+        assert!(t.drain().iter().all(|(_, s)| s.is_empty()));
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for `criterion`: runs the workspace's `harness = false`
+//! bench targets without the crates-io dependency.
+//!
+//! Measurement is intentionally simple — per benchmark it warms up, then
+//! times batches until the configured measurement window elapses and
+//! reports mean time per iteration (plus derived throughput when set).
+//! No statistical analysis, plots, or baselines. When invoked with
+//! `--test` (as `cargo test` does for bench targets) every benchmark runs
+//! exactly one iteration so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench code using `criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; configured via builder methods.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed batches.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self, f);
+        print_report(name, &report, None);
+    }
+}
+
+/// Throughput annotation used to derive rates from iteration time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function label and a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `label/parameter` identifier.
+    pub fn new(label: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", label.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.criterion, |b| f(b));
+        print_report(&format!("{}/{}", self.name, id), &report, self.throughput);
+    }
+
+    /// Runs a benchmark that closes over a fixed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.criterion, |b| f(b, input));
+        print_report(&format!("{}/{}", self.name, id), &report, self.throughput);
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this batch's iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+}
+
+fn run_one(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench(cfg: &Criterion, mut f: impl FnMut(&mut Bencher)) -> Report {
+    if cfg.test_mode {
+        run_one(&mut f, 1);
+        return Report { mean_ns: 0.0 };
+    }
+
+    // Warm-up while estimating per-iteration cost.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 1;
+    let mut last = Duration::ZERO;
+    while warm_start.elapsed() < cfg.warm_up_time {
+        last = run_one(&mut f, iters);
+        if last < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+    let per_iter_ns = if last.is_zero() {
+        1.0
+    } else {
+        (last.as_nanos() as f64 / iters as f64).max(1.0)
+    };
+
+    // Size batches so sample_size of them roughly fill the window.
+    let budget_ns = cfg.measurement_time.as_nanos() as f64;
+    let batch_iters = ((budget_ns / cfg.sample_size as f64 / per_iter_ns).ceil() as u64).max(1);
+
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    let meas_start = Instant::now();
+    for _ in 0..cfg.sample_size {
+        total += run_one(&mut f, batch_iters);
+        total_iters += batch_iters;
+        if meas_start.elapsed() > cfg.measurement_time * 2 {
+            break; // don't overshoot the window badly on slow routines
+        }
+    }
+    Report {
+        mean_ns: total.as_nanos() as f64 / total_iters.max(1) as f64,
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
+    if report.mean_ns == 0.0 {
+        println!("{name}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib_s = b as f64 / report.mean_ns; // bytes/ns == GB/s
+            format!("  {:.3} GB/s", gib_s)
+        }
+        Some(Throughput::Elements(e)) => {
+            let melem_s = e as f64 / report.mean_ns * 1_000.0;
+            format!("  {:.2} Melem/s", melem_s)
+        }
+        None => String::new(),
+    };
+    println!("{name}: {}/iter{rate}", fmt_time(report.mean_ns));
+}
+
+/// Declares a group of benchmark functions (both config and plain forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn runs_quickly_in_test_mode() {
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(50),
+            warm_up_time: Duration::from_millis(10),
+            test_mode: true,
+        };
+        tiny_bench(&mut c);
+    }
+
+    #[test]
+    fn measures_with_small_window() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(40))
+            .warm_up_time(Duration::from_millis(10));
+        c.test_mode = false;
+        tiny_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("label", 42).to_string(), "label/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

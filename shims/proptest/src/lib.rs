@@ -1,0 +1,680 @@
+//! Offline stand-in for `proptest`: deterministic random property testing
+//! without the crates-io dependency.
+//!
+//! The workspace builds in network-restricted containers, so the real
+//! `proptest` cannot be fetched. This shim reimplements the API surface
+//! the workspace's property tests use — the [`proptest!`] macro (with
+//! `#![proptest_config(..)]`), [`Strategy`] with `prop_map`, `any::<T>()`,
+//! integer-range and regex-literal strategies, tuples,
+//! `collection::vec`, `option::of`, [`Just`], [`prop_oneof!`] and the
+//! `prop_assert*` macros — over a seeded SplitMix64 generator.
+//!
+//! Differences from the real crate, deliberate for an offline test
+//! harness: no shrinking (a failing case panics with the generated
+//! values in scope), and regex strategies support only the narrow
+//! pattern subset present in this workspace (`\PC`, character classes,
+//! literals, each with `*` or `{a,b}` quantifiers). Case generation is
+//! fully deterministic per test (seeded from the test's module path),
+//! so failures reproduce exactly.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator used by all strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically from an arbitrary label (e.g. the test's
+    /// module path), so each test sees its own but stable stream.
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, mixed once.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            state: h ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw,
+        // irrelevant for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike the real crate there is no shrinking tree: a strategy simply
+/// produces a value per test case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate_value(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate_value(&self, rng: &mut TestRng) -> T {
+        (**self).generate_value(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A> {
+    _marker: std::marker::PhantomData<fn() -> A>,
+}
+
+/// The canonical strategy for a type: uniform over its whole domain
+/// (floats: finite values only — this workspace's roundtrip properties
+/// compare by value, where NaN would be a false negative).
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn generate_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias towards small magnitudes and boundary values, the
+                // way real generators do: raw 1/2, small 3/8, extreme 1/8.
+                let raw = rng.next_u64();
+                match rng.below(8) {
+                    0..=3 => raw as $t,
+                    4..=6 => (raw % 256) as $t,
+                    _ => {
+                        if raw & 1 == 0 { <$t>::MAX } else { <$t>::MIN }
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        loop {
+            let v = f32::from_bits(rng.next_u32());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32(rng.next_u32() % 0x11_0000) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Uniform choice between alternative strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+
+    /// Builds a union whose value type is pinned by the first arm, so the
+    /// remaining arms' `dyn` casts infer cleanly (used by [`prop_oneof!`]).
+    pub fn with_first<S>(first: S, mut rest: Vec<Box<dyn Strategy<Value = T>>>) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        rest.insert(0, Box::new(first));
+        Self { options: rest }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate_value(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate_value(rng);
+            (0..n).map(|_| self.element.generate_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate_value(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies (narrow subset).
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    /// `\PC`: any non-control character.
+    NonControl,
+    /// `[...]` character class, expanded.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+fn sample_non_control(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII with occasional assigned non-control BMP
+    // characters (Latin-1 letters, Greek, CJK) — enough to exercise
+    // UTF-8 handling without emitting unassigned code points.
+    match rng.below(8) {
+        0..=5 => char::from_u32(0x20 + rng.below(0x5f) as u32).expect("ascii printable"),
+        6 => char::from_u32(0xC0 + rng.below(0x17) as u32).expect("latin-1 letter"),
+        _ => match rng.below(2) {
+            0 => char::from_u32(0x391 + rng.below(0x18) as u32).expect("greek letter"),
+            _ => char::from_u32(0x4E00 + rng.below(0x1000) as u32).expect("cjk ideograph"),
+        },
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => return out,
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in class");
+                out.push(esc);
+                prev = Some(esc);
+            }
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().expect("range start");
+                let hi = chars.next().expect("range end");
+                // `lo` was already pushed as a literal; extend to `hi`.
+                for u in (lo as u32 + 1)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(u) {
+                        out.push(ch);
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    panic!("unterminated character class");
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, 32)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 32)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("quantifier lower bound"),
+                    b.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("exact quantifier");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next().expect("dangling escape") {
+                'P' => {
+                    let prop = chars.next().expect("property name");
+                    assert_eq!(prop, 'C', "only \\PC is supported by this shim");
+                    Atom::NonControl
+                }
+                esc => Atom::Literal(esc),
+            },
+            '[' => Atom::Class(parse_class(&mut chars)),
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            match &atom {
+                Atom::NonControl => out.push(sample_non_control(rng)),
+                Atom::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                Atom::Literal(ch) => out.push(*ch),
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration and macros.
+
+/// Per-block configuration (the `cases` knob is the only one honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                let ( $($arg,)+ ) = (
+                    $( $crate::Strategy::generate_value(&($strat), &mut __rng), )+
+                );
+                let _ = __case;
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Property assertion; panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the rest of the case when the assumption fails.
+/// This shim continues to the next case via early return-like `continue`
+/// only inside the generated loop, so it is expressed as a plain guard.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniformly picks one of the listed strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::Union::with_first($first, vec![
+            $( ::std::boxed::Box::new($rest) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>> ),*
+        ])
+    };
+}
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate_value(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let s = Strategy::generate_value(&(-5i64..=5), &mut rng);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn regex_class_and_pc_patterns() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate_value(&"[a-z\\-]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+            let t = Strategy::generate_value(&"\\PC{0,60}", &mut rng);
+            assert!(t.chars().count() <= 60);
+            assert!(t.chars().all(|c| !c.is_control()));
+            let u = Strategy::generate_value(&"\\PC*", &mut rng);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn vec_option_tuple_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = crate::collection::vec((any::<u8>(), crate::option::of(0u32..10)), 2..5);
+        for _ in 0..100 {
+            let v = Strategy::generate_value(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (_, o) in v {
+                if let Some(x) = o {
+                    assert!(x < 10);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: patterns bind, bodies run per case.
+        #[test]
+        fn macro_generates_cases(a in any::<u32>(), pair in (1u32..5, any::<bool>())) {
+            let (x, _flag) = pair;
+            prop_assert!((1..5).contains(&x));
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u32), Just(2u32), (10u32..20).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 1 || v == 2 || (20..40).contains(&v));
+        }
+    }
+}

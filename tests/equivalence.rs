@@ -273,10 +273,7 @@ fn build_rig_with(stdlib: pbo_adt::StdLib) -> EquivalenceRig {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn offloaded_objects_match_reference_decoding(seed_msgs in proptest::collection::vec(arb_node(Arc::new(parse_proto(PROTO).unwrap())), 1..4)) {
