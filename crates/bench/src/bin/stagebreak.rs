@@ -23,6 +23,8 @@ struct Args {
     sample_every: u64,
     out: String,
     check: bool,
+    faults: u64,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +34,8 @@ fn parse_args() -> Args {
         sample_every: 16,
         out: "stagebreak.trace.json".to_string(),
         check: false,
+        faults: 0,
+        fault_seed: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -55,6 +59,18 @@ fn parse_args() -> Args {
                 args.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
             }
             "--check" => args.check = true,
+            "--faults" => {
+                args.faults = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--faults needs a number"));
+            }
+            "--fault-seed" => {
+                args.fault_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--fault-seed needs a number"));
+            }
             other => usage(&format!("unknown argument {other}")),
         }
     }
@@ -67,7 +83,8 @@ fn parse_args() -> Args {
 fn usage(msg: &str) -> ! {
     eprintln!("stagebreak: {msg}");
     eprintln!(
-        "usage: stagebreak [small|ints|chars] [--requests N] [--sample N] [--out FILE] [--check]"
+        "usage: stagebreak [small|ints|chars] [--requests N] [--sample N] [--out FILE] \
+       [--faults N] [--fault-seed S] [--check]"
     );
     std::process::exit(2);
 }
@@ -81,6 +98,11 @@ fn run_arm(args: &Args, kind: ScenarioKind) -> (Vec<(String, Vec<Span>)>, Arc<Re
     let mut cfg = ScenarioConfig::quick(args.workload, kind);
     cfg.requests = args.requests;
     cfg.concurrency = 32;
+    // Optional chaos: transient faults spread across the run; the retry
+    // machinery must absorb them without perturbing the span vocabulary
+    // (`--check` still validates every stage name).
+    cfg.faults = args.faults;
+    cfg.fault_seed = args.fault_seed;
     let stats = run_scenario_traced(cfg, &tracer).expect("scenario runs");
     println!(
         "{:>22}: {} requests in {:.1} ms ({:.0} req/s), {} spans dropped",

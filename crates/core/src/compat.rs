@@ -55,6 +55,14 @@ pub enum PayloadMode {
     Serialized,
 }
 
+/// First metadata byte of a degradable call: the payload is a native
+/// object built by the DPU (see [`CompatServer::register_degradable`]).
+pub const MODE_NATIVE: u8 = 0;
+/// First metadata byte of a degradable call: the payload is serialized
+/// protobuf and the host must deserialize it — the circuit breaker routed
+/// this request over the degraded path.
+pub const MODE_SERIALIZED: u8 = 1;
+
 /// The host-side server: an [`RpcServer`] plus the compatibility layer.
 pub struct CompatServer {
     rpc: RpcServer,
@@ -186,34 +194,16 @@ impl CompatServer {
                     }
                     PayloadMode::Serialized => {
                         // Baseline: deserialize here, same algorithm, same
-                        // layout, into the local scratch arena. The arena
-                        // is over-allocated by a word so an 8-aligned
-                        // window can be carved out regardless of where the
-                        // allocator placed it.
-                        let need = req.payload.len() * 2 + 1024 + 8;
-                        if scratch.len() < need {
-                            scratch.resize(need, 0);
-                        }
-                        let skew = (8 - scratch.as_ptr() as usize % 8) % 8;
-                        let arena = &mut scratch[skew..];
-                        let host_base = arena.as_ptr() as u64;
-                        debug_assert_eq!(host_base % 8, 0);
-                        let result =
-                            NativeWriter::new(&adt, &desc, arena, WriterConfig { host_base })
-                                .and_then(|mut w| {
-                                    StackDeserializer::new(&schema).deserialize(
-                                        &desc,
-                                        req.payload,
-                                        &mut w,
-                                    )?;
-                                    w.finish()
-                                });
-                        match result {
-                            Ok(res) => {
-                                let arena = &scratch[skew..];
-                                let view =
-                                    NativeObject::from_slice(&adt, class, arena, res.root_offset)
-                                        .expect("just built");
+                        // layout, into the local scratch arena.
+                        match host_deserialize(&adt, &schema, &desc, req.payload, &mut scratch) {
+                            Ok((skew, root_offset)) => {
+                                let view = NativeObject::from_slice(
+                                    &adt,
+                                    class,
+                                    &scratch[skew..],
+                                    root_offset,
+                                )
+                                .expect("just built");
                                 let mut out = Vec::new();
                                 let status = handler(&view, &mut out);
                                 if !out.is_empty() {
@@ -221,8 +211,86 @@ impl CompatServer {
                                 }
                                 status
                             }
-                            Err(_) => 2,
+                            Err(()) => 2,
                         }
+                    }
+                }
+            }),
+        );
+    }
+
+    /// Registers a typed handler that serves **both** payload forms,
+    /// routed per request by the first metadata byte: [`MODE_NATIVE`]
+    /// payloads are viewed in place (the DPU built the object), while
+    /// [`MODE_SERIALIZED`] payloads are deserialized here on the host —
+    /// the degraded path the offload circuit breaker falls back to when
+    /// DPU-side deserialization keeps failing. The business logic is
+    /// byte-for-byte identical either way.
+    ///
+    /// Requires [`PayloadMode::Native`]: degradation is per request, not
+    /// per connection.
+    pub fn register_degradable(
+        &mut self,
+        bundle: &ServiceSchema,
+        proc_id: u16,
+        handler: NativeHandler,
+    ) {
+        assert_eq!(
+            self.mode,
+            PayloadMode::Native,
+            "degradable handlers route per request; the server stays native"
+        );
+        let adt = bundle.adt().clone();
+        let desc = bundle
+            .request_descriptor(proc_id)
+            .unwrap_or_else(|| panic!("no method with procedure id {proc_id}"))
+            .clone();
+        let class = adt
+            .class_id(&desc.name)
+            .expect("bundle validated at construction");
+        let schema = bundle.schema().clone();
+        let mut scratch: Vec<u8> = Vec::new();
+
+        self.rpc.register(
+            proc_id,
+            Box::new(move |req, sink| {
+                let degraded = req.metadata.first().copied() == Some(MODE_SERIALIZED);
+                if degraded {
+                    match host_deserialize(&adt, &schema, &desc, req.payload, &mut scratch) {
+                        Ok((skew, root_offset)) => {
+                            let view = NativeObject::from_slice(
+                                &adt,
+                                class,
+                                &scratch[skew..],
+                                root_offset,
+                            )
+                            .expect("just built");
+                            let mut out = Vec::new();
+                            let status = handler(&view, &mut out);
+                            if !out.is_empty() {
+                                sink.write(&out);
+                            }
+                            status
+                        }
+                        Err(()) => 2,
+                    }
+                } else {
+                    match NativeObject::from_addr(
+                        &adt,
+                        class,
+                        req.payload_addr,
+                        req.region_base,
+                        req.region_len,
+                    ) {
+                        Ok(view) => {
+                            let mut out = Vec::new();
+                            let status = handler(&view, &mut out);
+                            if !out.is_empty() {
+                                sink.write(&out);
+                            }
+                            status
+                        }
+                        Err(_) => 2,
                     }
                 }
             }),
@@ -323,6 +391,38 @@ impl CompatServer {
     pub fn event_loop(&mut self, timeout: Duration) -> Result<usize, RpcError> {
         self.rpc.event_loop(timeout)
     }
+}
+
+/// Host-side deserialization into a reusable scratch arena: same custom
+/// stack deserializer, same native layout as the DPU path. The arena is
+/// over-allocated by a word so an 8-aligned window can be carved out
+/// regardless of where the allocator placed it. On success returns the
+/// alignment skew and root offset; view the object with
+/// `NativeObject::from_slice(adt, class, &scratch[skew..], root_offset)`.
+/// Shared by the baseline arm of [`CompatServer::register_native`] and the
+/// degraded arm of [`CompatServer::register_degradable`].
+fn host_deserialize(
+    adt: &pbo_adt::Adt,
+    schema: &pbo_protowire::Schema,
+    desc: &Arc<pbo_protowire::MessageDescriptor>,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> Result<(usize, usize), ()> {
+    let need = payload.len() * 2 + 1024 + 8;
+    if scratch.len() < need {
+        scratch.resize(need, 0);
+    }
+    let skew = (8 - scratch.as_ptr() as usize % 8) % 8;
+    let arena = &mut scratch[skew..];
+    let host_base = arena.as_ptr() as u64;
+    debug_assert_eq!(host_base % 8, 0);
+    NativeWriter::new(adt, desc, arena, WriterConfig { host_base })
+        .and_then(|mut w| {
+            StackDeserializer::new(schema).deserialize(desc, payload, &mut w)?;
+            w.finish()
+        })
+        .map(|res| (skew, res.root_offset))
+        .map_err(|_| ())
 }
 
 /// Maps builder failures onto payload-writer outcomes: arena exhaustion

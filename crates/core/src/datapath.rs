@@ -15,7 +15,7 @@ use crate::service::ServiceSchema;
 use pbo_metrics::Registry;
 use pbo_protowire::encode_message;
 use pbo_protowire::workloads::{Mt19937, WorkloadKind};
-use pbo_rpcrdma::{establish, Config, RpcError};
+use pbo_rpcrdma::{establish, Config, RetryClass, RpcError};
 use pbo_simnet::{Fabric, PcieStats};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,6 +58,13 @@ pub struct ScenarioConfig {
     pub client_cfg: Config,
     /// Protocol configuration for the host side.
     pub server_cfg: Config,
+    /// Transient receiver-not-ready faults to inject across the run
+    /// (0 disables injection). When non-zero, both endpoints get the
+    /// default retry policy so the scheduled faults self-heal — the
+    /// scenario must complete with every request answered regardless.
+    pub faults: u64,
+    /// Seed spreading the scheduled faults over the operation stream.
+    pub fault_seed: u64,
 }
 
 impl ScenarioConfig {
@@ -72,7 +79,25 @@ impl ScenarioConfig {
             connections: 1,
             client_cfg: Config::paper_client(),
             server_cfg: Config::paper_server(),
+            faults: 0,
+            fault_seed: 0,
         }
+    }
+}
+
+/// Schedules `cfg.faults` transient faults over the fabric's operation
+/// stream, deterministically spread by `cfg.fault_seed`. No-op when
+/// `cfg.faults` is zero.
+fn schedule_scenario_faults(cfg: &ScenarioConfig, fabric: &Fabric) {
+    if cfg.faults == 0 {
+        return;
+    }
+    let mut op = 5 + cfg.fault_seed % 11;
+    for _ in 0..cfg.faults {
+        fabric
+            .faults()
+            .fail_nth(op, pbo_simnet::FaultKind::ReceiverNotReady);
+        op += 17 + cfg.fault_seed % 7;
     }
 }
 
@@ -111,6 +136,8 @@ pub fn run_scenario_traced(
     let fabric = Fabric::new();
     let registry = Registry::new();
     fabric.link().bind_metrics(&registry, "host0");
+    fabric.faults().bind_metrics(&registry, "host0");
+    schedule_scenario_faults(&cfg, &fabric);
     let adt_bytes = bundle.adt_bytes();
 
     let proc_id = match cfg.workload {
@@ -148,6 +175,10 @@ pub fn run_scenario_traced(
         let mut server = CompatServer::new(ep.server, mode);
         server.set_tracer(tracer, &format!("c{conn}"));
         server.register_empty_logic(&bundle, proc_id);
+        if cfg.faults > 0 {
+            client.rpc().set_retry_policy(Default::default());
+            server.rpc().set_retry_policy(Default::default());
+        }
 
         let stop = stop_hosts.clone();
         host_threads.push(std::thread::spawn(move || -> Result<u64, RpcError> {
@@ -188,9 +219,9 @@ pub fn run_scenario_traced(
                     };
                     match res {
                         Ok(()) => issued += 1,
-                        Err(RpcError::NoCredits)
-                        | Err(RpcError::SendBufferFull)
-                        | Err(RpcError::TooManyOutstanding) => break,
+                        // Backpressure and absorbed-transient failures:
+                        // yield to the event loop and retry.
+                        Err(e) if e.retry_class() == RetryClass::Transient => break,
                         Err(e) => return Err(e),
                     }
                 }
@@ -237,6 +268,8 @@ pub fn run_scenario_monitored(
     let bundle = ServiceSchema::paper_bench();
     let fabric = Fabric::new();
     let registry = Registry::new();
+    fabric.faults().bind_metrics(&registry, "monitored");
+    schedule_scenario_faults(&cfg, &fabric);
     let adt_bytes = bundle.adt_bytes();
     let proc_id = match cfg.workload {
         WorkloadKind::Small => 1,
@@ -273,6 +306,10 @@ pub fn run_scenario_monitored(
         };
         let mut server = CompatServer::new(ep.server, mode);
         server.register_empty_logic(&bundle, proc_id);
+        if cfg.faults > 0 {
+            client.rpc().set_retry_policy(Default::default());
+            server.rpc().set_retry_policy(Default::default());
+        }
 
         let host_stop = stop_hosts.clone();
         host_threads.push(std::thread::spawn(move || -> Result<u64, RpcError> {
@@ -304,9 +341,9 @@ pub fn run_scenario_monitored(
                     };
                     match res {
                         Ok(()) => issued += 1,
-                        Err(RpcError::NoCredits)
-                        | Err(RpcError::SendBufferFull)
-                        | Err(RpcError::TooManyOutstanding) => break,
+                        // Backpressure and absorbed-transient failures:
+                        // yield to the event loop and retry.
+                        Err(e) if e.retry_class() == RetryClass::Transient => break,
                         Err(e) => return Err(e),
                     }
                 }
@@ -437,6 +474,19 @@ mod tests {
         assert!(stats.requests > 0);
         assert!(report.rate_per_sec > 0.0);
         assert!(report.samples >= 4);
+    }
+
+    #[test]
+    fn injected_transient_faults_self_heal() {
+        // Scheduled receiver-not-ready faults are absorbed by the retry
+        // policy: the run still answers every request.
+        let mut cfg = ScenarioConfig::quick(WorkloadKind::Small, ScenarioKind::Offloaded);
+        cfg.requests = 2_000;
+        cfg.concurrency = 32;
+        cfg.faults = 25;
+        cfg.fault_seed = 3;
+        let s = run_scenario(cfg).unwrap();
+        assert_eq!(s.requests, 2_000);
     }
 
     #[test]

@@ -50,10 +50,11 @@ pub mod datapath;
 pub mod offload;
 pub mod serialize;
 pub mod service;
+pub mod session;
 pub mod terminator;
 
 pub use alloc_track::{AllocStats, CountingAllocator, ALLOC_TRACKER};
-pub use compat::CompatServer;
+pub use compat::{CompatServer, MODE_NATIVE, MODE_SERIALIZED};
 pub use datapath::{
     run_scenario, run_scenario_monitored, run_scenario_traced, MeasuredStats, ScenarioConfig,
     ScenarioKind,
@@ -61,4 +62,5 @@ pub use datapath::{
 pub use offload::OffloadClient;
 pub use serialize::{serialize_view, SerializeError};
 pub use service::ServiceSchema;
+pub use session::{CircuitBreaker, ResilientSession, SessionConfig};
 pub use terminator::XrpcTerminator;

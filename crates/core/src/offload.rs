@@ -32,6 +32,10 @@ pub struct OffloadClient {
     rpc: RpcClient,
     bundle: ServiceSchema,
     trace: Option<(Tracer, SpanSink)>,
+    /// Remaining forced offload failures (test/chaos knob): while
+    /// non-zero, each offloaded call fails as if the DPU-side
+    /// deserialization broke, exercising the degradation path.
+    forced_failures: u32,
 }
 
 impl OffloadClient {
@@ -54,7 +58,22 @@ impl OffloadClient {
             rpc,
             bundle,
             trace: None,
+            forced_failures: 0,
         })
+    }
+
+    /// Forces the next `n` offloaded calls to fail as if the DPU-side
+    /// deserialization broke ([`RpcError::PayloadWriter`]). A chaos knob:
+    /// lets tests drive the offload→host degradation ladder (circuit
+    /// breaker trip and later restore) without crafting n distinct
+    /// malformed-but-procedure-matched wire messages.
+    pub fn inject_offload_failures(&mut self, n: u32) {
+        self.forced_failures = n;
+    }
+
+    /// Forced offload failures still pending.
+    pub fn pending_forced_failures(&self) -> u32 {
+        self.forced_failures
     }
 
     /// Attaches a tracer to this engine and its underlying RPC client.
@@ -101,6 +120,12 @@ impl OffloadClient {
         metadata: &[u8],
         cont: Continuation,
     ) -> Result<(), RpcError> {
+        if self.forced_failures > 0 {
+            self.forced_failures -= 1;
+            return Err(RpcError::PayloadWriter(
+                "injected offload failure".to_string(),
+            ));
+        }
         let desc = self
             .bundle
             .request_descriptor(proc_id)

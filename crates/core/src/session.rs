@@ -1,0 +1,777 @@
+//! The fault-tolerant session layer: connection supervision with
+//! in-flight replay, and offload→host graceful degradation.
+//!
+//! The substrate layers already classify every failure
+//! ([`pbo_rpcrdma::RetryClass`]) and absorb the transient ones with
+//! bounded backoff inside the event loops. This module owns the other two
+//! rungs of the recovery ladder:
+//!
+//! * **Reconnect** — a [`ResilientSession`] supervises one connection.
+//!   On a reconnect-class failure (connection kill, lost completion,
+//!   completion-queue overflow, stall) it tears the endpoints down,
+//!   re-runs [`pbo_rpcrdma::try_establish`] — re-shipping the ADT control
+//!   blob and re-verifying binary compatibility, exactly like first
+//!   contact — re-registers every handler, and **replays** the
+//!   unacknowledged in-flight requests from its [`ReplayJournal`] in
+//!   original order. A per-request continuation slot guarantees each
+//!   caller sees its response *exactly once*, even when the server
+//!   re-executes a handler whose response was lost (at-least-once
+//!   server-side, exactly-once client-side).
+//! * **Degrade** — a [`CircuitBreaker`] watches DPU-side deserialization.
+//!   After `breaker_threshold` consecutive offload failures it opens and
+//!   routes requests over the *degraded* path: serialized bytes forwarded
+//!   to the host, which deserializes them itself
+//!   ([`CompatServer::register_degradable`], [`MODE_SERIALIZED`]) — the
+//!   system keeps serving, merely losing the offload win. While open,
+//!   every `breaker_probe_every`-th request probes the native path; the
+//!   first success closes the breaker and restores offloading.
+//!
+//! Every recovery event is counted in the [`Registry`] (same `conn`
+//! label across reconnects, so series continue) and, when a tracer is
+//! attached, `reconnect` and `degraded` spans land in the trace stream.
+
+use crate::compat::{CompatServer, NativeHandler, PayloadMode, MODE_NATIVE, MODE_SERIALIZED};
+use crate::offload::OffloadClient;
+use crate::service::ServiceSchema;
+use parking_lot::Mutex;
+use pbo_metrics::{Counter, Gauge, Registry};
+use pbo_rpcrdma::client::Continuation;
+use pbo_rpcrdma::{
+    try_establish, Config, JournalEntry, ReplayJournal, RetryClass, RetryPolicy, RpcError,
+};
+use pbo_simnet::Fabric;
+use pbo_trace::{stages, Span, SpanSink, Tracer};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Supervision knobs. The defaults suit the simulated fabric; scale the
+/// durations up for real hardware.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Transient-failure retry policy installed on both endpoints'
+    /// event loops.
+    pub retry: RetryPolicy,
+    /// Re-establishment attempts before a reconnect gives up.
+    pub reconnect_max_attempts: u32,
+    /// Base pause between re-establishment attempts (grows linearly).
+    pub reconnect_backoff: Duration,
+    /// Consecutive offload failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// While open, every Nth request probes the native path.
+    pub breaker_probe_every: u32,
+    /// Oldest-unacknowledged-request age that triggers a reconnect (a
+    /// response or completion was lost without any other symptom). `None`
+    /// disables the deadline.
+    pub request_deadline: Option<Duration>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy::default(),
+            reconnect_max_attempts: 8,
+            reconnect_backoff: Duration::from_micros(200),
+            breaker_threshold: 3,
+            breaker_probe_every: 8,
+            request_deadline: None,
+        }
+    }
+}
+
+/// Offload circuit breaker: Closed (native path) → Open (degraded path,
+/// with periodic native probes) → Closed again on the first probe
+/// success.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    probe_every: u32,
+    consecutive_failures: u32,
+    open: bool,
+    calls_while_open: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive failures
+    /// and probes every `probe_every`-th call while open.
+    pub fn new(threshold: u32, probe_every: u32) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            probe_every: probe_every.max(1),
+            consecutive_failures: 0,
+            open: false,
+            calls_while_open: 0,
+        }
+    }
+
+    /// True while the breaker is open (degraded routing in force).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Routing decision for the next call: `true` = native (offload)
+    /// path. While open, every `probe_every`-th call probes natively.
+    pub fn route_native(&mut self) -> bool {
+        if !self.open {
+            return true;
+        }
+        self.calls_while_open += 1;
+        self.calls_while_open.is_multiple_of(self.probe_every)
+    }
+
+    /// Records a native-path failure; returns `true` when this one
+    /// tripped the breaker open.
+    pub fn on_failure(&mut self) -> bool {
+        self.consecutive_failures += 1;
+        if !self.open && self.consecutive_failures >= self.threshold {
+            self.open = true;
+            self.calls_while_open = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Records a native-path success; returns `true` when it closed an
+    /// open breaker (offload restored).
+    pub fn on_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        if self.open {
+            self.open = false;
+            return true;
+        }
+        false
+    }
+}
+
+/// The caller's continuation, shared between the original enqueue and any
+/// replays: whichever response arrives first takes it; later duplicates
+/// find the slot empty and are dropped.
+type SharedCont = Arc<Mutex<Option<Continuation>>>;
+type SharedAcks = Arc<Mutex<Vec<u64>>>;
+
+/// Wraps the slot for one (re)enqueue: fires the caller's continuation at
+/// most once and reports the session sequence as acknowledged.
+fn make_continuation(acks: &SharedAcks, seq: u64, slot: &SharedCont) -> Continuation {
+    let slot = slot.clone();
+    let acks = acks.clone();
+    Box::new(move |payload, status| {
+        if let Some(cont) = slot.lock().take() {
+            acks.lock().push(seq);
+            cont(payload, status);
+        }
+    })
+}
+
+struct SessionCounters {
+    reconnects: Counter,
+    replays: Counter,
+    breaker_trips: Counter,
+    breaker_restores: Counter,
+    breaker_probes: Counter,
+    degraded_calls: Counter,
+    breaker_open: Gauge,
+    journal_depth: Gauge,
+}
+
+impl SessionCounters {
+    fn bind(registry: &Registry, conn: &str) -> Self {
+        let l = [("conn", conn)];
+        Self {
+            reconnects: registry.counter(
+                "session_reconnects_total",
+                "Connection re-establishments performed by the supervisor",
+                &l,
+            ),
+            replays: registry.counter(
+                "session_replayed_requests_total",
+                "In-flight requests replayed after a reconnect",
+                &l,
+            ),
+            breaker_trips: registry.counter(
+                "session_breaker_trips_total",
+                "Offload circuit-breaker open transitions",
+                &l,
+            ),
+            breaker_restores: registry.counter(
+                "session_breaker_restores_total",
+                "Offload circuit-breaker close transitions (offload restored)",
+                &l,
+            ),
+            breaker_probes: registry.counter(
+                "session_breaker_probes_total",
+                "Native-path probes issued while the breaker was open",
+                &l,
+            ),
+            degraded_calls: registry.counter(
+                "session_degraded_calls_total",
+                "Requests routed over the degraded host-deserialization path",
+                &l,
+            ),
+            breaker_open: registry.gauge(
+                "session_breaker_open",
+                "1 while the offload circuit breaker is open",
+                &l,
+            ),
+            journal_depth: registry.gauge(
+                "session_journal_depth",
+                "Unacknowledged requests held for replay",
+                &l,
+            ),
+        }
+    }
+}
+
+/// One supervised connection: an [`OffloadClient`], its [`CompatServer`],
+/// and everything needed to rebuild both from scratch and carry the
+/// in-flight work across.
+pub struct ResilientSession {
+    fabric: Fabric,
+    bundle: ServiceSchema,
+    adt_bytes: Vec<u8>,
+    client_cfg: Config,
+    server_cfg: Config,
+    registry: Arc<Registry>,
+    conn_label: String,
+    cfg: SessionConfig,
+
+    client: OffloadClient,
+    server: CompatServer,
+    handlers: Vec<(u16, NativeHandler)>,
+
+    breaker: CircuitBreaker,
+    journal: ReplayJournal,
+    slots: BTreeMap<u64, SharedCont>,
+    issued_at: BTreeMap<u64, Instant>,
+    acks: SharedAcks,
+    next_seq: u64,
+    reconnect_seq: u64,
+
+    counters: SessionCounters,
+    trace: Option<(Tracer, SpanSink)>,
+}
+
+impl ResilientSession {
+    /// Establishes the connection and wires the supervision machinery.
+    /// The ADT control blob ships during establishment (and again on
+    /// every reconnect) and is verified for binary compatibility.
+    pub fn new(
+        fabric: Fabric,
+        bundle: ServiceSchema,
+        client_cfg: Config,
+        server_cfg: Config,
+        registry: Arc<Registry>,
+        conn_label: &str,
+        cfg: SessionConfig,
+    ) -> Result<Self, RpcError> {
+        let adt_bytes = bundle.adt_bytes();
+        let ep = try_establish(
+            &fabric,
+            client_cfg,
+            server_cfg,
+            &registry,
+            conn_label,
+            Some(&adt_bytes),
+        )?;
+        let mut client = OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref())
+            .map_err(|e| RpcError::Desync(e.to_string()))?;
+        client.rpc().set_retry_policy(cfg.retry);
+        let mut server = CompatServer::new(ep.server, PayloadMode::Native);
+        server.rpc().set_retry_policy(cfg.retry);
+        let counters = SessionCounters::bind(&registry, conn_label);
+        Ok(Self {
+            fabric,
+            bundle,
+            adt_bytes,
+            client_cfg,
+            server_cfg,
+            registry,
+            conn_label: conn_label.to_string(),
+            breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_probe_every),
+            cfg,
+            client,
+            server,
+            handlers: Vec::new(),
+            journal: ReplayJournal::new(),
+            slots: BTreeMap::new(),
+            issued_at: BTreeMap::new(),
+            acks: Arc::new(Mutex::new(Vec::new())),
+            next_seq: 0,
+            reconnect_seq: 0,
+            counters,
+            trace: None,
+        })
+    }
+
+    /// Attaches a tracer: both endpoints get the usual per-stage spans,
+    /// and the session emits `reconnect` / `degraded` spans on its own
+    /// `{conn_label}/session` track.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.client.set_tracer(tracer, &self.conn_label);
+        self.server.set_tracer(tracer, &self.conn_label);
+        self.trace = if tracer.is_enabled() {
+            Some((
+                tracer.clone(),
+                tracer.sink(&format!("{}/session", self.conn_label)),
+            ))
+        } else {
+            None
+        };
+    }
+
+    /// Registers a degradable handler (see
+    /// [`CompatServer::register_degradable`]); kept for re-registration
+    /// on every reconnect.
+    pub fn register(&mut self, proc_id: u16, handler: NativeHandler) {
+        self.server
+            .register_degradable(&self.bundle, proc_id, handler.clone());
+        self.handlers.push((proc_id, handler));
+    }
+
+    /// The shared fabric (fault injection, PCIe counters).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The current DPU-side engine (chaos knobs, metrics). Replaced
+    /// wholesale on reconnect.
+    pub fn client_mut(&mut self) -> &mut OffloadClient {
+        &mut self.client
+    }
+
+    /// The current host-side server. Replaced wholesale on reconnect.
+    pub fn server_mut(&mut self) -> &mut CompatServer {
+        &mut self.server
+    }
+
+    /// Requests accepted but not yet answered.
+    pub fn outstanding(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True while the offload circuit breaker is open.
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Issues one call. Returns the session sequence number; the
+    /// continuation fires exactly once with the response (even across
+    /// reconnects and replays). Transient backpressure
+    /// ([`RpcError::NoCredits`] and friends) surfaces as `Err` with the
+    /// continuation unused — retry the call after a [`Self::tick`].
+    pub fn call(&mut self, proc_id: u16, wire: &[u8], cont: Continuation) -> Result<u64, RpcError> {
+        let seq = self.next_seq;
+        let slot: SharedCont = Arc::new(Mutex::new(Some(cont)));
+        let start_ns = self.trace.as_ref().map(|(t, _)| t.now_ns());
+        let mut native = self.breaker.route_native();
+        if self.breaker.is_open() {
+            if native {
+                self.counters.breaker_probes.inc();
+            } else {
+                self.counters.degraded_calls.inc();
+            }
+        }
+        let mut result = self.enqueue_once(native, proc_id, wire, seq, &slot);
+        if native {
+            match &result {
+                Ok(()) => {
+                    if self.breaker.on_success() {
+                        self.counters.breaker_restores.inc();
+                        self.counters.breaker_open.set(0);
+                    }
+                }
+                Err(RpcError::PayloadWriter(_)) => {
+                    // DPU-side deserialization failed: count it against
+                    // the breaker and serve this request over the
+                    // degraded path anyway.
+                    if self.breaker.on_failure() {
+                        self.counters.breaker_trips.inc();
+                        self.counters.breaker_open.set(1);
+                    }
+                    native = false;
+                    self.counters.degraded_calls.inc();
+                    result = self.enqueue_once(false, proc_id, wire, seq, &slot);
+                }
+                Err(_) => {}
+            }
+        }
+        if let Err(e) = result {
+            // A reconnect-class failure during enqueue: recover the
+            // connection and try this request once more (it is not yet
+            // journaled, so the replay does not cover it).
+            if e.retry_class() != RetryClass::Reconnect {
+                return Err(e);
+            }
+            self.reconnect()?;
+            self.enqueue_once(native, proc_id, wire, seq, &slot)?;
+        }
+        if !native {
+            if let (Some((t, sink)), Some(start_ns)) = (&self.trace, start_ns) {
+                sink.record(Span {
+                    trace_id: seq,
+                    stage: stages::DEGRADED,
+                    start_ns,
+                    end_ns: t.now_ns(),
+                    bytes: wire.len() as u64,
+                });
+            }
+        }
+        self.journal.record(JournalEntry {
+            seq,
+            proc_id,
+            payload: wire.to_vec(),
+            metadata: vec![if native { MODE_NATIVE } else { MODE_SERIALIZED }],
+        });
+        self.slots.insert(seq, slot);
+        self.issued_at.insert(seq, Instant::now());
+        self.next_seq += 1;
+        self.counters.journal_depth.set(self.journal.len() as i64);
+        Ok(seq)
+    }
+
+    fn enqueue_once(
+        &mut self,
+        native: bool,
+        proc_id: u16,
+        wire: &[u8],
+        seq: u64,
+        slot: &SharedCont,
+    ) -> Result<(), RpcError> {
+        let cont = make_continuation(&self.acks, seq, slot);
+        if native {
+            self.client
+                .call_offloaded_md(proc_id, wire, &[MODE_NATIVE], cont)
+        } else {
+            self.client
+                .call_forwarded_md(proc_id, wire, &[MODE_SERIALIZED], cont)
+        }
+    }
+
+    /// Drives both event loops once, absorbing transient failures,
+    /// reconnecting on reconnect-class ones, and enforcing the
+    /// per-request deadline. Returns responses delivered to this side.
+    pub fn tick(&mut self, timeout: Duration) -> Result<usize, RpcError> {
+        if let Err(e) = self.server.event_loop(timeout) {
+            self.absorb(e)?;
+        }
+        let mut delivered = 0;
+        match self.client.event_loop(Duration::ZERO) {
+            Ok(n) => delivered = n,
+            Err(e) => self.absorb(e)?,
+        }
+        self.drain_acks();
+        if let Some(deadline) = self.cfg.request_deadline {
+            let oldest_expired = self
+                .issued_at
+                .values()
+                .next()
+                .is_some_and(|t| t.elapsed() > deadline);
+            if oldest_expired {
+                // The response (or its completion) was lost without any
+                // other symptom — recover through the reconnect ladder.
+                self.absorb(RpcError::Stalled {
+                    waited_ms: deadline.as_millis() as u64,
+                })?;
+            }
+        }
+        Ok(delivered)
+    }
+
+    fn absorb(&mut self, e: RpcError) -> Result<(), RpcError> {
+        match e.retry_class() {
+            RetryClass::Transient => Ok(()),
+            RetryClass::Reconnect => self.reconnect(),
+            RetryClass::Fatal => Err(e),
+        }
+    }
+
+    fn drain_acks(&mut self) {
+        let acked: Vec<u64> = std::mem::take(&mut *self.acks.lock());
+        for seq in acked {
+            self.journal.acknowledge(seq);
+            self.slots.remove(&seq);
+            self.issued_at.remove(&seq);
+        }
+        self.counters.journal_depth.set(self.journal.len() as i64);
+    }
+
+    /// Tears the connection down, re-establishes it (bounded attempts,
+    /// linear backoff), and replays every unacknowledged request in
+    /// original order. Public so operators can force a failover.
+    pub fn reconnect(&mut self) -> Result<(), RpcError> {
+        self.drain_acks();
+        self.counters.reconnects.inc();
+        self.reconnect_seq += 1;
+        let start_ns = self.trace.as_ref().map(|(t, _)| t.now_ns());
+        let mut last = RpcError::Stalled { waited_ms: 0 };
+        for attempt in 1..=self.cfg.reconnect_max_attempts.max(1) {
+            match self.rebuild() {
+                Ok(replayed) => {
+                    self.counters.replays.inc_by(replayed);
+                    if let (Some((t, sink)), Some(start_ns)) = (&self.trace, start_ns) {
+                        sink.record(Span {
+                            trace_id: self.reconnect_seq,
+                            stage: stages::RECONNECT,
+                            start_ns,
+                            end_ns: t.now_ns(),
+                            bytes: 0,
+                        });
+                    }
+                    // Replayed work gets a fresh deadline.
+                    let now = Instant::now();
+                    for t in self.issued_at.values_mut() {
+                        *t = now;
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    if e.retry_class() == RetryClass::Fatal {
+                        return Err(e);
+                    }
+                    last = e;
+                    std::thread::sleep(self.cfg.reconnect_backoff * attempt);
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// One re-establishment attempt: fresh endpoints (ADT re-shipped and
+    /// re-verified), handlers re-registered, journal replayed.
+    fn rebuild(&mut self) -> Result<u64, RpcError> {
+        let ep = try_establish(
+            &self.fabric,
+            self.client_cfg,
+            self.server_cfg,
+            &self.registry,
+            &self.conn_label,
+            Some(&self.adt_bytes),
+        )?;
+        let mut client =
+            OffloadClient::new(ep.client, self.bundle.clone(), ep.control_blob.as_deref())
+                .map_err(|e| RpcError::Desync(e.to_string()))?;
+        client.rpc().set_retry_policy(self.cfg.retry);
+        let mut server = CompatServer::new(ep.server, PayloadMode::Native);
+        server.rpc().set_retry_policy(self.cfg.retry);
+        if let Some((t, _)) = &self.trace {
+            client.set_tracer(t, &self.conn_label);
+            server.set_tracer(t, &self.conn_label);
+        }
+        for (proc_id, handler) in &self.handlers {
+            server.register_degradable(&self.bundle, *proc_id, handler.clone());
+        }
+        self.client = client;
+        self.server = server;
+
+        // Replay unacknowledged requests, oldest first. The server may
+        // re-execute a handler whose response was lost in the old
+        // connection — at-least-once server-side — but each caller's
+        // continuation slot fires exactly once.
+        let entries: Vec<JournalEntry> = self.journal.live().cloned().collect();
+        let mut replayed = 0u64;
+        for entry in &entries {
+            let Some(slot) = self.slots.get(&entry.seq).cloned() else {
+                continue;
+            };
+            let native = entry.metadata.first().copied() != Some(MODE_SERIALIZED);
+            let mut pumps = 0u32;
+            loop {
+                let cont = make_continuation(&self.acks, entry.seq, &slot);
+                let res = if native {
+                    self.client.call_offloaded_md(
+                        entry.proc_id,
+                        &entry.payload,
+                        &entry.metadata,
+                        cont,
+                    )
+                } else {
+                    self.client.call_forwarded_md(
+                        entry.proc_id,
+                        &entry.payload,
+                        &entry.metadata,
+                        cont,
+                    )
+                };
+                match res {
+                    Ok(()) => {
+                        replayed += 1;
+                        break;
+                    }
+                    Err(e) if e.retry_class() == RetryClass::Transient => {
+                        // Backpressure: the journal can hold more than one
+                        // connection's worth of credits. Drive both loops
+                        // so responses recycle blocks, then retry.
+                        pumps += 1;
+                        if pumps > 10_000 {
+                            return Err(e);
+                        }
+                        self.server.event_loop(Duration::ZERO)?;
+                        self.client.event_loop(Duration::ZERO)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(replayed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_protowire::encode_message;
+    use pbo_protowire::workloads::{gen_small, paper_schema};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn breaker_trips_probes_and_restores() {
+        let mut b = CircuitBreaker::new(3, 4);
+        assert!(b.route_native());
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert!(b.on_failure(), "third consecutive failure trips");
+        assert!(b.is_open());
+        // While open: three degraded calls, then a probe.
+        assert!(!b.route_native());
+        assert!(!b.route_native());
+        assert!(!b.route_native());
+        assert!(b.route_native(), "every 4th call probes");
+        assert!(b.on_success(), "probe success restores");
+        assert!(!b.is_open());
+        assert!(!b.on_success(), "already closed");
+    }
+
+    fn session(label: &str) -> (ResilientSession, Arc<Registry>) {
+        let registry = Arc::new(Registry::new());
+        let cfg = SessionConfig {
+            breaker_threshold: 2,
+            breaker_probe_every: 3,
+            ..Default::default()
+        };
+        let mut session = ResilientSession::new(
+            Fabric::new(),
+            ServiceSchema::paper_bench(),
+            Config::test_small(),
+            Config::test_small(),
+            registry.clone(),
+            label,
+            cfg,
+        )
+        .unwrap();
+        session.register(
+            1,
+            Arc::new(|view, out| {
+                out.extend_from_slice(&view.get_u32(1).unwrap().to_le_bytes());
+                0
+            }),
+        );
+        (session, registry)
+    }
+
+    fn drive(session: &mut ResilientSession, done: &Arc<AtomicU64>, target: u64, wire: &[u8]) {
+        let mut issued = done.load(Ordering::Relaxed);
+        while done.load(Ordering::Relaxed) < target {
+            while issued < target && issued - done.load(Ordering::Relaxed) < 8 {
+                let d = done.clone();
+                match session.call(
+                    1,
+                    wire,
+                    Box::new(move |payload, status| {
+                        assert_eq!(status, 0);
+                        assert_eq!(payload, 300u32.to_le_bytes());
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ) {
+                    Ok(_) => issued += 1,
+                    Err(e) if e.retry_class() == RetryClass::Transient => break,
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            session.tick(Duration::ZERO).unwrap();
+        }
+    }
+
+    #[test]
+    fn plain_calls_roundtrip_with_correct_payloads() {
+        let (mut session, _registry) = session("s0");
+        let wire = encode_message(&gen_small(&paper_schema()));
+        let done = Arc::new(AtomicU64::new(0));
+        drive(&mut session, &done, 100, &wire);
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+        assert_eq!(session.outstanding(), 0);
+    }
+
+    #[test]
+    fn forced_offload_failures_degrade_then_restore() {
+        let (mut session, registry) = session("s1");
+        let wire = encode_message(&gen_small(&paper_schema()));
+        let done = Arc::new(AtomicU64::new(0));
+        drive(&mut session, &done, 20, &wire);
+        // Two consecutive failures trip the threshold-2 breaker; the
+        // requests are still served (degraded). The next probe restores.
+        session.client_mut().inject_offload_failures(2);
+        drive(&mut session, &done, 60, &wire);
+        assert_eq!(done.load(Ordering::Relaxed), 60, "no request lost");
+        assert!(!session.breaker_is_open(), "probe restored offloading");
+        let labels = [("conn", "s1")];
+        assert_eq!(
+            registry.counter_value("session_breaker_trips_total", &labels),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("session_breaker_restores_total", &labels),
+            Some(1)
+        );
+        assert!(
+            registry
+                .counter_value("session_degraded_calls_total", &labels)
+                .unwrap()
+                >= 2
+        );
+        assert_eq!(
+            registry.gauge_value("session_breaker_open", &labels),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn forced_reconnect_replays_in_flight_requests() {
+        let (mut session, registry) = session("s2");
+        let wire = encode_message(&gen_small(&paper_schema()));
+        let done = Arc::new(AtomicU64::new(0));
+        // Accept a batch without draining, then kill the connection: the
+        // undelivered requests must survive via journal replay.
+        let mut accepted = 0;
+        while accepted < 8 {
+            let d = done.clone();
+            match session.call(
+                1,
+                &wire,
+                Box::new(move |_p, s| {
+                    assert_eq!(s, 0);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            ) {
+                Ok(_) => accepted += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        session.reconnect().unwrap();
+        while done.load(Ordering::Relaxed) < 8 {
+            session.tick(Duration::ZERO).unwrap();
+        }
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            8,
+            "each response exactly once"
+        );
+        let labels = [("conn", "s2")];
+        assert_eq!(
+            registry.counter_value("session_reconnects_total", &labels),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("session_replayed_requests_total", &labels),
+            Some(8)
+        );
+    }
+}

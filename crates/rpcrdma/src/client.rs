@@ -11,7 +11,8 @@
 //! [`RpcClient::event_loop`] continuously.
 
 use crate::config::Config;
-use crate::error::RpcError;
+use crate::error::{RetryClass, RpcError};
+use crate::retry::RetryPolicy;
 use crate::wire::{
     offset_to_bucket, BlockHeaderIter, Header, Preamble, BLOCK_ALIGN, HEADER_SIZE, MAX_PAYLOAD,
     PREAMBLE_SIZE,
@@ -21,7 +22,7 @@ use pbo_metrics::{Counter, Gauge, Registry};
 use pbo_simnet::{CqeKind, MemoryRegion, QueuePair, WorkRequestId};
 use pbo_trace::{stages, ConnTracer, MsgCtx, Span, SpanSink, Tracer};
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of a payload-writer closure.
 pub type PayloadResult = Result<usize, PayloadError>;
@@ -61,6 +62,25 @@ struct PendingRequest {
     sent_ns: u64,
 }
 
+/// A sealed request block whose post failed (or has not happened yet):
+/// its preamble is frozen, its IDs are allocated, and its continuations
+/// are registered — only the RDMA write remains, so a transient post
+/// failure can be retried without losing the block.
+struct SealedRequestBlock {
+    alloc: Allocation,
+    seq: u64,
+    block_bytes: usize,
+    /// Trace ids of sampled messages in this block.
+    sampled_ids: Vec<u64>,
+    /// Seal time (trace clock).
+    post_ns: u64,
+    /// When this block first stalled on zero credits (trace clock).
+    first_stall_ns: Option<u64>,
+    /// When the first post attempt failed (trace clock); present only on
+    /// retried blocks.
+    first_fail_ns: Option<u64>,
+}
+
 /// Per-connection tracing state (present only when a tracer is attached
 /// and sampling is enabled).
 struct ClientTraceState {
@@ -86,6 +106,11 @@ pub struct ClientMetrics {
     pub credits: Gauge,
     /// Times a send stalled on zero credits.
     pub credit_stalls: Counter,
+    /// Transient failures absorbed by the retry policy.
+    pub retries: Counter,
+    /// Receiver-not-ready events observed by this sender (raw transport
+    /// pressure underneath the protocol-level retries).
+    pub rnr_events: Gauge,
 }
 
 impl ClientMetrics {
@@ -99,6 +124,8 @@ impl ClientMetrics {
             response_blocks: reg.counter("rpc_response_blocks_total", "response blocks", l),
             credits: reg.gauge("rpc_credits", "credits available", l),
             credit_stalls: reg.counter("rpc_credit_stalls_total", "sends stalled on credits", l),
+            retries: reg.counter("rpc_retries_total", "transient failures retried", l),
+            rnr_events: reg.gauge("rpc_rnr_events", "receiver-not-ready events seen", l),
         }
     }
 }
@@ -133,6 +160,17 @@ pub struct RpcClient {
     id_pool: IdPool,
     pending: HashMap<u16, PendingRequest>,
     open: Option<OpenBlock>,
+    /// A sealed block whose post failed transiently, retried (in strict
+    /// seal order, ahead of newer blocks) by the next flush.
+    unsent: Option<SealedRequestBlock>,
+    /// Optional transient-failure absorption driven by the event loop.
+    retry: Option<RetryPolicy>,
+    /// Consecutive transient flush failures absorbed so far.
+    flush_attempts: u32,
+    /// Earliest wall-clock time the next flush retry may run (backoff).
+    next_flush_retry: Option<Instant>,
+    /// Last time the endpoint made observable progress (post or response).
+    last_progress: Instant,
     sent_blocks: HashMap<u64, Allocation>,
     next_block_seq: u64,
     /// Response blocks fully processed since the last flush (preamble ack).
@@ -178,6 +216,11 @@ impl RpcClient {
             id_pool: IdPool::new(cfg.id_pool),
             pending: HashMap::new(),
             open: None,
+            unsent: None,
+            retry: None,
+            flush_attempts: 0,
+            next_flush_retry: None,
+            last_progress: Instant::now(),
             sent_blocks: HashMap::new(),
             next_block_seq: 0,
             pending_ack_blocks: 0,
@@ -232,6 +275,26 @@ impl RpcClient {
     /// Credits currently available.
     pub fn credits(&self) -> u32 {
         self.credits
+    }
+
+    /// Installs a retry policy: [`RpcClient::event_loop`] absorbs
+    /// transient flush failures with exponential backoff instead of
+    /// surfacing them, escalating to [`RpcError::Stalled`] once
+    /// `max_attempts` consecutive retries made no progress. Without a
+    /// policy every failure surfaces immediately (the pre-resilience
+    /// behavior).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// True while a sealed block awaits (re)posting.
+    pub fn has_unsent(&self) -> bool {
+        self.unsent.is_some()
+    }
+
+    /// Receiver-not-ready events observed by this endpoint's sender.
+    pub fn rnr_events(&self) -> u64 {
+        self.qp.rnr_events()
     }
 
     /// Metric snapshot.
@@ -383,9 +446,20 @@ impl RpcClient {
                         }
                     }
                     self.metrics.requests_enqueued.inc();
-                    // Full block ⇒ ship it now (Nagle-style batching).
+                    // Full block ⇒ ship it now (Nagle-style batching). The
+                    // message is already accepted at this point, so a
+                    // recoverable post failure must not fail the enqueue:
+                    // the sealed block is retained in `unsent` and retried
+                    // by the event loop (or replayed by a supervisor). An
+                    // `Ok` from this method therefore always means
+                    // "accepted", which callers rely on for exactly-once
+                    // bookkeeping.
                     if open.cursor + HEADER_SIZE + 8 > open.alloc.size as usize {
-                        self.flush()?;
+                        match self.flush() {
+                            Ok(()) => {}
+                            Err(e) if e.retry_class() != RetryClass::Fatal => {}
+                            Err(e) => return Err(e),
+                        }
                     }
                     return Ok(());
                 }
@@ -457,6 +531,17 @@ impl RpcClient {
     /// requests than the limit are still sent when calling the event
     /// loop", §IV).
     pub fn flush(&mut self) -> Result<(), RpcError> {
+        // A previously sealed block retries first: blocks must reach the
+        // server in seal order or the deterministic ID replay (§IV.D)
+        // diverges.
+        if let Some(sealed) = self.unsent.take() {
+            if self.credits == 0 {
+                self.unsent = Some(sealed);
+                self.metrics.credit_stalls.inc();
+                return Err(RpcError::NoCredits);
+            }
+            self.post_sealed(sealed)?;
+        }
         let Some(open) = &self.open else {
             return Ok(());
         };
@@ -475,6 +560,15 @@ impl RpcClient {
             }
             return Err(RpcError::NoCredits);
         }
+        let sealed = self.seal_block();
+        self.post_sealed(sealed)
+    }
+
+    /// Freezes the open block: frees acked IDs, allocates this block's IDs
+    /// (the §IV.D free-then-allocate order the server will replay), moves
+    /// continuations into the pending map, and writes the preamble. After
+    /// sealing, only the RDMA write remains.
+    fn seal_block(&mut self) -> SealedRequestBlock {
         let mut open = self.open.take().expect("checked");
         let msg_count = open.conts.len() as u16;
         let seq = self.next_block_seq;
@@ -526,50 +620,86 @@ impl RpcClient {
         .write(pre);
         self.pending_ack_blocks = 0;
 
+        SealedRequestBlock {
+            alloc: open.alloc,
+            seq,
+            block_bytes,
+            sampled_ids,
+            post_ns,
+            first_stall_ns,
+            first_fail_ns: None,
+        }
+    }
+
+    /// Posts a sealed block. On failure the block is retained in `unsent`
+    /// for retry or replay — its memory, IDs, and continuations stay
+    /// intact, so no request is lost to a failed post.
+    fn post_sealed(&mut self, mut sealed: SealedRequestBlock) -> Result<(), RpcError> {
         self.wr_seq += 1;
-        self.qp.post_write_imm(
+        let attempt_ns = self
+            .trace
+            .as_ref()
+            .map(|t| t.conn.tracer().now_ns())
+            .unwrap_or(0);
+        if let Err(e) = self.qp.post_write_imm(
             WorkRequestId(self.wr_seq),
             &self.sbuf,
-            open.alloc.offset as usize,
-            block_bytes,
+            sealed.alloc.offset as usize,
+            sealed.block_bytes,
             &self.remote_rbuf,
-            open.alloc.offset as usize, // mirrored placement
-            offset_to_bucket(open.alloc.offset),
+            sealed.alloc.offset as usize, // mirrored placement
+            offset_to_bucket(sealed.alloc.offset),
             false,
-        )?;
+        ) {
+            if sealed.first_fail_ns.is_none() {
+                sealed.first_fail_ns = Some(attempt_ns);
+            }
+            self.unsent = Some(sealed);
+            return Err(e.into());
+        }
         self.credits -= 1;
         self.metrics.credits.dec();
         self.metrics.blocks_sent.inc();
-        self.metrics.bytes_sent.inc_by(block_bytes as u64);
-        self.sent_blocks.insert(seq, open.alloc);
+        self.metrics.bytes_sent.inc_by(sealed.block_bytes as u64);
+        self.sent_blocks.insert(sealed.seq, sealed.alloc);
+        self.last_progress = Instant::now();
         if let Some(t) = &self.trace {
             let end_ns = t.conn.tracer().now_ns();
             let dma_ns = self.qp.last_dma_duration_ns();
-            for id in &sampled_ids {
-                if let Some(stall_ns) = first_stall_ns {
+            for id in &sealed.sampled_ids {
+                if let Some(stall_ns) = sealed.first_stall_ns {
                     t.sink.record(Span {
                         trace_id: *id,
                         stage: stages::CREDIT_WAIT,
                         start_ns: stall_ns,
-                        end_ns: post_ns,
+                        end_ns: sealed.post_ns,
+                        bytes: 0,
+                    });
+                }
+                if let Some(fail_ns) = sealed.first_fail_ns {
+                    t.sink.record(Span {
+                        trace_id: *id,
+                        stage: stages::RETRY,
+                        start_ns: fail_ns,
+                        end_ns: attempt_ns,
                         bytes: 0,
                     });
                 }
                 t.sink.record(Span {
                     trace_id: *id,
                     stage: stages::RDMA_WRITE,
-                    start_ns: post_ns,
+                    start_ns: attempt_ns,
                     end_ns,
-                    bytes: block_bytes as u64,
+                    bytes: sealed.block_bytes as u64,
                 });
                 // The simulated write is synchronous: its tail `dma_ns` is
                 // the PCIe copy itself.
                 t.sink.record(Span {
                     trace_id: *id,
                     stage: stages::DMA,
-                    start_ns: end_ns.saturating_sub(dma_ns).max(post_ns),
+                    start_ns: end_ns.saturating_sub(dma_ns).max(attempt_ns),
                     end_ns,
-                    bytes: block_bytes as u64,
+                    bytes: sealed.block_bytes as u64,
                 });
             }
         }
@@ -582,10 +712,7 @@ impl RpcClient {
     /// delivered.
     pub fn event_loop(&mut self, timeout: Duration) -> Result<usize, RpcError> {
         // Flush first: a partial block must not wait for more traffic.
-        match self.flush() {
-            Ok(()) | Err(RpcError::NoCredits) => {}
-            Err(e) => return Err(e),
-        }
+        self.try_flush()?;
         let mut cqes = std::mem::take(&mut self.cqe_buf);
         cqes.clear();
         {
@@ -612,13 +739,64 @@ impl RpcClient {
         }
         cqes.clear();
         self.cqe_buf = cqes;
+        if delivered > 0 {
+            self.last_progress = Instant::now();
+        }
         result?;
         // Credits may have been replenished: retry the flush.
-        match self.flush() {
-            Ok(()) | Err(RpcError::NoCredits) => {}
-            Err(e) => return Err(e),
+        self.try_flush()?;
+        self.metrics.rnr_events.set(self.qp.rnr_events() as i64);
+        // Stall detection: work is outstanding but nothing has moved for
+        // longer than the deadline — a completion or ack was lost.
+        if let Some(deadline) = self.cfg.stall_deadline {
+            if self.pending.is_empty() && self.unsent.is_none() {
+                self.last_progress = Instant::now();
+            } else {
+                let waited = self.last_progress.elapsed();
+                if waited > deadline {
+                    return Err(RpcError::Stalled {
+                        waited_ms: waited.as_millis() as u64,
+                    });
+                }
+            }
         }
         Ok(delivered)
+    }
+
+    /// Flushes, absorbing backpressure always and transient failures when
+    /// a retry policy is installed (with bounded exponential backoff,
+    /// escalating to [`RpcError::Stalled`] when attempts run out).
+    fn try_flush(&mut self) -> Result<(), RpcError> {
+        if let Some(at) = self.next_flush_retry {
+            if Instant::now() < at {
+                return Ok(()); // still backing off
+            }
+        }
+        match self.flush() {
+            Ok(()) => {
+                self.flush_attempts = 0;
+                self.next_flush_retry = None;
+                Ok(())
+            }
+            // Backpressure resolves via incoming responses, not retries.
+            Err(RpcError::NoCredits) => Ok(()),
+            Err(e) => {
+                if let (Some(policy), RetryClass::Transient) = (self.retry, e.retry_class()) {
+                    self.flush_attempts += 1;
+                    self.metrics.retries.inc();
+                    if self.flush_attempts > policy.max_attempts {
+                        let waited = self.last_progress.elapsed();
+                        return Err(RpcError::Stalled {
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
+                    self.next_flush_retry =
+                        Some(Instant::now() + policy.backoff(self.flush_attempts));
+                    return Ok(());
+                }
+                Err(e)
+            }
+        }
     }
 
     fn process_response_block(&mut self, imm: u32) -> Result<usize, RpcError> {

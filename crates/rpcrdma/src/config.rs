@@ -1,5 +1,7 @@
 //! Protocol configuration (Table I of the paper).
 
+use std::time::Duration;
+
 /// The paper's block size: "The optimal minimal block size for the highest
 /// throughput is around 8 KiB" (§VI.A).
 pub const PAPER_BLOCK_SIZE: usize = 8 * 1024;
@@ -21,6 +23,11 @@ pub struct Config {
     /// Request-ID pool size (both sides must agree). The paper stores IDs
     /// on 2 bytes, allowing up to 2¹⁶ concurrent requests.
     pub id_pool: u32,
+    /// How long the endpoint may go without progress while work is
+    /// outstanding before it surfaces [`crate::RpcError::Stalled`]
+    /// (a reconnect-class error). `None` disables stall detection — the
+    /// endpoint waits forever, the pre-resilience behavior.
+    pub stall_deadline: Option<Duration>,
 }
 
 impl Config {
@@ -31,6 +38,7 @@ impl Config {
             credits: PAPER_CREDITS,
             sbuf_size: 3 * 1024 * 1024,
             id_pool: 1 << 16,
+            stall_deadline: None,
         }
     }
 
@@ -41,6 +49,7 @@ impl Config {
             credits: PAPER_CREDITS,
             sbuf_size: 16 * 1024 * 1024,
             id_pool: 1 << 16,
+            stall_deadline: None,
         }
     }
 
@@ -52,6 +61,7 @@ impl Config {
             credits: 4,
             sbuf_size: 64 * 1024,
             id_pool: 64,
+            stall_deadline: None,
         }
     }
 
@@ -97,6 +107,7 @@ mod tests {
             credits: 1,
             sbuf_size: 8192,
             id_pool: 16,
+            stall_deadline: None,
         }
         .validate();
     }

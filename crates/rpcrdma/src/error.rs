@@ -1,6 +1,6 @@
-//! Protocol-level errors.
+//! Protocol-level errors and their recovery taxonomy.
 
-use pbo_simnet::QpError;
+use pbo_simnet::{FaultKind, QpError};
 
 /// Errors surfaced by the RPC-over-RDMA client and server.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,6 +29,79 @@ pub enum RpcError {
     /// A received block is structurally invalid (bad preamble/bounds) —
     /// protocol desynchronization; the connection must be torn down.
     Desync(String),
+    /// The endpoint made no progress for longer than its configured stall
+    /// deadline while work was outstanding — a completion or ack was lost
+    /// and will never arrive. The connection must be re-established.
+    Stalled {
+        /// How long the endpoint waited without progress, in milliseconds.
+        waited_ms: u64,
+    },
+}
+
+/// How an [`RpcError`] should be handled by a resilient caller (the
+/// recovery taxonomy of the fault-tolerant session layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RetryClass {
+    /// Momentary backpressure or a self-healing transport hiccup: retry
+    /// the same operation on the same connection after a backoff.
+    Transient,
+    /// The connection is wedged or dead (lost completion, poisoned QP,
+    /// desynchronized IDs): tear it down, re-establish, and replay
+    /// unacknowledged requests.
+    Reconnect,
+    /// A logic or configuration error retrying cannot fix: surface to the
+    /// caller.
+    Fatal,
+}
+
+impl std::fmt::Display for RetryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RetryClass::Transient => "transient",
+            RetryClass::Reconnect => "reconnect",
+            RetryClass::Fatal => "fatal",
+        })
+    }
+}
+
+/// Classifies a raw queue-pair error.
+pub fn classify_qp(e: &QpError) -> RetryClass {
+    match e {
+        // The credit system makes genuine RNR transient: the peer simply
+        // has not replenished its receives yet.
+        QpError::ReceiverNotReady | QpError::Fault(FaultKind::ReceiverNotReady) => {
+            RetryClass::Transient
+        }
+        // Lost or corrupted delivery state: only a fresh connection can
+        // restore the deterministic ID synchronization.
+        QpError::Fault(
+            FaultKind::TransportRetryExceeded
+            | FaultKind::PayloadCorrupt
+            | FaultKind::DelayedCompletion
+            | FaultKind::DroppedAck
+            | FaultKind::ConnectionKill,
+        )
+        | QpError::CqOverflow
+        | QpError::Disconnected => RetryClass::Reconnect,
+        // Misconfiguration: no retry can change the outcome.
+        QpError::PdMismatch { .. } | QpError::RecvBufferTooSmall { .. } => RetryClass::Fatal,
+    }
+}
+
+impl RpcError {
+    /// The recovery class of this error.
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            RpcError::SendBufferFull | RpcError::NoCredits | RpcError::TooManyOutstanding => {
+                RetryClass::Transient
+            }
+            RpcError::Transport(e) => classify_qp(e),
+            RpcError::Desync(_) | RpcError::Stalled { .. } => RetryClass::Reconnect,
+            RpcError::PayloadTooLarge { .. }
+            | RpcError::PayloadWriter(_)
+            | RpcError::NoSuchProcedure(_) => RetryClass::Fatal,
+        }
+    }
 }
 
 impl From<QpError> for RpcError {
@@ -50,8 +123,45 @@ impl std::fmt::Display for RpcError {
             RpcError::NoSuchProcedure(p) => write!(f, "no handler for procedure {p}"),
             RpcError::Transport(e) => write!(f, "transport error: {e}"),
             RpcError::Desync(m) => write!(f, "protocol desynchronization: {m}"),
+            RpcError::Stalled { waited_ms } => {
+                write!(f, "no progress for {waited_ms} ms with work outstanding")
+            }
         }
     }
 }
 
 impl std::error::Error for RpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_the_recovery_ladder() {
+        assert_eq!(RpcError::NoCredits.retry_class(), RetryClass::Transient);
+        assert_eq!(
+            RpcError::Transport(QpError::ReceiverNotReady).retry_class(),
+            RetryClass::Transient
+        );
+        assert_eq!(
+            RpcError::Transport(QpError::Fault(FaultKind::ConnectionKill)).retry_class(),
+            RetryClass::Reconnect
+        );
+        assert_eq!(
+            RpcError::Stalled { waited_ms: 10 }.retry_class(),
+            RetryClass::Reconnect
+        );
+        assert_eq!(
+            RpcError::Desync("x".into()).retry_class(),
+            RetryClass::Reconnect
+        );
+        assert_eq!(
+            RpcError::NoSuchProcedure(3).retry_class(),
+            RetryClass::Fatal
+        );
+        assert_eq!(
+            RpcError::Transport(QpError::PdMismatch { qp_pd: 1, mr_pd: 2 }).retry_class(),
+            RetryClass::Fatal
+        );
+    }
+}

@@ -44,6 +44,7 @@ pub mod client;
 pub mod config;
 pub mod error;
 pub mod poller;
+pub mod retry;
 pub mod server;
 pub mod setup;
 pub mod wire;
@@ -51,10 +52,11 @@ pub mod wire;
 pub use background::{BackgroundHandler, OwnedRequest};
 pub use client::{ClientMetricsSnapshot, RpcClient};
 pub use config::{Config, PAPER_BLOCK_SIZE, PAPER_CREDITS};
-pub use error::RpcError;
+pub use error::{classify_qp, RetryClass, RpcError};
 pub use poller::ServerPoller;
+pub use retry::{JournalEntry, ReplayJournal, RetryPolicy};
 pub use server::{
     NativeResponse, Request, ResponseSink, RpcServer, ServerMetricsSnapshot, WriterHandler,
 };
-pub use setup::{establish, establish_group, Endpoints};
+pub use setup::{establish, establish_group, try_establish, Endpoints};
 pub use wire::{BlockHeaderIter, Header, Preamble, BLOCK_ALIGN, HEADER_SIZE, PREAMBLE_SIZE};

@@ -12,7 +12,8 @@
 
 use crate::background::{BackgroundHandler, Job, OwnedRequest, ThreadPool};
 use crate::config::Config;
-use crate::error::RpcError;
+use crate::error::{RetryClass, RpcError};
+use crate::retry::RetryPolicy;
 use crate::wire::{
     bucket_to_offset, offset_to_bucket, BlockHeaderIter, Header, Preamble, BLOCK_ALIGN,
     HEADER_SIZE, MAX_PAYLOAD, PREAMBLE_SIZE,
@@ -22,7 +23,7 @@ use pbo_metrics::{Counter, Gauge, Registry};
 use pbo_simnet::{CqeKind, MemoryRegion, QueuePair, WorkRequestId};
 use pbo_trace::{stages, ConnTracer, Span, SpanSink, Tracer};
 use std::collections::{HashMap, VecDeque};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection tracing state (present only when a tracer is attached
 /// and sampling is enabled).
@@ -129,6 +130,10 @@ pub struct ServerMetrics {
     pub credits: Gauge,
     /// Busy nanoseconds accrued by the poller (Fig 8c's raw input).
     pub busy_ns: Counter,
+    /// Transient failures absorbed by the retry policy.
+    pub retries: Counter,
+    /// Receiver-not-ready events observed by this sender.
+    pub rnr_events: Gauge,
 }
 
 impl ServerMetrics {
@@ -141,6 +146,8 @@ impl ServerMetrics {
             bytes_sent: reg.counter("rpc_resp_bytes_sent_total", "response bytes", l),
             credits: reg.gauge("rpc_server_credits", "credits available", l),
             busy_ns: reg.counter("rpc_server_busy_ns_total", "poller busy time", l),
+            retries: reg.counter("rpc_retries_total", "transient failures retried", l),
+            rnr_events: reg.gauge("rpc_rnr_events", "receiver-not-ready events seen", l),
         }
     }
 }
@@ -175,6 +182,15 @@ pub struct RpcServer {
     open: Option<OpenRespBlock>,
     sealed: VecDeque<SealedBlock>,
     sent_resp_blocks: VecDeque<SealedBlock>,
+    /// When responses first failed to drain on zero credits (livelock
+    /// detection; see [`RpcServer::flush_responses`]).
+    stall_since: Option<Instant>,
+    /// Optional transient-failure absorption driven by the event loop.
+    retry: Option<RetryPolicy>,
+    /// Consecutive transient flush failures absorbed so far.
+    flush_attempts: u32,
+    /// Earliest wall-clock time the next flush retry may run (backoff).
+    next_flush_retry: Option<Instant>,
     scratch: ResponseSink,
     wr_seq: u64,
     /// Reusable completion buffer (no allocator in the datapath, §VI.C.5).
@@ -215,6 +231,10 @@ impl RpcServer {
             open: None,
             sealed: VecDeque::new(),
             sent_resp_blocks: VecDeque::new(),
+            stall_since: None,
+            retry: None,
+            flush_attempts: 0,
+            next_flush_retry: None,
             scratch: ResponseSink::default(),
             wr_seq: 0,
             cqe_buf: Vec::with_capacity(64),
@@ -306,6 +326,19 @@ impl RpcServer {
         self.credits
     }
 
+    /// Installs a retry policy: [`RpcServer::event_loop`] absorbs
+    /// transient flush failures with exponential backoff, escalating to
+    /// [`RpcError::Stalled`] when attempts run out. Without a policy
+    /// every failure surfaces immediately.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// Receiver-not-ready events observed by this endpoint's sender.
+    pub fn rnr_events(&self) -> u64 {
+        self.qp.rnr_events()
+    }
+
     /// This endpoint's queue-pair number (routing key for shared pollers).
     pub fn qp_num(&self) -> u32 {
         self.qp.qp_num()
@@ -376,7 +409,8 @@ impl RpcServer {
         result?;
         // Collect finished background RPCs (out-of-order completion) and
         // ship whatever responses accumulated (partial blocks included).
-        self.collect_and_flush()?;
+        self.try_flush()?;
+        self.metrics.rnr_events.set(self.qp.rnr_events() as i64);
         if processed > 0 {
             self.metrics.busy_ns.inc_by(t0.elapsed().as_nanos() as u64);
         }
@@ -701,15 +735,30 @@ impl RpcServer {
 
     /// Sends sealed (and the current partial) response blocks while
     /// credits allow.
+    ///
+    /// When credits stay at zero — the acks that replenish them ride on
+    /// future request blocks, which a dead client never sends — this used
+    /// to spin silently forever. With a [`Config::stall_deadline`] the
+    /// livelock instead surfaces as [`RpcError::Stalled`], a
+    /// reconnect-class error the supervisor acts on.
     pub fn flush_responses(&mut self) -> Result<(), RpcError> {
         self.seal_open();
         while !self.sealed.is_empty() {
             if self.credits == 0 {
-                return Ok(()); // retry on a later loop; acks will arrive
+                let since = *self.stall_since.get_or_insert_with(Instant::now);
+                if let Some(deadline) = self.cfg.stall_deadline {
+                    let waited = since.elapsed();
+                    if waited > deadline {
+                        return Err(RpcError::Stalled {
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
+                }
+                return Ok(()); // retry on a later loop; acks may yet arrive
             }
             let block = self.sealed.pop_front().expect("non-empty");
             self.wr_seq += 1;
-            self.qp.post_write_imm(
+            if let Err(e) = self.qp.post_write_imm(
                 WorkRequestId(self.wr_seq),
                 &self.sbuf,
                 block.alloc.offset as usize,
@@ -718,13 +767,56 @@ impl RpcServer {
                 block.alloc.offset as usize, // mirrored placement
                 offset_to_bucket(block.alloc.offset),
                 false,
-            )?;
+            ) {
+                // Keep the block at the head of the queue: response order
+                // carries the deterministic ID replay, so it must be
+                // retried before anything newer.
+                self.sealed.push_front(block);
+                return Err(e.into());
+            }
             self.credits -= 1;
             self.metrics.credits.dec();
             self.metrics.blocks_sent.inc();
             self.metrics.bytes_sent.inc_by(block.bytes as u64);
             self.sent_resp_blocks.push_back(block);
+            self.stall_since = None;
         }
+        self.stall_since = None;
         Ok(())
+    }
+
+    /// Collects and flushes, absorbing transient failures when a retry
+    /// policy is installed (bounded backoff, escalating to
+    /// [`RpcError::Stalled`] when attempts run out).
+    fn try_flush(&mut self) -> Result<(), RpcError> {
+        if let Some(at) = self.next_flush_retry {
+            if Instant::now() < at {
+                return Ok(()); // still backing off
+            }
+        }
+        match self.collect_and_flush() {
+            Ok(()) => {
+                self.flush_attempts = 0;
+                self.next_flush_retry = None;
+                Ok(())
+            }
+            Err(e) => {
+                if let (Some(policy), RetryClass::Transient) = (self.retry, e.retry_class()) {
+                    self.flush_attempts += 1;
+                    self.metrics.retries.inc();
+                    if self.flush_attempts > policy.max_attempts {
+                        let waited = self
+                            .stall_since
+                            .map(|s| s.elapsed().as_millis() as u64)
+                            .unwrap_or(0);
+                        return Err(RpcError::Stalled { waited_ms: waited });
+                    }
+                    self.next_flush_retry =
+                        Some(Instant::now() + policy.backoff(self.flush_attempts));
+                    return Ok(());
+                }
+                Err(e)
+            }
+        }
     }
 }

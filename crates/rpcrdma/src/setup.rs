@@ -37,6 +37,23 @@ pub fn establish(
     conn_label: &str,
     control: Option<&[u8]>,
 ) -> Endpoints {
+    try_establish(
+        fabric, client_cfg, server_cfg, registry, conn_label, control,
+    )
+    .expect("connection establishment failed")
+}
+
+/// Fallible [`establish`]: a fault during the control transfer (the
+/// one-time ADT push) surfaces as an error instead of a panic, so a
+/// connection supervisor can retry re-establishment under fault injection.
+pub fn try_establish(
+    fabric: &Fabric,
+    client_cfg: Config,
+    server_cfg: Config,
+    registry: &Registry,
+    conn_label: &str,
+    control: Option<&[u8]>,
+) -> Result<Endpoints, crate::RpcError> {
     client_cfg.validate();
     server_cfg.validate();
 
@@ -54,25 +71,30 @@ pub fn establish(
     // One-time control transfer, host → DPU, two-sided. This runs before
     // the bulk bufferless receives are posted so the send consumes the
     // buffered receive (receives are consumed in post order).
-    let control_blob = control.map(|blob| {
-        let landing = pd_dpu.register(blob.len().max(1));
-        qp_dpu.post_recv(
-            WorkRequestId(u64::MAX),
-            Some(RecvBufferSlot {
-                mr: landing.clone(),
-                offset: 0,
-                len: blob.len().max(1),
-            }),
-        );
-        let staging = pd_host.register(blob.len().max(1));
-        staging.write(0, blob);
-        qp_host
-            .post_send(WorkRequestId(u64::MAX), &staging, 0, blob.len(), false)
-            .expect("control send");
-        let cqes = qp_dpu.recv_cq().wait(1, Duration::from_secs(5));
-        assert_eq!(cqes.len(), 1, "control transfer did not complete");
-        landing.read(0, blob.len())
-    });
+    let control_blob = match control {
+        None => None,
+        Some(blob) => {
+            let landing = pd_dpu.register(blob.len().max(1));
+            qp_dpu.post_recv(
+                WorkRequestId(u64::MAX),
+                Some(RecvBufferSlot {
+                    mr: landing.clone(),
+                    offset: 0,
+                    len: blob.len().max(1),
+                }),
+            );
+            let staging = pd_host.register(blob.len().max(1));
+            staging.write(0, blob);
+            qp_host.post_send(WorkRequestId(u64::MAX), &staging, 0, blob.len(), false)?;
+            // Delivery is synchronous on success; the wait only expires
+            // when the send was silently swallowed (e.g. a dropped ack).
+            let cqes = qp_dpu.recv_cq().wait(1, Duration::from_millis(250));
+            if cqes.len() != 1 {
+                return Err(crate::RpcError::Stalled { waited_ms: 250 });
+            }
+            Some(landing.read(0, blob.len()))
+        }
+    };
 
     // Pre-post receives to cover the peer's full credit allowance.
     for _ in 0..server_cfg.credits {
@@ -103,11 +125,11 @@ pub fn establish(
         registry,
         conn_label,
     );
-    Endpoints {
+    Ok(Endpoints {
         client,
         server,
         control_blob,
-    }
+    })
 }
 
 /// Establishes `n` connections whose host-side receive completions share

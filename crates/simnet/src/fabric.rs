@@ -70,6 +70,7 @@ pub fn connect_with_cqs(
         qp_num: qpn_a,
         alive: AtomicBool::new(true),
         order: Mutex::new(()),
+        delayed: Mutex::new(VecDeque::new()),
     });
     let resp_b = Arc::new(Responder {
         recv_queue: Mutex::new(VecDeque::new()),
@@ -77,6 +78,7 @@ pub fn connect_with_cqs(
         qp_num: qpn_b,
         alive: AtomicBool::new(true),
         order: Mutex::new(()),
+        delayed: Mutex::new(VecDeque::new()),
     });
     let a = QueuePair {
         qp_num: qpn_a,

@@ -3,12 +3,15 @@
 //! Robustness tests need to exercise the protocol's failure paths —
 //! receiver-not-ready, completion-queue pressure, link hiccups — without
 //! nondeterminism. Faults are scheduled by *operation index*: "fail the
-//! Nth post from now", so tests are exactly reproducible.
+//! Nth post from now", so tests are exactly reproducible. For soak-style
+//! coverage, [`FaultInjector::schedule_probabilistic`] draws a schedule
+//! from a seeded PRNG — random-looking, but replayable from the seed.
 
 use parking_lot::Mutex;
+use pbo_metrics::{Counter, Registry};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Kinds of injectable faults.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,16 +23,73 @@ pub enum FaultKind {
     /// The immediate data was delivered but the payload write failed
     /// (catastrophic; used to verify the protocol fails loudly).
     PayloadCorrupt,
+    /// The data lands but its completion is held back until the next
+    /// operation on the same responder drains it (order preserved). If no
+    /// later operation arrives the completion is lost — surfacing only as
+    /// a stall the upper layers must detect.
+    DelayedCompletion,
+    /// The operation appears to succeed at the initiator but nothing is
+    /// delivered, and the connection is poisoned: both endpoints see
+    /// `Disconnected` on their next post. Models a lost hardware ack that
+    /// tears the RC state machine.
+    DroppedAck,
+    /// The connection is killed outright: the post fails loudly and both
+    /// endpoints are poisoned.
+    ConnectionKill,
+}
+
+impl FaultKind {
+    /// Every injectable kind, for exhaustive schedules and dashboards.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::ReceiverNotReady,
+        FaultKind::TransportRetryExceeded,
+        FaultKind::PayloadCorrupt,
+        FaultKind::DelayedCompletion,
+        FaultKind::DroppedAck,
+        FaultKind::ConnectionKill,
+    ];
+
+    /// Stable lower-case name, used as the metrics `kind` label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::ReceiverNotReady => "receiver_not_ready",
+            FaultKind::TransportRetryExceeded => "transport_retry_exceeded",
+            FaultKind::PayloadCorrupt => "payload_corrupt",
+            FaultKind::DelayedCompletion => "delayed_completion",
+            FaultKind::DroppedAck => "dropped_ack",
+            FaultKind::ConnectionKill => "connection_kill",
+        }
+    }
+
+    fn index(&self) -> usize {
+        Self::ALL.iter().position(|k| k == self).unwrap()
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Registry-backed per-kind fired counters (bound at most once per
+/// injector via [`FaultInjector::bind_metrics`]).
+struct FaultMetrics {
+    fired: [Counter; FaultKind::ALL.len()],
 }
 
 #[derive(Default)]
 struct Inner {
     /// Scheduled faults keyed by the send-operation index they hit.
     scheduled: Mutex<BTreeMap<u64, FaultKind>>,
-    /// Monotric count of send operations checked so far.
+    /// Monotonic count of send operations checked so far.
     op_counter: AtomicU64,
     /// Faults actually fired.
     fired: AtomicU64,
+    /// Faults fired, broken down by kind (indexed by `FaultKind::ALL`).
+    fired_by_kind: [AtomicU64; FaultKind::ALL.len()],
+    /// Optional registry export.
+    metrics: OnceLock<FaultMetrics>,
 }
 
 /// Shared, clonable fault-injection control plane.
@@ -51,13 +111,48 @@ impl FaultInjector {
         self.inner.scheduled.lock().insert(base + nth, kind);
     }
 
+    /// Draws a reproducible schedule over the next `horizon` operations:
+    /// each slot fires with probability `prob_permille`/1000, choosing
+    /// uniformly among `kinds`. Slots already scheduled keep their earlier
+    /// fault. Returns the number of faults scheduled.
+    ///
+    /// The same `(seed, horizon, prob_permille, kinds)` from the same
+    /// operation counter always yields the same schedule.
+    pub fn schedule_probabilistic(
+        &self,
+        seed: u64,
+        horizon: u64,
+        prob_permille: u32,
+        kinds: &[FaultKind],
+    ) -> u64 {
+        if kinds.is_empty() || prob_permille == 0 {
+            return 0;
+        }
+        let base = self.inner.op_counter.load(Ordering::Relaxed);
+        let mut rng = SplitMix64::new(seed);
+        let mut scheduled = self.inner.scheduled.lock();
+        let mut count = 0;
+        for nth in 0..horizon {
+            if rng.next() % 1000 < prob_permille as u64 {
+                let kind = kinds[(rng.next() % kinds.len() as u64) as usize];
+                scheduled.entry(base + nth).or_insert(kind);
+                count += 1;
+            }
+        }
+        count
+    }
+
     /// Called by the device on each send-side operation; returns the fault
     /// to apply, if any.
     pub(crate) fn check(&self) -> Option<FaultKind> {
         let idx = self.inner.op_counter.fetch_add(1, Ordering::Relaxed);
         let hit = self.inner.scheduled.lock().remove(&idx);
-        if hit.is_some() {
+        if let Some(kind) = hit {
             self.inner.fired.fetch_add(1, Ordering::Relaxed);
+            self.inner.fired_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.inner.metrics.get() {
+                m.fired[kind.index()].inc();
+            }
         }
         hit
     }
@@ -67,9 +162,52 @@ impl FaultInjector {
         self.inner.fired.load(Ordering::Relaxed)
     }
 
+    /// Number of faults of `kind` that have fired.
+    pub fn fired_of(&self, kind: FaultKind) -> u64 {
+        self.inner.fired_by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+
     /// Number of faults still scheduled.
     pub fn pending(&self) -> usize {
         self.inner.scheduled.lock().len()
+    }
+
+    /// Exports this injector's fired counts into `registry` as
+    /// `fault_injector_fired_total` series labeled `{fabric, kind}`, one
+    /// per [`FaultKind`]. Binds once; later calls are ignored. Counters
+    /// start from the current per-kind counts so late binding stays
+    /// consistent.
+    pub fn bind_metrics(&self, registry: &Registry, fabric_label: &str) {
+        let fired = FaultKind::ALL.map(|kind| {
+            let c = registry.counter(
+                "fault_injector_fired_total",
+                "Injected faults fired, by kind",
+                &[("fabric", fabric_label), ("kind", kind.name())],
+            );
+            let already = self.fired_of(kind);
+            if already > c.get() {
+                c.inc_by(already - c.get());
+            }
+            c
+        });
+        let _ = self.inner.metrics.set(FaultMetrics { fired });
+    }
+}
+
+/// SplitMix64 — tiny, deterministic, and good enough for fault schedules.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 }
 
@@ -86,6 +224,8 @@ mod tests {
         assert_eq!(f.check(), Some(FaultKind::ReceiverNotReady));
         assert_eq!(f.check(), None);
         assert_eq!(f.fired(), 1);
+        assert_eq!(f.fired_of(FaultKind::ReceiverNotReady), 1);
+        assert_eq!(f.fired_of(FaultKind::ConnectionKill), 0);
         assert_eq!(f.pending(), 0);
     }
 
@@ -106,5 +246,60 @@ mod tests {
         assert_eq!(f.check(), Some(FaultKind::ReceiverNotReady));
         assert_eq!(f.check(), Some(FaultKind::TransportRetryExceeded));
         assert_eq!(f.fired(), 2);
+    }
+
+    #[test]
+    fn display_names_are_stable_and_distinct() {
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(format!("{}", FaultKind::DroppedAck), "dropped_ack");
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn probabilistic_schedule_is_reproducible() {
+        let a = FaultInjector::new();
+        let b = FaultInjector::new();
+        let na = a.schedule_probabilistic(42, 1000, 50, &FaultKind::ALL);
+        let nb = b.schedule_probabilistic(42, 1000, 50, &FaultKind::ALL);
+        assert_eq!(na, nb);
+        assert!(na > 0, "expected some faults at 5% over 1000 ops");
+        for _ in 0..1000 {
+            assert_eq!(a.check(), b.check());
+        }
+        assert_eq!(a.fired(), na);
+    }
+
+    #[test]
+    fn probabilistic_schedule_keeps_existing_entries() {
+        let f = FaultInjector::new();
+        f.fail_nth(0, FaultKind::ConnectionKill);
+        f.schedule_probabilistic(7, 1, 1000, &[FaultKind::ReceiverNotReady]);
+        assert_eq!(f.check(), Some(FaultKind::ConnectionKill));
+    }
+
+    #[test]
+    fn bind_metrics_exports_per_kind_counts() {
+        let f = FaultInjector::new();
+        f.fail_nth(0, FaultKind::DroppedAck);
+        f.check(); // fires before binding
+        let reg = Registry::new();
+        f.bind_metrics(&reg, "soak");
+        f.fail_nth(0, FaultKind::DroppedAck);
+        f.fail_nth(1, FaultKind::ConnectionKill);
+        f.check();
+        f.check();
+        fn labels(kind: &'static str) -> [(&'static str, &'static str); 2] {
+            [("fabric", "soak"), ("kind", kind)]
+        }
+        assert_eq!(
+            reg.counter_value("fault_injector_fired_total", &labels("dropped_ack")),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter_value("fault_injector_fired_total", &labels("connection_kill")),
+            Some(1)
+        );
     }
 }

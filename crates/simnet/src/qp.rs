@@ -101,6 +101,9 @@ pub(crate) struct Responder {
     pub(crate) alive: AtomicBool,
     /// Serializes the peer's posts so delivery order matches post order.
     pub(crate) order: Mutex<()>,
+    /// Completions held back by [`FaultKind::DelayedCompletion`]; drained
+    /// ahead of the next delivery so RC ordering is preserved.
+    pub(crate) delayed: Mutex<VecDeque<Cqe>>,
 }
 
 static NEXT_QPN: AtomicU64 = AtomicU64::new(1);
@@ -176,7 +179,11 @@ impl QueuePair {
         self.local.recv_queue.lock().push_back((wr_id, slot));
     }
 
-    fn precheck(&self, local_mr: &MemoryRegion) -> Result<(), QpError> {
+    /// Validates the post and consults the fault plane. Loud faults come
+    /// back as `Err`; the two kinds the post body must *absorb* rather
+    /// than fail on — [`FaultKind::DelayedCompletion`] and
+    /// [`FaultKind::DroppedAck`] — come back as `Ok(Some(kind))`.
+    fn precheck(&self, local_mr: &MemoryRegion) -> Result<Option<FaultKind>, QpError> {
         if local_mr.pd_id() != self.pd {
             return Err(QpError::PdMismatch {
                 qp_pd: self.pd,
@@ -186,8 +193,60 @@ impl QueuePair {
         if !self.peer.alive.load(Ordering::Acquire) {
             return Err(QpError::Disconnected);
         }
-        if let Some(k) = self.faults.check() {
-            return Err(QpError::Fault(k));
+        match self.faults.check() {
+            None => Ok(None),
+            Some(k @ (FaultKind::DelayedCompletion | FaultKind::DroppedAck)) => Ok(Some(k)),
+            Some(FaultKind::ConnectionKill) => {
+                self.poison();
+                Err(QpError::Fault(FaultKind::ConnectionKill))
+            }
+            Some(k) => Err(QpError::Fault(k)),
+        }
+    }
+
+    /// Kills the connection: both endpoints fail subsequent posts with
+    /// [`QpError::Disconnected`]. Used by fault injection and by
+    /// supervisors tearing down a half-dead connection.
+    pub fn poison(&self) {
+        self.local.alive.store(false, Ordering::Release);
+        self.peer.alive.store(false, Ordering::Release);
+    }
+
+    /// Delivers a receive-side completion to the peer, honoring delayed
+    /// completions: held-back CQEs drain first (preserving RC order), and
+    /// a `delay`ed CQE joins the holding queue instead of the CQ. Caller
+    /// must hold the peer's order lock.
+    fn deliver_recv_cqe(&self, cqe: Cqe, delay: bool) -> Result<(), QpError> {
+        let mut held = self.peer.delayed.lock();
+        if delay {
+            held.push_back(cqe);
+            return Ok(());
+        }
+        while let Some(d) = held.pop_front() {
+            if !self.peer.recv_cq.push(d) {
+                return Err(QpError::CqOverflow);
+            }
+        }
+        if !self.peer.recv_cq.push(cqe) {
+            return Err(QpError::CqOverflow);
+        }
+        Ok(())
+    }
+
+    /// [`FaultKind::DroppedAck`]: the initiator sees success (including a
+    /// send completion if requested) but nothing is delivered, and the
+    /// connection is poisoned so the loss cannot silently desynchronize
+    /// the protocol's deterministic ID replay.
+    fn drop_ack(&self, wr_id: WorkRequestId, signaled: bool) -> Result<(), QpError> {
+        self.poison();
+        if signaled
+            && !self.send_cq.push(Cqe {
+                wr_id: wr_id.0,
+                kind: CqeKind::SendComplete,
+                qp_num: self.qp_num,
+            })
+        {
+            return Err(QpError::CqOverflow);
         }
         Ok(())
     }
@@ -211,7 +270,10 @@ impl QueuePair {
         imm: u32,
         signaled: bool,
     ) -> Result<(), QpError> {
-        self.precheck(local_mr)?;
+        let fault = self.precheck(local_mr)?;
+        if fault == Some(FaultKind::DroppedAck) {
+            return self.drop_ack(wr_id, signaled);
+        }
         // Hold the ordering lock across consume-copy-complete so that the
         // responder observes posts in post order (RC in-order delivery).
         let _order = self.peer.order.lock();
@@ -225,16 +287,17 @@ impl QueuePair {
         self.last_dma_ns
             .store(dma_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.link.record(self.dir_to_peer, len as u64);
-        if !self.peer.recv_cq.push(Cqe {
-            wr_id: recv_id.0,
-            kind: CqeKind::RecvWriteImm {
-                imm,
-                len: len as u32,
+        self.deliver_recv_cqe(
+            Cqe {
+                wr_id: recv_id.0,
+                kind: CqeKind::RecvWriteImm {
+                    imm,
+                    len: len as u32,
+                },
+                qp_num: self.peer.qp_num,
             },
-            qp_num: self.peer.qp_num,
-        }) {
-            return Err(QpError::CqOverflow);
-        }
+            fault == Some(FaultKind::DelayedCompletion),
+        )?;
         if signaled
             && !self.send_cq.push(Cqe {
                 wr_id: wr_id.0,
@@ -257,7 +320,10 @@ impl QueuePair {
         len: usize,
         signaled: bool,
     ) -> Result<(), QpError> {
-        self.precheck(local_mr)?;
+        let fault = self.precheck(local_mr)?;
+        if fault == Some(FaultKind::DroppedAck) {
+            return self.drop_ack(wr_id, signaled);
+        }
         let _order = self.peer.order.lock();
         let consumed = self.peer.recv_queue.lock().pop_front();
         let Some((recv_id, slot)) = consumed else {
@@ -280,13 +346,14 @@ impl QueuePair {
         }
         MemoryRegion::dma_copy(local_mr, local_off, &slot.mr, slot.offset, len);
         self.link.record(self.dir_to_peer, len as u64);
-        if !self.peer.recv_cq.push(Cqe {
-            wr_id: recv_id.0,
-            kind: CqeKind::Recv { len: len as u32 },
-            qp_num: self.peer.qp_num,
-        }) {
-            return Err(QpError::CqOverflow);
-        }
+        self.deliver_recv_cqe(
+            Cqe {
+                wr_id: recv_id.0,
+                kind: CqeKind::Recv { len: len as u32 },
+                qp_num: self.peer.qp_num,
+            },
+            fault == Some(FaultKind::DelayedCompletion),
+        )?;
         if signaled
             && !self.send_cq.push(Cqe {
                 wr_id: wr_id.0,
@@ -488,6 +555,83 @@ mod tests {
             .post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 0, 0, false)
             .unwrap_err();
         assert_eq!(err, QpError::Fault(FaultKind::TransportRetryExceeded));
+    }
+
+    #[test]
+    fn delayed_completion_holds_cqe_until_next_post_in_order() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let faults = FaultInjector::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, PcieLink::new(), faults.clone());
+        let src = pd_a.register(32);
+        let dst = pd_b.register(64);
+        b.post_recv(WorkRequestId(0), None);
+        b.post_recv(WorkRequestId(1), None);
+        faults.fail_nth(0, FaultKind::DelayedCompletion);
+        a.post_write_imm(WorkRequestId(0), &src, 0, 4, &dst, 0, 10, false)
+            .unwrap();
+        // Data landed but the completion is held back.
+        assert!(b.recv_cq().poll(4).is_empty());
+        // The next post drains the held CQE first: order preserved.
+        a.post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 8, 11, false)
+            .unwrap();
+        let rx = b.recv_cq().poll(4);
+        let imms: Vec<u32> = rx
+            .iter()
+            .map(|c| match c.kind {
+                CqeKind::RecvWriteImm { imm, .. } => imm,
+                _ => panic!("wrong kind"),
+            })
+            .collect();
+        assert_eq!(imms, vec![10, 11]);
+    }
+
+    #[test]
+    fn dropped_ack_appears_successful_but_poisons_connection() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let faults = FaultInjector::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, PcieLink::new(), faults.clone());
+        let src = pd_a.register(32);
+        let dst = pd_b.register(32);
+        b.post_recv(WorkRequestId(0), None);
+        faults.fail_nth(0, FaultKind::DroppedAck);
+        a.post_write_imm(WorkRequestId(0), &src, 0, 4, &dst, 0, 0, true)
+            .unwrap();
+        // Sender saw a completion but nothing was delivered…
+        assert_eq!(a.send_cq().poll(4).len(), 1);
+        assert!(b.recv_cq().poll(4).is_empty());
+        assert_eq!(b.posted_recvs(), 1);
+        // …and both directions are dead afterwards.
+        let err = a
+            .post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 0, 0, false)
+            .unwrap_err();
+        assert_eq!(err, QpError::Disconnected);
+        a.post_recv(WorkRequestId(0), None);
+        let err = b
+            .post_write_imm(WorkRequestId(0), &dst, 0, 4, &src, 0, 0, false)
+            .unwrap_err();
+        assert_eq!(err, QpError::Disconnected);
+    }
+
+    #[test]
+    fn connection_kill_fails_loudly_and_poisons() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let faults = FaultInjector::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, PcieLink::new(), faults.clone());
+        let src = pd_a.register(32);
+        let dst = pd_b.register(32);
+        b.post_recv(WorkRequestId(0), None);
+        faults.fail_nth(0, FaultKind::ConnectionKill);
+        let err = a
+            .post_write_imm(WorkRequestId(0), &src, 0, 4, &dst, 0, 0, false)
+            .unwrap_err();
+        assert_eq!(err, QpError::Fault(FaultKind::ConnectionKill));
+        let err = a
+            .post_write_imm(WorkRequestId(1), &src, 0, 4, &dst, 0, 0, false)
+            .unwrap_err();
+        assert_eq!(err, QpError::Disconnected);
     }
 
     #[test]

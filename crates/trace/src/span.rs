@@ -27,6 +27,15 @@ pub mod stages {
     pub const RESPONSE_BUILD: &str = "response_build";
     /// Client-visible wait from block post until the response callback.
     pub const RESPONSE: &str = "response";
+    /// Backoff window between a transient post failure and the successful
+    /// retry of the same sealed block.
+    pub const RETRY: &str = "retry";
+    /// Connection supervision: teardown, re-establishment, and in-flight
+    /// replay after a reconnect-class failure.
+    pub const RECONNECT: &str = "reconnect";
+    /// Interval a request spent routed over the degraded (host-side
+    /// deserialization) path while the offload circuit breaker was open.
+    pub const DEGRADED: &str = "degraded";
 
     /// Every stage name the datapath can emit, in datapath order.
     pub const ALL: &[&str] = &[
@@ -39,6 +48,9 @@ pub mod stages {
         HOST_DISPATCH,
         RESPONSE_BUILD,
         RESPONSE,
+        RETRY,
+        RECONNECT,
+        DEGRADED,
     ];
 }
 

@@ -7,15 +7,15 @@
 
 use pbo_adt::{Adt, StdLib};
 use pbo_core::compat::PayloadMode;
-use pbo_core::{CompatServer, OffloadClient, ServiceSchema};
+use pbo_core::{CompatServer, OffloadClient, ResilientSession, ServiceSchema, SessionConfig};
 use pbo_metrics::Registry;
 use pbo_protowire::workloads::{gen_small, paper_schema, Mt19937};
 use pbo_protowire::{encode_message, FieldType, SchemaBuilder};
-use pbo_rpcrdma::{establish, Config, RpcError};
+use pbo_rpcrdma::{classify_qp, establish, Config, RetryClass, RpcError};
 use pbo_simnet::{Fabric, FaultKind, QpError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn small_stack(client_cfg: Config, server_cfg: Config) -> (OffloadClient, CompatServer, Fabric) {
     let bundle = ServiceSchema::paper_bench();
@@ -243,4 +243,333 @@ fn no_rnr_events_under_sustained_load() {
     // the absence of RNR transport errors above (any RNR would have
     // surfaced as Err and panicked the loop).
     assert_eq!(done.load(Ordering::Relaxed), 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: the full recovery ladder under a seeded fault schedule.
+// ---------------------------------------------------------------------------
+
+/// Runs a [`ResilientSession`] closed loop against a reproducible fault
+/// schedule covering every [`FaultKind`], plus a forced offload
+/// degradation cycle and a forced reconnect-with-replay. Verifies the
+/// exactly-once contract: every request's continuation fires precisely
+/// once, with the correct payload and status, no matter which faults hit.
+fn chaos_soak(seed: u32) {
+    const CAPACITY: usize = 4000;
+    let bundle = ServiceSchema::paper_bench();
+    let fabric = Fabric::new();
+    let registry = Arc::new(Registry::new());
+    fabric.faults().bind_metrics(&registry, "soak");
+
+    // Stall detection at both layers: the endpoints watch for flush
+    // wedges, the session watches per-request response deadlines.
+    let mut link_cfg = Config::test_small();
+    link_cfg.stall_deadline = Some(Duration::from_millis(30));
+    let cfg = SessionConfig {
+        request_deadline: Some(Duration::from_millis(150)),
+        reconnect_max_attempts: 16,
+        reconnect_backoff: Duration::from_micros(50),
+        breaker_threshold: 3,
+        breaker_probe_every: 4,
+        ..Default::default()
+    };
+
+    let mut session = ResilientSession::new(
+        fabric.clone(),
+        bundle,
+        link_cfg,
+        link_cfg,
+        registry.clone(),
+        "soak",
+        cfg,
+    )
+    .unwrap();
+    session.register(
+        1,
+        Arc::new(|view, out| {
+            out.extend_from_slice(&view.get_u32(1).unwrap().to_le_bytes());
+            0
+        }),
+    );
+
+    // Schedule AFTER establishment so every fault lands in steady-state
+    // traffic. One explicit slot per kind guarantees per-kind coverage by
+    // construction; the probabilistic layer adds seed-dependent extras
+    // (`or_insert` never displaces the explicit slots).
+    let mut rng = Mt19937::new(seed);
+    let mut op = 3 + rng.below(5) as u64;
+    for kind in FaultKind::ALL {
+        fabric.faults().fail_nth(op, kind);
+        op += 5 + rng.below(9) as u64;
+    }
+    fabric.faults().schedule_probabilistic(
+        seed as u64,
+        op + 40,
+        30,
+        &[
+            FaultKind::ReceiverNotReady,
+            FaultKind::DelayedCompletion,
+            FaultKind::ConnectionKill,
+        ],
+    );
+    let scheduled = fabric.faults().pending() as u64;
+    assert!(scheduled >= FaultKind::ALL.len() as u64);
+
+    let wire = encode_message(&gen_small(&paper_schema()));
+    let counts: Arc<Vec<AtomicU64>> = Arc::new((0..CAPACITY).map(|_| AtomicU64::new(0)).collect());
+    let done = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut issued = 0u64;
+    let mut total = 400u64;
+    let mut injected_degradation = false;
+
+    // Phase 1 — chaos: closed loop (window 8) until every request is
+    // answered AND every scheduled fault has fired (top up the load if a
+    // fault sits beyond the traffic the initial total generates).
+    while done.load(Ordering::Relaxed) < total {
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: soak wedged at {}/{total} ({} faults pending)",
+            done.load(Ordering::Relaxed),
+            fabric.faults().pending()
+        );
+        if !injected_degradation && done.load(Ordering::Relaxed) >= total / 4 {
+            // Mid-run offload failure burst: breaker trips, requests are
+            // served degraded, a later probe restores. (Re-verified
+            // deterministically in phase 2 — a reconnect may rebuild the
+            // client while some of these are still pending.)
+            session.client_mut().inject_offload_failures(3);
+            injected_degradation = true;
+        }
+        while issued < total && issued - done.load(Ordering::Relaxed) < 8 {
+            let c = counts.clone();
+            let d = done.clone();
+            let i = issued as usize;
+            match session.call(
+                1,
+                &wire,
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0, "request {i}: bad status");
+                    assert_eq!(payload, 300u32.to_le_bytes(), "request {i}: bad payload");
+                    c[i].fetch_add(1, Ordering::Relaxed);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            ) {
+                Ok(_) => issued += 1,
+                Err(e) if e.retry_class() == RetryClass::Transient => break,
+                Err(e) => panic!("seed {seed}: unexpected {e}"),
+            }
+        }
+        session.tick(Duration::ZERO).unwrap();
+        if done.load(Ordering::Relaxed) >= total && fabric.faults().pending() > 0 {
+            total += 100;
+            assert!(
+                total as usize <= CAPACITY,
+                "seed {seed}: fault never reached"
+            );
+        }
+    }
+    session.tick(Duration::ZERO).unwrap();
+    assert_eq!(
+        session.outstanding(),
+        0,
+        "seed {seed}: unacknowledged leftovers"
+    );
+
+    // Phase 2 — deterministic degradation cycle (chaos is spent, so the
+    // injected failures cannot be wiped by a surprise reconnect).
+    assert_eq!(fabric.faults().pending(), 0);
+    session.client_mut().inject_offload_failures(3);
+    let degraded_floor = total;
+    total += 40;
+    while done.load(Ordering::Relaxed) < total {
+        assert!(Instant::now() < deadline, "seed {seed}: phase 2 wedged");
+        while issued < total && issued - done.load(Ordering::Relaxed) < 8 {
+            let c = counts.clone();
+            let d = done.clone();
+            let i = issued as usize;
+            match session.call(
+                1,
+                &wire,
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0);
+                    assert_eq!(payload, 300u32.to_le_bytes());
+                    c[i].fetch_add(1, Ordering::Relaxed);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            ) {
+                Ok(_) => issued += 1,
+                Err(e) if e.retry_class() == RetryClass::Transient => break,
+                Err(e) => panic!("seed {seed}: unexpected {e}"),
+            }
+        }
+        session.tick(Duration::ZERO).unwrap();
+    }
+    assert!(
+        !session.breaker_is_open(),
+        "seed {seed}: breaker still open after probes"
+    );
+    assert!(done.load(Ordering::Relaxed) >= degraded_floor + 40);
+
+    // Phase 3 — deterministic reconnect with in-flight replay: accept a
+    // window without draining, then force a failover.
+    let replay_floor = total;
+    total += 8;
+    while issued < total {
+        let c = counts.clone();
+        let d = done.clone();
+        let i = issued as usize;
+        session
+            .call(
+                1,
+                &wire,
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0);
+                    assert_eq!(payload, 300u32.to_le_bytes());
+                    c[i].fetch_add(1, Ordering::Relaxed);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        issued += 1;
+    }
+    session.reconnect().unwrap();
+    while done.load(Ordering::Relaxed) < total {
+        assert!(Instant::now() < deadline, "seed {seed}: phase 3 wedged");
+        session.tick(Duration::ZERO).unwrap();
+    }
+    assert_eq!(done.load(Ordering::Relaxed), replay_floor + 8);
+
+    // Exactly-once: every issued request fired its continuation precisely
+    // once — across retries, replays, and degraded re-routing.
+    for i in 0..issued as usize {
+        assert_eq!(
+            counts[i].load(Ordering::Relaxed),
+            1,
+            "seed {seed}: request {i} fired {} times",
+            counts[i].load(Ordering::Relaxed)
+        );
+    }
+
+    // Every scheduled fault fired, every kind at least once, and the
+    // registry's view matches the injector's.
+    assert_eq!(fabric.faults().pending(), 0);
+    assert_eq!(fabric.faults().fired(), scheduled, "seed {seed}");
+    let mut metric_sum = 0;
+    for kind in FaultKind::ALL {
+        assert!(
+            fabric.faults().fired_of(kind) >= 1,
+            "seed {seed}: {kind} never fired"
+        );
+        metric_sum += registry
+            .counter_value(
+                "fault_injector_fired_total",
+                &[("fabric", "soak"), ("kind", kind.name())],
+            )
+            .unwrap_or(0);
+    }
+    assert_eq!(metric_sum, fabric.faults().fired(), "seed {seed}");
+
+    // Recovery counters: at least one reconnect (the explicit failover,
+    // plus whatever the chaos forced), with in-flight replay; at least one
+    // breaker trip/restore pair; degraded path actually served requests.
+    let labels = [("conn", "soak")];
+    let reconnects = registry
+        .counter_value("session_reconnects_total", &labels)
+        .unwrap_or(0);
+    let replays = registry
+        .counter_value("session_replayed_requests_total", &labels)
+        .unwrap_or(0);
+    assert!(reconnects >= 1, "seed {seed}");
+    assert!(replays >= 8, "seed {seed}: phase 3 alone replays 8");
+    assert!(
+        registry
+            .counter_value("session_breaker_trips_total", &labels)
+            .unwrap_or(0)
+            >= 1,
+        "seed {seed}"
+    );
+    assert!(
+        registry
+            .counter_value("session_breaker_restores_total", &labels)
+            .unwrap_or(0)
+            >= 1,
+        "seed {seed}"
+    );
+    assert!(
+        registry
+            .counter_value("session_degraded_calls_total", &labels)
+            .unwrap_or(0)
+            >= 3,
+        "seed {seed}"
+    );
+    assert_eq!(
+        registry.gauge_value("session_breaker_open", &labels),
+        Some(0)
+    );
+    assert_eq!(
+        registry.gauge_value("session_journal_depth", &labels),
+        Some(0)
+    );
+}
+
+#[test]
+fn chaos_soak_seed_1() {
+    chaos_soak(1);
+}
+
+#[test]
+fn chaos_soak_seed_2() {
+    chaos_soak(2);
+}
+
+#[test]
+fn chaos_soak_seed_3() {
+    chaos_soak(3);
+}
+
+// ---------------------------------------------------------------------------
+// Property: retry classification is total and layer-consistent.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn retry_class_known_anchors() {
+    // The recovery ladder depends on these three mappings specifically.
+    assert_eq!(
+        classify_qp(&QpError::ReceiverNotReady),
+        RetryClass::Transient
+    );
+    assert_eq!(
+        classify_qp(&QpError::Fault(FaultKind::ConnectionKill)),
+        RetryClass::Reconnect
+    );
+    assert_eq!(
+        classify_qp(&QpError::PdMismatch { qp_pd: 1, mr_pd: 2 }),
+        RetryClass::Fatal
+    );
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn retry_class_is_total_and_consistent(sel in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        // Every constructible QpError classifies into exactly one rung of
+        // the ladder, and wrapping it in RpcError::Transport preserves the
+        // classification (the session layer only ever sees the wrapper).
+        let e = match sel % 6 {
+            0 => QpError::ReceiverNotReady,
+            1 => QpError::PdMismatch { qp_pd: a as u32, mr_pd: b as u32 },
+            2 => QpError::RecvBufferTooSmall { needed: a as usize, available: b as usize },
+            3 => QpError::CqOverflow,
+            4 => QpError::Fault(FaultKind::ALL[(a % FaultKind::ALL.len() as u64) as usize]),
+            _ => QpError::Disconnected,
+        };
+        let class = classify_qp(&e);
+        prop_assert!(matches!(
+            class,
+            RetryClass::Transient | RetryClass::Reconnect | RetryClass::Fatal
+        ));
+        prop_assert_eq!(RpcError::Transport(e).retry_class(), class);
+    }
 }
