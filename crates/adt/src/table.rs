@@ -37,6 +37,18 @@ pub enum AdtError {
         /// The peer's hash.
         theirs: u64,
     },
+    /// The peers agree a class exists but disagree on its native layout —
+    /// schema skew (a field added, removed, retyped, or moved, or a
+    /// different string ABI) pinned to the first offending class by the
+    /// per-class layout digest.
+    LayoutSkew {
+        /// Name of the skewed class.
+        class: String,
+        /// Our layout digest for it.
+        ours: u64,
+        /// The peer's layout digest for it.
+        theirs: u64,
+    },
 }
 
 impl std::fmt::Display for AdtError {
@@ -47,6 +59,16 @@ impl std::fmt::Display for AdtError {
             AdtError::Malformed(m) => write!(f, "malformed ADT: {m}"),
             AdtError::AbiMismatch { ours, theirs } => {
                 write!(f, "ABI mismatch: local {ours:#x}, remote {theirs:#x}")
+            }
+            AdtError::LayoutSkew {
+                class,
+                ours,
+                theirs,
+            } => {
+                write!(
+                    f,
+                    "layout skew on class {class}: local {ours:#x}, remote {theirs:#x}"
+                )
             }
         }
     }
@@ -157,8 +179,61 @@ impl Adt {
         h.finish()
     }
 
+    /// Layout digest of a single class: FNV-1a over that class's
+    /// ABI-relevant numbers plus the string ABI. Two peers that disagree
+    /// on a class's digest would exchange native objects with
+    /// differently-placed fields — the precise failure the per-class
+    /// check pins down when a schema has skewed between deployments.
+    pub fn class_digest(&self, name: &str) -> Result<u64, AdtError> {
+        Ok(self.digest_of(self.class_by_name(name)?))
+    }
+
+    fn digest_of(&self, c: &MessageMeta) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(match self.stdlib {
+            StdLib::Libstdcxx => 1,
+            StdLib::Libcxx => 2,
+        });
+        h.bytes(c.name.as_bytes());
+        h.u64(c.size as u64);
+        h.u64(c.align as u64);
+        h.u64(c.presence_bytes as u64);
+        for f in &c.fields {
+            h.u64(f.number as u64);
+            h.u64(f.offset as u64);
+            let (tag, aux) = kind_code(f.kind);
+            h.byte(tag);
+            h.u64(aux as u64);
+            h.u64(f.presence_bit.map(|b| b as u64 + 1).unwrap_or(0));
+            h.byte(f.is_utf8 as u8);
+        }
+        h.finish()
+    }
+
     /// Verifies binary compatibility with a peer's table.
+    ///
+    /// Classes present on both sides are compared by per-class layout
+    /// digest first, so skew is reported with the offending class named
+    /// ([`AdtError::LayoutSkew`]); anything the per-class pass cannot
+    /// attribute (missing classes, different id assignment) falls back to
+    /// the whole-table [`AdtError::AbiMismatch`].
     pub fn verify_compatible(&self, other: &Adt) -> Result<(), AdtError> {
+        for c in &self.classes {
+            let Ok(peer) = other.class_by_name(&c.name) else {
+                return Err(AdtError::AbiMismatch {
+                    ours: self.abi_hash(),
+                    theirs: other.abi_hash(),
+                });
+            };
+            let (ours, theirs) = (self.digest_of(c), other.digest_of(peer));
+            if ours != theirs {
+                return Err(AdtError::LayoutSkew {
+                    class: c.name.clone(),
+                    ours,
+                    theirs,
+                });
+            }
+        }
         let (ours, theirs) = (self.abi_hash(), other.abi_hash());
         if ours == theirs {
             Ok(())
@@ -453,13 +528,66 @@ mod tests {
         let gnu = Adt::from_schema(&schema, StdLib::Libstdcxx);
         let llvm = Adt::from_schema(&schema, StdLib::Libcxx);
         assert_ne!(gnu.abi_hash(), llvm.abi_hash());
+        // A different string ABI skews every class; the per-class pass
+        // reports the first one by name.
         assert!(matches!(
             gnu.verify_compatible(&llvm),
-            Err(AdtError::AbiMismatch { .. })
+            Err(AdtError::LayoutSkew { .. })
         ));
         assert!(gnu
             .verify_compatible(&Adt::from_schema(&schema, StdLib::Libstdcxx))
             .is_ok());
+    }
+
+    #[test]
+    fn layout_skew_names_the_offending_class() {
+        let a = Adt::from_schema(&paper_schema(), StdLib::Libstdcxx);
+        // Same class names, but bench.Small lost a field: its layout (and
+        // only its layout) digests differently.
+        let mut b = SchemaBuilder::new();
+        b.message("bench.Small")
+            .scalar("a", 1, FT::UInt32)
+            .scalar("c", 3, FT::UInt64)
+            .finish();
+        b.message("bench.IntArray")
+            .repeated("values", 1, FT::UInt32)
+            .finish();
+        b.message("bench.CharArray")
+            .scalar("text", 1, FT::String)
+            .finish();
+        b.message("bench.Empty").finish();
+        b.message("bench.Skewed").finish();
+        let skewed = Adt::from_schema(&b.build(), StdLib::Libstdcxx);
+        match a.verify_compatible(&skewed) {
+            Err(AdtError::LayoutSkew {
+                class,
+                ours,
+                theirs,
+            }) => {
+                assert_eq!(class, "bench.Small");
+                assert_ne!(ours, theirs);
+                assert_eq!(a.class_digest("bench.Small").unwrap(), ours);
+                assert_eq!(skewed.class_digest("bench.Small").unwrap(), theirs);
+            }
+            other => panic!("expected LayoutSkew, got {other:?}"),
+        }
+        // Unskewed classes digest identically across the two tables.
+        assert_eq!(
+            a.class_digest("bench.Empty").unwrap(),
+            skewed.class_digest("bench.Empty").unwrap()
+        );
+    }
+
+    #[test]
+    fn missing_class_falls_back_to_abi_mismatch() {
+        let a = Adt::from_schema(&paper_schema(), StdLib::Libstdcxx);
+        let mut b = SchemaBuilder::new();
+        b.message("something.Else").finish();
+        let other = Adt::from_schema(&b.build(), StdLib::Libstdcxx);
+        assert!(matches!(
+            a.verify_compatible(&other),
+            Err(AdtError::AbiMismatch { .. })
+        ));
     }
 
     #[test]

@@ -18,13 +18,25 @@
 //! "minimal code modifications" claim, demonstrated.
 
 use crate::service::ServiceSchema;
+use parking_lot::Mutex;
 use pbo_adt::{BuildError, NativeBuilder, NativeObject, NativeWriter, WriterConfig};
+use pbo_metrics::{Counter, Registry};
 use pbo_protowire::StackDeserializer;
 use pbo_rpcrdma::client::PayloadError;
 use pbo_rpcrdma::server::NativeResponse;
 use pbo_rpcrdma::{RpcError, RpcServer};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Shared quarantine-counter slot: handler closures hold a clone, so the
+/// binding may happen before or after registration.
+type QuarantineCell = Arc<Mutex<Option<Counter>>>;
+
+fn count_quarantine(cell: &QuarantineCell) {
+    if let Some(c) = &*cell.lock() {
+        c.inc();
+    }
+}
 
 /// A gRPC-style unary handler over a typed native request view. Returns
 /// `(status, response_bytes)` — response serialization stays host-side,
@@ -67,12 +79,30 @@ pub const MODE_SERIALIZED: u8 = 1;
 pub struct CompatServer {
     rpc: RpcServer,
     mode: PayloadMode,
+    quarantined: QuarantineCell,
 }
 
 impl CompatServer {
     /// Wraps an established server endpoint.
     pub fn new(rpc: RpcServer, mode: PayloadMode) -> Self {
-        Self { rpc, mode }
+        Self {
+            rpc,
+            mode,
+            quarantined: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Binds a metrics registry: every request this server fails with
+    /// status 2 because its payload would not materialize — host-side
+    /// deserialization failure or an unmappable native object — counts in
+    /// `quarantined_requests_total{conn,side="host"}`. May be called
+    /// before or after handlers are registered.
+    pub fn bind_metrics(&mut self, registry: &Registry, conn: &str) {
+        *self.quarantined.lock() = Some(registry.counter(
+            "quarantined_requests_total",
+            "Malformed (poison) requests failed individually with an error response",
+            &[("conn", conn), ("side", "host")],
+        ));
     }
 
     /// The payload mode in force.
@@ -113,6 +143,7 @@ impl CompatServer {
             .unwrap_or_else(|| panic!("no method with procedure id {proc_id}"))
             .clone();
         let class = adt.class_id(&desc.name).expect("validated");
+        let quarantined = self.quarantined.clone();
         self.rpc.register(
             proc_id,
             Box::new(move |req, sink| {
@@ -139,7 +170,10 @@ impl CompatServer {
                         }
                         status
                     }
-                    Err(_) => 2,
+                    Err(_) => {
+                        count_quarantine(&quarantined);
+                        2
+                    }
                 }
             }),
         );
@@ -167,6 +201,7 @@ impl CompatServer {
         // deserialization; grown on demand, reused across requests (no
         // steady-state allocation).
         let mut scratch: Vec<u8> = Vec::new();
+        let quarantined = self.quarantined.clone();
 
         self.rpc.register(
             proc_id,
@@ -189,7 +224,11 @@ impl CompatServer {
                                 }
                                 status
                             }
-                            Err(_) => 2, // malformed object: INVALID_ARGUMENT
+                            Err(_) => {
+                                // Malformed object: INVALID_ARGUMENT.
+                                count_quarantine(&quarantined);
+                                2
+                            }
                         }
                     }
                     PayloadMode::Serialized => {
@@ -211,7 +250,10 @@ impl CompatServer {
                                 }
                                 status
                             }
-                            Err(()) => 2,
+                            Err(()) => {
+                                count_quarantine(&quarantined);
+                                2
+                            }
                         }
                     }
                 }
@@ -250,6 +292,7 @@ impl CompatServer {
             .expect("bundle validated at construction");
         let schema = bundle.schema().clone();
         let mut scratch: Vec<u8> = Vec::new();
+        let quarantined = self.quarantined.clone();
 
         self.rpc.register(
             proc_id,
@@ -272,7 +315,10 @@ impl CompatServer {
                             }
                             status
                         }
-                        Err(()) => 2,
+                        Err(()) => {
+                            count_quarantine(&quarantined);
+                            2
+                        }
                     }
                 } else {
                     match NativeObject::from_addr(
@@ -290,7 +336,10 @@ impl CompatServer {
                             }
                             status
                         }
-                        Err(_) => 2,
+                        Err(_) => {
+                            count_quarantine(&quarantined);
+                            2
+                        }
                     }
                 }
             }),
@@ -418,7 +467,11 @@ fn host_deserialize(
     debug_assert_eq!(host_base % 8, 0);
     NativeWriter::new(adt, desc, arena, WriterConfig { host_base })
         .and_then(|mut w| {
-            StackDeserializer::new(schema).deserialize(desc, payload, &mut w)?;
+            // Same trust boundary as the DPU path: these bytes came off
+            // the wire unvalidated, so the same budgets apply.
+            StackDeserializer::new(schema)
+                .with_limits(pbo_protowire::DeserLimits::hardened())
+                .deserialize(desc, payload, &mut w)?;
             w.finish()
         })
         .map(|res| (skew, res.root_offset))
@@ -576,14 +629,16 @@ mod tests {
     }
 
     #[test]
-    fn malformed_wire_bytes_fail_cleanly_on_dpu() {
+    fn malformed_wire_bytes_quarantine_on_dpu() {
         let (mut client, _server) = stack(PayloadMode::Native);
-        // Invalid UTF-8 inside a string field of CharArray.
+        // Invalid UTF-8 inside a string field of CharArray: the input is
+        // poison, so the typed quarantine error surfaces (not a
+        // machinery failure that would count against offload health).
         let bad = [0x0a, 0x02, 0xC0, 0xAF];
         let err = client
             .call_offloaded(3, &bad, Box::new(|_p, _s| {}))
             .unwrap_err();
-        assert!(matches!(err, RpcError::PayloadWriter(_)), "{err:?}");
+        assert!(matches!(err, RpcError::Quarantined(_)), "{err:?}");
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub use datapath::{
 pub use offload::OffloadClient;
 pub use serialize::{serialize_view, SerializeError};
 pub use service::ServiceSchema;
-pub use session::{CircuitBreaker, ResilientSession, SessionConfig};
+pub use session::{CircuitBreaker, ResilientSession, SessionConfig, STATUS_QUARANTINED};
 pub use terminator::XrpcTerminator;

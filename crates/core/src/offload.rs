@@ -16,11 +16,13 @@
 
 use crate::service::ServiceSchema;
 use pbo_adt::{NativeWriter, WriterConfig};
-use pbo_protowire::{DecodeError, StackDeserializer};
+use pbo_metrics::Registry;
+use pbo_protowire::{DecodeError, DeserLimits, StackDeserializer};
 use pbo_rpcrdma::client::{Continuation, PayloadError};
 use pbo_rpcrdma::{RpcClient, RpcError};
 use pbo_trace::{stages, Span, SpanSink, Tracer};
 use std::cell::Cell;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Continuation for [`OffloadClient::call_full`]: receives the serialized
@@ -36,6 +38,11 @@ pub struct OffloadClient {
     /// non-zero, each offloaded call fails as if the DPU-side
     /// deserialization broke, exercising the degradation path.
     forced_failures: u32,
+    /// Resource budgets enforced on the untrusted wire bytes each
+    /// offloaded call deserializes.
+    limits: DeserLimits,
+    /// Metrics binding for budget rejections (`(registry, conn label)`).
+    metrics: Option<(Arc<Registry>, String)>,
 }
 
 impl OffloadClient {
@@ -59,7 +66,28 @@ impl OffloadClient {
             bundle,
             trace: None,
             forced_failures: 0,
+            limits: DeserLimits::hardened(),
+            metrics: None,
         })
+    }
+
+    /// Replaces the resource budgets enforced on incoming wire bytes.
+    /// The default is [`DeserLimits::hardened`] — the offload engine sits
+    /// directly on the trust boundary.
+    pub fn set_deser_limits(&mut self, limits: DeserLimits) {
+        self.limits = limits;
+    }
+
+    /// The budgets currently in force.
+    pub fn deser_limits(&self) -> DeserLimits {
+        self.limits
+    }
+
+    /// Binds a metrics registry: budget-rejected calls increment
+    /// `budget_rejections_total{conn,limit}` (one series per tripped
+    /// budget).
+    pub fn bind_metrics(&mut self, registry: &Arc<Registry>, conn: &str) {
+        self.metrics = Some((registry.clone(), conn.to_string()));
     }
 
     /// Forces the next `n` offloaded calls to fail as if the DPU-side
@@ -142,6 +170,8 @@ impl OffloadClient {
         // attribute it once the enqueue commits and reports a sampled id.
         let deser_window: Cell<(u64, u64)> = Cell::new((0, 0));
         let clock = self.trace.as_ref().map(|(t, _)| t.clone());
+        let limits = self.limits;
+        let metrics = self.metrics.clone();
         self.rpc.enqueue_with_meta(
             proc_id,
             hint,
@@ -158,8 +188,21 @@ impl OffloadClient {
                 )
                 .map_err(map_decode_err)?;
                 StackDeserializer::new(&schema)
+                    .with_limits(limits)
                     .deserialize(&desc, wire, &mut writer)
-                    .map_err(map_decode_err)?;
+                    .map_err(|e| {
+                        if let (DecodeError::Budget { limit, .. }, Some((reg, conn))) =
+                            (&e, &metrics)
+                        {
+                            reg.counter(
+                                "budget_rejections_total",
+                                "Requests rejected by a deserialization resource budget",
+                                &[("conn", conn), ("limit", limit)],
+                            )
+                            .inc();
+                        }
+                        map_decode_err(e)
+                    })?;
                 let result = writer.finish().map_err(map_decode_err)?;
                 if let Some(c) = &clock {
                     deser_window.set((start_ns, c.now_ns()));
@@ -266,13 +309,24 @@ impl OffloadClient {
     }
 }
 
-/// Maps deserialization failures onto payload-writer outcomes: arena
-/// exhaustion is retryable in a bigger block; anything else is a malformed
-/// request.
+/// Maps deserialization failures onto payload-writer outcomes — the
+/// poison-message taxonomy:
+///
+/// * arena exhaustion is not a failure at all: retry in a bigger block;
+/// * schema/machinery faults (unknown message type, sink rejections) are
+///   *our* problem — [`PayloadError::Fail`], which counts against offload
+///   health and can trip the circuit breaker;
+/// * everything else means the *wire bytes themselves* are malformed
+///   (truncation, bad varints, invalid UTF-8, lying lengths, busted
+///   budgets) — [`PayloadError::Poison`], which quarantines exactly this
+///   request and says nothing about the path.
 fn map_decode_err(e: DecodeError) -> PayloadError {
     match &e {
         DecodeError::Sink(msg) if msg.contains("arena exhausted") => PayloadError::NeedMore,
-        _ => PayloadError::Fail(e.to_string()),
+        DecodeError::UnknownMessageType(_) | DecodeError::Sink(_) => {
+            PayloadError::Fail(e.to_string())
+        }
+        _ => PayloadError::Poison(e.to_string()),
     }
 }
 
@@ -286,12 +340,30 @@ mod tests {
             map_decode_err(DecodeError::Sink("arena exhausted".into())),
             PayloadError::NeedMore
         );
+        // Malformed input quarantines the request.
         assert!(matches!(
             map_decode_err(DecodeError::VarintOverflow),
-            PayloadError::Fail(_)
+            PayloadError::Poison(_)
         ));
         assert!(matches!(
             map_decode_err(DecodeError::InvalidUtf8 { at: 3 }),
+            PayloadError::Poison(_)
+        ));
+        assert!(matches!(
+            map_decode_err(DecodeError::Budget {
+                limit: "len_bytes",
+                max: 16,
+                got: 64
+            }),
+            PayloadError::Poison(_)
+        ));
+        // Machinery faults count against offload health.
+        assert!(matches!(
+            map_decode_err(DecodeError::UnknownMessageType("x".into())),
+            PayloadError::Fail(_)
+        ));
+        assert!(matches!(
+            map_decode_err(DecodeError::Sink("writer rejected value".into())),
             PayloadError::Fail(_)
         ));
     }

@@ -162,6 +162,10 @@ fn make_continuation(acks: &SharedAcks, seq: u64, slot: &SharedCont) -> Continua
     })
 }
 
+/// Status code delivered to the continuation of a quarantined (poison)
+/// request — gRPC `INVALID_ARGUMENT`.
+pub const STATUS_QUARANTINED: u16 = 3;
+
 struct SessionCounters {
     reconnects: Counter,
     replays: Counter,
@@ -169,6 +173,7 @@ struct SessionCounters {
     breaker_restores: Counter,
     breaker_probes: Counter,
     degraded_calls: Counter,
+    quarantined: Counter,
     breaker_open: Gauge,
     journal_depth: Gauge,
 }
@@ -206,6 +211,11 @@ impl SessionCounters {
                 "session_degraded_calls_total",
                 "Requests routed over the degraded host-deserialization path",
                 &l,
+            ),
+            quarantined: registry.counter(
+                "quarantined_requests_total",
+                "Malformed (poison) requests failed individually with an error response",
+                &[("conn", conn), ("side", "dpu")],
             ),
             breaker_open: registry.gauge(
                 "session_breaker_open",
@@ -275,8 +285,10 @@ impl ResilientSession {
         let mut client = OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref())
             .map_err(|e| RpcError::Desync(e.to_string()))?;
         client.rpc().set_retry_policy(cfg.retry);
+        client.bind_metrics(&registry, conn_label);
         let mut server = CompatServer::new(ep.server, PayloadMode::Native);
         server.rpc().set_retry_policy(cfg.retry);
+        server.bind_metrics(&registry, conn_label);
         let counters = SessionCounters::bind(&registry, conn_label);
         Ok(Self {
             fabric,
@@ -378,6 +390,27 @@ impl ResilientSession {
                         self.counters.breaker_restores.inc();
                         self.counters.breaker_open.set(0);
                     }
+                }
+                Err(RpcError::Quarantined(_)) => {
+                    // The *message* is poison, not the path: fail exactly
+                    // this request with an error response and leave the
+                    // breaker alone — a flood of malformed requests must
+                    // not push healthy traffic off the offload path.
+                    self.counters.quarantined.inc();
+                    if let (Some((t, sink)), Some(start_ns)) = (&self.trace, start_ns) {
+                        sink.record(Span {
+                            trace_id: seq,
+                            stage: stages::QUARANTINE,
+                            start_ns,
+                            end_ns: t.now_ns(),
+                            bytes: wire.len() as u64,
+                        });
+                    }
+                    if let Some(cont) = slot.lock().take() {
+                        cont(&[], STATUS_QUARANTINED);
+                    }
+                    self.next_seq += 1;
+                    return Ok(seq);
                 }
                 Err(RpcError::PayloadWriter(_)) => {
                     // DPU-side deserialization failed: count it against
@@ -550,8 +583,10 @@ impl ResilientSession {
             OffloadClient::new(ep.client, self.bundle.clone(), ep.control_blob.as_deref())
                 .map_err(|e| RpcError::Desync(e.to_string()))?;
         client.rpc().set_retry_policy(self.cfg.retry);
+        client.bind_metrics(&self.registry, &self.conn_label);
         let mut server = CompatServer::new(ep.server, PayloadMode::Native);
         server.rpc().set_retry_policy(self.cfg.retry);
+        server.bind_metrics(&self.registry, &self.conn_label);
         if let Some((t, _)) = &self.trace {
             client.set_tracer(t, &self.conn_label);
             server.set_tracer(t, &self.conn_label);

@@ -258,9 +258,12 @@ pub fn poller_loop_traced(
                     backlog.push_front(req);
                     break;
                 }
-                Err(RpcError::PayloadWriter(_)) | Err(RpcError::NoSuchProcedure(_)) => {
-                    // Malformed request: answer the xRPC client with an
-                    // error status instead of killing the poller.
+                Err(RpcError::Quarantined(_))
+                | Err(RpcError::PayloadWriter(_))
+                | Err(RpcError::NoSuchProcedure(_)) => {
+                    // Poison or unserviceable request: answer the xRPC
+                    // client with an error status instead of killing the
+                    // poller.
                     let _ = req.resp_tx.send((3, Vec::new()));
                 }
                 Err(e) => return Err(e),

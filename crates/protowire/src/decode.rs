@@ -194,7 +194,9 @@ pub fn decode_scalar(ty: FieldType, buf: &[u8]) -> Result<(Value, usize), Decode
             (Value::F64(f64::from_bits(v)), n)
         }
         FieldType::String | FieldType::Bytes | FieldType::Message => {
-            unreachable!("length-delimited types handled by caller")
+            // Callers route length-delimited types elsewhere; fail typed
+            // rather than panic if that invariant is ever violated.
+            return Err(DecodeError::BadWireType(WireType::LengthDelimited as u8));
         }
     })
 }

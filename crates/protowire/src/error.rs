@@ -43,6 +43,20 @@ pub enum DecodeError {
         /// Limit that was exceeded.
         limit: usize,
     },
+    /// A resource budget ([`crate::stackdeser::DeserLimits`]) was exceeded.
+    /// Budgets are enforced against untrusted wire lengths *before* any
+    /// allocation or copy happens, so a hostile message cannot force the
+    /// receiver to commit memory it never intends to grant.
+    Budget {
+        /// Which budget tripped: `"len_bytes"`, `"arena_bytes"`,
+        /// `"total_fields"`, or `"repeated_elements"`. Stable strings,
+        /// suitable as a metric label.
+        limit: &'static str,
+        /// Configured maximum.
+        max: u64,
+        /// Value the input demanded.
+        got: u64,
+    },
     /// The descriptor references an unknown nested message type.
     UnknownMessageType(String),
     /// A sink (e.g. the native-object writer) ran out of arena space or
@@ -65,6 +79,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::InvalidUtf8 { at } => write!(f, "invalid UTF-8 at byte {at}"),
             DecodeError::TooDeep { limit } => write!(f, "message nesting exceeds limit {limit}"),
+            DecodeError::Budget { limit, max, got } => {
+                write!(f, "resource budget exceeded: {limit} {got} > max {max}")
+            }
             DecodeError::UnknownMessageType(name) => write!(f, "unknown message type {name}"),
             DecodeError::Sink(msg) => write!(f, "sink error: {msg}"),
         }

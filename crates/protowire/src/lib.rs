@@ -41,6 +41,7 @@ pub mod decode;
 pub mod descriptor;
 pub mod encode;
 pub mod error;
+pub mod fuzz;
 pub mod parser;
 pub mod stackdeser;
 pub mod utf8;
@@ -55,6 +56,8 @@ pub use descriptor::{
 pub use encode::encode_message;
 pub use error::{DecodeError, ParseError};
 pub use parser::parse_proto;
-pub use stackdeser::{DeserStats, DynamicSink, FieldSink, NullSink, Scalar, StackDeserializer};
+pub use stackdeser::{
+    DeserLimits, DeserStats, DynamicSink, FieldSink, NullSink, Scalar, StackDeserializer,
+};
 pub use value::{DynamicMessage, FieldValue, Value};
 pub use varint::WireType;

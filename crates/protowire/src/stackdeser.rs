@@ -141,26 +141,152 @@ struct Frame {
     end: usize,
 }
 
+/// Resource budgets enforced while parsing untrusted input.
+///
+/// Every limit is checked against the *claimed* wire length before any
+/// allocation, copy, or UTF-8 validation happens, so a hostile message can
+/// make the parser return [`DecodeError::Budget`] but cannot make it
+/// commit memory or CPU beyond the configured ceilings. The `limit`
+/// strings inside the error (`"len_bytes"`, `"arena_bytes"`,
+/// `"total_fields"`, `"repeated_elements"`) are stable and used as metric
+/// labels by the datapath's `budget_rejections_total` counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeserLimits {
+    /// Maximum message nesting depth (existing knob; exceeding it yields
+    /// [`DecodeError::TooDeep`], not `Budget`, for backward compatibility).
+    pub max_depth: usize,
+    /// Maximum length of a single `string`/`bytes` payload.
+    pub max_len_bytes: u64,
+    /// Maximum cumulative `string`/`bytes` payload bytes per message — a
+    /// proxy for arena space the native-object sink would have to commit.
+    pub max_arena_bytes: u64,
+    /// Maximum total field events (scalars, strings, sub-messages,
+    /// skipped unknowns) per message.
+    pub max_total_fields: u64,
+    /// Maximum cumulative elements across all repeated fields.
+    pub max_repeated_elements: u64,
+}
+
+impl Default for DeserLimits {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl DeserLimits {
+    /// No budgets beyond the default recursion limit — the permissive
+    /// historical behaviour, for trusted (e.g. self-generated) input.
+    pub fn unbounded() -> Self {
+        Self {
+            max_depth: RECURSION_LIMIT,
+            max_len_bytes: u64::MAX,
+            max_arena_bytes: u64::MAX,
+            max_total_fields: u64::MAX,
+            max_repeated_elements: u64::MAX,
+        }
+    }
+
+    /// Conservative defaults for input that crosses a trust boundary
+    /// (sized for the paper's benchmark workloads with ample headroom).
+    pub fn hardened() -> Self {
+        Self {
+            max_depth: RECURSION_LIMIT,
+            max_len_bytes: 1 << 20,         // 1 MiB per string/bytes field
+            max_arena_bytes: 8 << 20,       // 8 MiB total payload
+            max_total_fields: 1 << 20,      // ~1M field events
+            max_repeated_elements: 1 << 18, // 256K repeated elements
+        }
+    }
+}
+
+/// Running totals checked against [`DeserLimits`] during one parse.
+#[derive(Default)]
+struct BudgetState {
+    arena_bytes: u64,
+    total_fields: u64,
+    repeated_elements: u64,
+}
+
+impl BudgetState {
+    /// Counts one field event (any kind) against the total-fields budget.
+    fn field(&mut self, limits: &DeserLimits) -> Result<(), DecodeError> {
+        self.total_fields += 1;
+        if self.total_fields > limits.max_total_fields {
+            return Err(DecodeError::Budget {
+                limit: "total_fields",
+                max: limits.max_total_fields,
+                got: self.total_fields,
+            });
+        }
+        Ok(())
+    }
+
+    /// Counts one element of a repeated field.
+    fn repeated(&mut self, limits: &DeserLimits) -> Result<(), DecodeError> {
+        self.repeated_elements += 1;
+        if self.repeated_elements > limits.max_repeated_elements {
+            return Err(DecodeError::Budget {
+                limit: "repeated_elements",
+                max: limits.max_repeated_elements,
+                got: self.repeated_elements,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks a claimed payload length before anything is read or copied.
+    fn payload(&mut self, len: u64, limits: &DeserLimits) -> Result<(), DecodeError> {
+        if len > limits.max_len_bytes {
+            return Err(DecodeError::Budget {
+                limit: "len_bytes",
+                max: limits.max_len_bytes,
+                got: len,
+            });
+        }
+        self.arena_bytes = self.arena_bytes.saturating_add(len);
+        if self.arena_bytes > limits.max_arena_bytes {
+            return Err(DecodeError::Budget {
+                limit: "arena_bytes",
+                max: limits.max_arena_bytes,
+                got: self.arena_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// The iterative wire parser. Stateless between calls; create once per
 /// schema and share freely.
 pub struct StackDeserializer<'s> {
     schema: &'s Schema,
-    max_depth: usize,
+    limits: DeserLimits,
 }
 
 impl<'s> StackDeserializer<'s> {
-    /// Creates a deserializer over `schema` with the default nesting limit.
+    /// Creates a deserializer over `schema` with the default nesting limit
+    /// and no other budgets ([`DeserLimits::unbounded`]).
     pub fn new(schema: &'s Schema) -> Self {
         Self {
             schema,
-            max_depth: RECURSION_LIMIT,
+            limits: DeserLimits::unbounded(),
         }
     }
 
     /// Overrides the nesting limit (protocol hardening knob).
     pub fn with_max_depth(mut self, depth: usize) -> Self {
-        self.max_depth = depth;
+        self.limits.max_depth = depth;
         self
+    }
+
+    /// Replaces all resource budgets.
+    pub fn with_limits(mut self, limits: DeserLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The budgets currently in force.
+    pub fn limits(&self) -> &DeserLimits {
+        &self.limits
     }
 
     /// Parses `buf` as a `desc` message, streaming events into `sink`.
@@ -174,6 +300,7 @@ impl<'s> StackDeserializer<'s> {
             wire_bytes: buf.len() as u64,
             ..DeserStats::default()
         };
+        let mut budget = BudgetState::default();
         // The explicit stack replacing recursion. The root frame is index 0.
         let mut stack: Vec<Frame> = Vec::with_capacity(8);
         stack.push(Frame {
@@ -209,12 +336,20 @@ impl<'s> StackDeserializer<'s> {
             let (field, wt) = split_tag(tag)?;
 
             let Some(fd) = frame_desc.field(field) else {
+                budget.field(&self.limits)?;
                 let skipped = crate::decode::skip_field(&buf[pos..frame_end], wt)?;
                 pos += skipped;
                 stats.skipped_bytes += (skipped + n) as u64;
                 sink.on_unknown(field, skipped + n)?;
                 continue;
             };
+            budget.field(&self.limits)?;
+            if fd.cardinality == Cardinality::Repeated && wt != WireType::LengthDelimited {
+                // Unpacked repeated element (packed runs and repeated
+                // strings/bytes/messages are counted where their claimed
+                // lengths are known).
+                budget.repeated(&self.limits)?;
+            }
 
             // Packed repeated scalars: a length-delimited run of elements.
             if fd.cardinality == Cardinality::Repeated
@@ -233,6 +368,7 @@ impl<'s> StackDeserializer<'s> {
                         remaining: frame_end - pos,
                     })?;
                 while pos < end {
+                    budget.repeated(&self.limits)?;
                     let consumed = self.emit_scalar(fd, &buf[pos..end], sink, &mut stats)?;
                     pos += consumed;
                 }
@@ -248,12 +384,18 @@ impl<'s> StackDeserializer<'s> {
                 });
             }
 
+            if fd.cardinality == Cardinality::Repeated && wt == WireType::LengthDelimited {
+                // One element of a repeated string/bytes/message field.
+                budget.repeated(&self.limits)?;
+            }
+
             match fd.ty {
                 FieldType::String => {
                     let (len, ln) = decode_varint(&buf[pos..frame_end])?;
                     pos += ln;
                     stats.varint_bytes += ln as u64;
                     stats.varint_count += 1;
+                    budget.payload(len, &self.limits)?;
                     let end = pos
                         .checked_add(len as usize)
                         .filter(|&e| e <= frame_end)
@@ -280,6 +422,7 @@ impl<'s> StackDeserializer<'s> {
                     pos += ln;
                     stats.varint_bytes += ln as u64;
                     stats.varint_count += 1;
+                    budget.payload(len, &self.limits)?;
                     let end = pos
                         .checked_add(len as usize)
                         .filter(|&e| e <= frame_end)
@@ -309,9 +452,9 @@ impl<'s> StackDeserializer<'s> {
                         .as_deref()
                         .ok_or_else(|| DecodeError::UnknownMessageType(String::new()))?;
                     let child = self.schema.require_message(child_name)?.clone();
-                    if stack.len() >= self.max_depth {
+                    if stack.len() >= self.limits.max_depth {
                         return Err(DecodeError::TooDeep {
-                            limit: self.max_depth,
+                            limit: self.limits.max_depth,
                         });
                     }
                     sink.on_message_start(fd, &child)?;
@@ -403,7 +546,10 @@ impl<'s> StackDeserializer<'s> {
                 (Scalar::F64(f64::from_bits(v)), n)
             }
             FieldType::String | FieldType::Bytes | FieldType::Message => {
-                unreachable!("length-delimited handled by caller")
+                // The callers route length-delimited types elsewhere; if a
+                // descriptor ever declares one packable this becomes
+                // reachable from hostile input, so fail typed, not panic.
+                return Err(DecodeError::BadWireType(WireType::LengthDelimited as u8));
             }
         };
         sink.on_scalar(fd, scalar)?;
@@ -476,14 +622,19 @@ impl FieldSink for DynamicSink {
     }
 
     fn on_message_end(&mut self) -> Result<(), DecodeError> {
-        let child = self.stack.pop().expect("frame");
-        let number = self.fields.pop().expect("field");
-        let parent = self.stack.last_mut().expect("parent");
-        let fd = parent
-            .descriptor()
-            .field(number)
-            .expect("field known")
-            .clone();
+        // The parser guarantees balanced start/end events; still fail
+        // typed rather than panic if a sink is driven out of protocol.
+        let (Some(child), Some(number)) = (self.stack.pop(), self.fields.pop()) else {
+            return Err(DecodeError::Sink("unbalanced message end".into()));
+        };
+        let Some(parent) = self.stack.last_mut() else {
+            return Err(DecodeError::Sink("message end with no parent frame".into()));
+        };
+        let Some(fd) = parent.descriptor().field(number).cloned() else {
+            return Err(DecodeError::Sink(format!(
+                "message end for unknown parent field {number}"
+            )));
+        };
         if fd.cardinality == Cardinality::Repeated {
             parent.push(number, Value::Message(Box::new(child)));
         } else {
@@ -747,6 +898,181 @@ mod tests {
             .deserialize(desc, &bytes, &mut Failing)
             .unwrap_err();
         assert!(matches!(err, DecodeError::Sink(_)));
+    }
+
+    #[test]
+    fn budget_len_bytes_rejects_before_validation() {
+        let s = schema();
+        let desc = s.message("Root").unwrap();
+        // blob (field 4, bytes) claims 64 bytes; limit is 16.
+        let mut m = DynamicMessage::of(&s, "Root");
+        m.set(4, Value::Bytes(vec![0xAB; 64]));
+        let bytes = encode_message(&m);
+        let limits = DeserLimits {
+            max_len_bytes: 16,
+            ..DeserLimits::unbounded()
+        };
+        let err = StackDeserializer::new(&s)
+            .with_limits(limits)
+            .deserialize(desc, &bytes, &mut NullSink)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::Budget {
+                limit: "len_bytes",
+                max: 16,
+                got: 64
+            }
+        );
+    }
+
+    #[test]
+    fn budget_len_bytes_rejects_lying_length_without_allocation() {
+        // The claimed length vastly exceeds the actual input: the budget
+        // must trip on the *claim*, before any bounds check or copy.
+        let s = schema();
+        let desc = s.message("Root").unwrap();
+        let mut buf = Vec::new();
+        crate::varint::encode_varint(
+            crate::varint::make_tag(4, WireType::LengthDelimited),
+            &mut buf,
+        );
+        crate::varint::encode_varint(u64::MAX / 2, &mut buf);
+        let limits = DeserLimits {
+            max_len_bytes: 1 << 20,
+            ..DeserLimits::unbounded()
+        };
+        let err = StackDeserializer::new(&s)
+            .with_limits(limits)
+            .deserialize(desc, &buf, &mut NullSink)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::Budget {
+                    limit: "len_bytes",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_arena_bytes_is_cumulative() {
+        let s = schema();
+        let desc = s.message("Root").unwrap();
+        // Two 10-byte leaves' names: each under len limit, sum over arena.
+        let mut root = DynamicMessage::of(&s, "Root");
+        for _ in 0..2 {
+            let mut leaf = DynamicMessage::of(&s, "Leaf");
+            leaf.set(2, Value::Str("0123456789".into()));
+            root.push(3, Value::Message(Box::new(leaf)));
+        }
+        let bytes = encode_message(&root);
+        let limits = DeserLimits {
+            max_len_bytes: 64,
+            max_arena_bytes: 15,
+            ..DeserLimits::unbounded()
+        };
+        let err = StackDeserializer::new(&s)
+            .with_limits(limits)
+            .deserialize(desc, &bytes, &mut NullSink)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::Budget {
+                    limit: "arena_bytes",
+                    max: 15,
+                    got: 20
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_total_fields_counts_unknown_fields_too() {
+        let s = schema();
+        let desc = s.message("Root").unwrap();
+        let mut buf = Vec::new();
+        for _ in 0..10 {
+            crate::varint::encode_varint(crate::varint::make_tag(100, WireType::Varint), &mut buf);
+            crate::varint::encode_varint(1, &mut buf);
+        }
+        let limits = DeserLimits {
+            max_total_fields: 4,
+            ..DeserLimits::unbounded()
+        };
+        let err = StackDeserializer::new(&s)
+            .with_limits(limits)
+            .deserialize(desc, &buf, &mut NullSink)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::Budget {
+                    limit: "total_fields",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_repeated_elements_covers_packed_runs() {
+        let s = schema();
+        let desc = s.message("Root").unwrap();
+        let mut root = DynamicMessage::of(&s, "Root");
+        let mut mid = DynamicMessage::of(&s, "Mid");
+        for v in 0..100u64 {
+            mid.push(2, Value::U64(v));
+        }
+        root.set(2, Value::Message(Box::new(mid)));
+        let bytes = encode_message(&root);
+        let limits = DeserLimits {
+            max_repeated_elements: 50,
+            ..DeserLimits::unbounded()
+        };
+        let err = StackDeserializer::new(&s)
+            .with_limits(limits)
+            .deserialize(desc, &bytes, &mut NullSink)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::Budget {
+                    limit: "repeated_elements",
+                    max: 50,
+                    got: 51
+                }
+            ),
+            "{err:?}"
+        );
+        // Under the limit the same message parses fine.
+        let ok = StackDeserializer::new(&s)
+            .with_limits(DeserLimits {
+                max_repeated_elements: 100,
+                ..DeserLimits::unbounded()
+            })
+            .deserialize(desc, &bytes, &mut NullSink);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn hardened_limits_accept_normal_messages() {
+        let s = schema();
+        let msg = complex_message(&s);
+        let bytes = encode_message(&msg);
+        let desc = s.message("Root").unwrap();
+        let mut sink = DynamicSink::new(desc);
+        StackDeserializer::new(&s)
+            .with_limits(DeserLimits::hardened())
+            .deserialize(desc, &bytes, &mut sink)
+            .unwrap();
+        assert_eq!(sink.finish(), msg);
     }
 
     #[test]

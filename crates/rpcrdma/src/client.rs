@@ -12,16 +12,17 @@
 
 use crate::config::Config;
 use crate::error::{RetryClass, RpcError};
+use crate::integrity::{self, INTEGRITY_NACK};
 use crate::retry::RetryPolicy;
 use crate::wire::{
-    offset_to_bucket, BlockHeaderIter, Header, Preamble, BLOCK_ALIGN, HEADER_SIZE, MAX_PAYLOAD,
-    PREAMBLE_SIZE,
+    bucket_to_offset, offset_to_bucket, BlockHeaderIter, Header, Preamble, BLOCK_ALIGN,
+    HEADER_SIZE, MAX_PAYLOAD, PREAMBLE_SIZE,
 };
 use pbo_alloc::{align_up, Allocation, IdPool, OffsetAllocator};
 use pbo_metrics::{Counter, Gauge, Registry};
 use pbo_simnet::{CqeKind, MemoryRegion, QueuePair, WorkRequestId};
 use pbo_trace::{stages, ConnTracer, MsgCtx, Span, SpanSink, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Outcome of a payload-writer closure.
@@ -33,8 +34,15 @@ pub enum PayloadError {
     /// The destination slice is too small; the protocol retries the writer
     /// in a fresh (possibly grown) block.
     NeedMore,
-    /// Unrecoverable failure (e.g. malformed source message).
+    /// Unrecoverable failure in the machinery itself (writer bug, schema
+    /// problem): surfaces as [`RpcError::PayloadWriter`] and counts
+    /// against offload health.
     Fail(String),
+    /// The *input* is malformed (truncated wire bytes, bad UTF-8, a
+    /// resource budget tripped): the message is poison, not the path.
+    /// Surfaces as [`RpcError::Quarantined`] so supervisors fail exactly
+    /// this request without tripping the offload circuit breaker.
+    Poison(String),
 }
 
 /// Response continuation: `(payload, status)`.
@@ -45,7 +53,10 @@ struct OpenBlock {
     /// Build cursor within the block (8-aligned invariant).
     cursor: usize,
     /// Continuations of the messages queued in this block, in order.
-    conts: Vec<Continuation>,
+    /// `None` marks an integrity control message (NACK): it occupies a
+    /// message slot on the wire but never allocates a request ID, so the
+    /// deterministic ID replay (§IV.D) sees only real requests.
+    conts: Vec<Option<Continuation>>,
     /// Sampled-message trace contexts, parallel to `conts` (empty when
     /// tracing is off).
     traces: Vec<Option<MsgCtx>>,
@@ -70,6 +81,8 @@ struct SealedRequestBlock {
     alloc: Allocation,
     seq: u64,
     block_bytes: usize,
+    /// Every message in the block is an integrity control message.
+    control_only: bool,
     /// Trace ids of sampled messages in this block.
     sampled_ids: Vec<u64>,
     /// Seal time (trace clock).
@@ -79,6 +92,15 @@ struct SealedRequestBlock {
     /// When the first post attempt failed (trace clock); present only on
     /// retried blocks.
     first_fail_ns: Option<u64>,
+}
+
+/// A posted request block retained until acknowledged: by the first
+/// response to one of its requests (§IV.B), or — for blocks carrying only
+/// integrity control messages, which get no ordinary responses — by an
+/// explicit control-ack from the server.
+struct SentBlock {
+    alloc: Allocation,
+    control_only: bool,
 }
 
 /// Per-connection tracing state (present only when a tracer is attached
@@ -111,6 +133,11 @@ pub struct ClientMetrics {
     /// Receiver-not-ready events observed by this sender (raw transport
     /// pressure underneath the protocol-level retries).
     pub rnr_events: Gauge,
+    /// Received blocks that failed their CRC32C (or carried an
+    /// out-of-bounds length) and were NACKed for retransmit.
+    pub crc_failures: Counter,
+    /// Blocks re-posted in response to a peer integrity NACK.
+    pub integrity_retransmits: Counter,
 }
 
 impl ClientMetrics {
@@ -126,6 +153,12 @@ impl ClientMetrics {
             credit_stalls: reg.counter("rpc_credit_stalls_total", "sends stalled on credits", l),
             retries: reg.counter("rpc_retries_total", "transient failures retried", l),
             rnr_events: reg.gauge("rpc_rnr_events", "receiver-not-ready events seen", l),
+            crc_failures: reg.counter("crc_failures_total", "received blocks failing CRC32C", l),
+            integrity_retransmits: reg.counter(
+                "integrity_retransmits_total",
+                "blocks re-posted after a peer integrity NACK",
+                l,
+            ),
         }
     }
 }
@@ -171,8 +204,21 @@ pub struct RpcClient {
     next_flush_retry: Option<Instant>,
     /// Last time the endpoint made observable progress (post or response).
     last_progress: Instant,
-    sent_blocks: HashMap<u64, Allocation>,
+    sent_blocks: HashMap<u64, SentBlock>,
     next_block_seq: u64,
+    /// Bucket of a response block that failed its CRC: processing is
+    /// paused (later immediates are parked in `held_resp_blocks`) until
+    /// the server retransmits it cleanly — in-order block processing is
+    /// what keeps the §IV.D ID replay deterministic.
+    awaiting_resp_retransmit: Option<u32>,
+    /// Response-block immediates that arrived while awaiting a
+    /// retransmit, drained in arrival order once it lands.
+    held_resp_blocks: VecDeque<u32>,
+    /// Buckets of corrupt response blocks whose NACK control message has
+    /// not been enqueued yet (backpressure-tolerant).
+    pending_nacks: VecDeque<u32>,
+    /// Buckets of request blocks the server NACKed, awaiting re-post.
+    retransmit_queue: VecDeque<u32>,
     /// Response blocks fully processed since the last flush (preamble ack).
     pending_ack_blocks: u16,
     /// Request IDs completed since the last flush, in response order —
@@ -223,6 +269,10 @@ impl RpcClient {
             last_progress: Instant::now(),
             sent_blocks: HashMap::new(),
             next_block_seq: 0,
+            awaiting_resp_retransmit: None,
+            held_resp_blocks: VecDeque::new(),
+            pending_nacks: VecDeque::new(),
+            retransmit_queue: VecDeque::new(),
             pending_ack_blocks: 0,
             pending_free_ids: Vec::new(),
             wr_seq: 0,
@@ -430,7 +480,7 @@ impl RpcClient {
                         end = align_up((end + metadata.len()) as u64, 8) as usize;
                     }
                     open.cursor = end;
-                    open.conts.push(cont);
+                    open.conts.push(Some(cont));
                     if let Some(t) = self.trace.as_mut() {
                         open.traces.push(msg_ctx);
                         t.conn.commit_msg();
@@ -484,6 +534,7 @@ impl RpcClient {
                     }
                 }
                 Err(PayloadError::Fail(m)) => return Err(RpcError::PayloadWriter(m)),
+                Err(PayloadError::Poison(m)) => return Err(RpcError::Quarantined(m)),
             }
         }
     }
@@ -585,15 +636,22 @@ impl RpcClient {
             .chain(std::iter::repeat(None));
 
         // §IV.D order: free the acknowledged IDs, then allocate new ones.
+        // Integrity control messages (`None` slots) are skipped: they are
+        // not requests and allocate no IDs on either side.
         for id in self.pending_free_ids.drain(..) {
             self.id_pool.free(id);
         }
+        let mut control_only = true;
         for cont in open.conts.drain(..) {
+            let trace = traces.next().flatten();
+            let Some(cont) = cont else {
+                continue;
+            };
+            control_only = false;
             let id = self
                 .id_pool
                 .alloc()
                 .expect("pool sized to bound outstanding requests");
-            let trace = traces.next().flatten();
             if let Some(ctx) = trace {
                 sampled_ids.push(ctx.trace_id);
             }
@@ -616,14 +674,18 @@ impl RpcClient {
             msg_count,
             ack_blocks: self.pending_ack_blocks,
             block_bytes: block_bytes as u32,
+            crc32c: 0,
         }
         .write(pre);
+        // SAFETY: the whole sealed block is ours until posted.
+        integrity::stamp_block(unsafe { sbuf.slice_mut(open.alloc.offset as usize, block_bytes) });
         self.pending_ack_blocks = 0;
 
         SealedRequestBlock {
             alloc: open.alloc,
             seq,
             block_bytes,
+            control_only,
             sampled_ids,
             post_ns,
             first_stall_ns,
@@ -661,7 +723,13 @@ impl RpcClient {
         self.metrics.credits.dec();
         self.metrics.blocks_sent.inc();
         self.metrics.bytes_sent.inc_by(sealed.block_bytes as u64);
-        self.sent_blocks.insert(sealed.seq, sealed.alloc);
+        self.sent_blocks.insert(
+            sealed.seq,
+            SentBlock {
+                alloc: sealed.alloc,
+                control_only: sealed.control_only,
+            },
+        );
         self.last_progress = Instant::now();
         if let Some(t) = &self.trace {
             let end_ns = t.conn.tracer().now_ns();
@@ -743,7 +811,9 @@ impl RpcClient {
             self.last_progress = Instant::now();
         }
         result?;
-        // Credits may have been replenished: retry the flush.
+        // Send any integrity NACKs / retransmits queued while processing,
+        // then flush (credits may also have been replenished).
+        self.service_integrity()?;
         self.try_flush()?;
         self.metrics.rnr_events.set(self.qp.rnr_events() as i64);
         // Stall detection: work is outstanding but nothing has moved for
@@ -800,6 +870,25 @@ impl RpcClient {
     }
 
     fn process_response_block(&mut self, imm: u32) -> Result<usize, RpcError> {
+        if let Some(wait) = self.awaiting_resp_retransmit {
+            if imm != wait {
+                // In-order block processing is load-bearing (§IV.D): park
+                // later blocks until the corrupt one arrives again cleanly.
+                self.held_resp_blocks.push_back(imm);
+                return Ok(0);
+            }
+        }
+        let mut n = self.handle_resp_block(imm)?;
+        while self.awaiting_resp_retransmit.is_none() {
+            let Some(next) = self.held_resp_blocks.pop_front() else {
+                break;
+            };
+            n += self.handle_resp_block(next)?;
+        }
+        Ok(n)
+    }
+
+    fn handle_resp_block(&mut self, imm: u32) -> Result<usize, RpcError> {
         let offset = crate::wire::bucket_to_offset(imm) as usize;
         if offset >= self.rbuf.len() {
             return Err(RpcError::Desync(format!("bucket {imm} out of range")));
@@ -809,25 +898,45 @@ impl RpcClient {
         // popped; the server will not rewrite it until we ack it.
         let max = rbuf.len() - offset;
         let head = unsafe { rbuf.slice(offset, PREAMBLE_SIZE.min(max)) };
-        let pre = Preamble::read(head);
-        let block_len = pre.block_bytes as usize;
-        if block_len < PREAMBLE_SIZE || offset + block_len > rbuf.len() {
-            return Err(RpcError::Desync(format!(
-                "response block at {offset} claims {block_len} bytes"
-            )));
+        // A truncated preamble, an out-of-bounds length, and a CRC
+        // mismatch are all integrity failures of the block *bytes* — any
+        // of them takes the NACK/retransmit path rather than tearing the
+        // connection down as a desync.
+        let block_len = Preamble::try_read(head)
+            .map(|p| p.block_bytes as usize)
+            .filter(|&len| len >= PREAMBLE_SIZE && offset + len <= rbuf.len());
+        let verified = match block_len {
+            // SAFETY: length just bounds-checked against the region.
+            Some(len) => integrity::verify_block(unsafe { rbuf.slice(offset, len) }),
+            None => false,
+        };
+        if !verified {
+            self.metrics.crc_failures.inc();
+            self.awaiting_resp_retransmit = Some(imm);
+            self.pending_nacks.push_back(imm);
+            return Ok(0);
         }
+        self.awaiting_resp_retransmit = None;
+        let block_len = block_len.expect("verified implies valid length");
+        // SAFETY: bounds-checked above.
         let block = unsafe { rbuf.slice(offset, block_len) };
-        let (_, iter) = BlockHeaderIter::new(block);
+        let (_, mut iter) = BlockHeaderIter::new(block);
         let mut n = 0;
-        for (header, _, payload, _meta) in iter {
+        for (header, _, payload, _meta) in iter.by_ref() {
+            // Integrity control messages carry no request ID and are
+            // intercepted before the pending lookup.
+            if header.selector == INTEGRITY_NACK {
+                self.handle_integrity_control(header.status, payload)?;
+                continue;
+            }
             let id = header.selector;
             let Some(entry) = self.pending.remove(&id) else {
                 return Err(RpcError::Desync(format!("response for unknown id {id}")));
             };
             // First response for a request block acknowledges it (§IV.B):
             // recycle the send-buffer block and replenish a credit.
-            if let Some(alloc) = self.sent_blocks.remove(&entry.block_seq) {
-                self.alloc.free(alloc);
+            if let Some(sent) = self.sent_blocks.remove(&entry.block_seq) {
+                self.alloc.free(sent.alloc);
                 self.credits += 1;
                 self.metrics.credits.inc();
             }
@@ -845,8 +954,148 @@ impl RpcClient {
             self.metrics.responses_completed.inc();
             n += 1;
         }
+        if iter.malformed() {
+            // The CRC passed, so the peer really built this block:
+            // structural garbage is a protocol bug, not wire damage.
+            return Err(RpcError::Desync(
+                "malformed response block structure".into(),
+            ));
+        }
         self.pending_ack_blocks += 1;
         self.metrics.response_blocks.inc();
         Ok(n)
+    }
+
+    /// Handles one integrity control message found in a response block.
+    fn handle_integrity_control(&mut self, status: u16, payload: &[u8]) -> Result<(), RpcError> {
+        if payload.len() < 4 {
+            return Err(RpcError::Desync("short integrity control payload".into()));
+        }
+        let bucket = u32::from_le_bytes(payload[..4].try_into().expect("checked"));
+        match status {
+            // The server received a corrupt request block: re-post it.
+            INTEGRITY_NACK => self.retransmit_queue.push_back(bucket),
+            // Control-ack: the server processed a request block carrying
+            // control messages. Blocks with real requests are acked by
+            // their first response; a control-only block has no other ack
+            // path, so recycle it here.
+            integrity::CONTROL_ACK => {
+                let off = crate::wire::bucket_to_offset(bucket);
+                let seq = self
+                    .sent_blocks
+                    .iter()
+                    .find(|(_, s)| s.control_only && s.alloc.offset == off)
+                    .map(|(seq, _)| *seq);
+                if let Some(seq) = seq {
+                    let sent = self.sent_blocks.remove(&seq).expect("just found");
+                    self.alloc.free(sent.alloc);
+                    self.credits += 1;
+                    self.metrics.credits.inc();
+                }
+            }
+            s => {
+                return Err(RpcError::Desync(format!(
+                    "unknown integrity control status {s}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Queues an integrity NACK asking the server to retransmit the
+    /// response block at `bucket`. Control messages ride the normal
+    /// request path (batched, CRC-protected, credit-gated) but allocate
+    /// no request ID; the server intercepts them before its ID replay.
+    fn enqueue_integrity_nack(&mut self, bucket: u32) -> Result<(), RpcError> {
+        let payload = bucket.to_le_bytes();
+        loop {
+            self.ensure_open(self.cfg.block_size, payload.len())?;
+            let (alloc_off, header_off, block_len) = {
+                let open = self.open.as_ref().expect("ensured");
+                (
+                    open.alloc.offset as usize,
+                    open.cursor,
+                    open.alloc.size as usize,
+                )
+            };
+            let payload_off = header_off + HEADER_SIZE;
+            if payload_off + payload.len() > block_len {
+                self.flush()?;
+                continue;
+            }
+            let sbuf = self.sbuf.clone();
+            // SAFETY: ranges are inside our open block.
+            let dst = unsafe { sbuf.slice_mut(alloc_off + payload_off, payload.len()) };
+            dst.copy_from_slice(&payload);
+            let hdr = unsafe { sbuf.slice_mut(alloc_off + header_off, HEADER_SIZE) };
+            Header {
+                payload_size: payload.len() as u16,
+                selector: INTEGRITY_NACK,
+                status: 0,
+                meta_len: 0,
+            }
+            .write(hdr);
+            let open = self.open.as_mut().expect("open");
+            open.cursor = align_up((payload_off + payload.len()) as u64, 8) as usize;
+            open.conts.push(None);
+            if self.trace.is_some() {
+                // Keep `traces` parallel to `conts`; control messages are
+                // never sampled (they are not requests).
+                open.traces.push(None);
+            }
+            return Ok(());
+        }
+    }
+
+    /// Drives integrity recovery: enqueues pending NACKs and re-posts
+    /// blocks the server asked to have retransmitted. Transient
+    /// backpressure leaves work queued for the next event-loop pass.
+    fn service_integrity(&mut self) -> Result<(), RpcError> {
+        while let Some(bucket) = self.pending_nacks.front().copied() {
+            match self.enqueue_integrity_nack(bucket) {
+                Ok(()) => {
+                    self.pending_nacks.pop_front();
+                }
+                Err(e) if e.retry_class() == RetryClass::Transient => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+        while let Some(bucket) = self.retransmit_queue.front().copied() {
+            let off = bucket_to_offset(bucket);
+            if !self.sent_blocks.values().any(|s| s.alloc.offset == off) {
+                // The server NACKed a block we no longer retain: integrity
+                // recovery has run out of road; only reconnect-with-replay
+                // can restore a trustworthy stream.
+                return Err(RpcError::Integrity(format!(
+                    "peer requested retransmit of unretained block at bucket {bucket}"
+                )));
+            }
+            let sbuf = self.sbuf.clone();
+            // SAFETY: the retained block is ours until acknowledged; its
+            // sealed preamble still holds the block length.
+            let head = unsafe { sbuf.slice(off as usize, PREAMBLE_SIZE) };
+            let block_bytes = Preamble::read(head).block_bytes as usize;
+            self.wr_seq += 1;
+            match self.qp.post_write_imm(
+                WorkRequestId(self.wr_seq),
+                &self.sbuf,
+                off as usize,
+                block_bytes,
+                &self.remote_rbuf,
+                off as usize,
+                bucket,
+                false,
+            ) {
+                // Retransmits reuse the credit the original post consumed.
+                Ok(()) => {
+                    self.retransmit_queue.pop_front();
+                    self.metrics.integrity_retransmits.inc();
+                    self.last_progress = Instant::now();
+                }
+                Err(e) if crate::error::classify_qp(&e) == RetryClass::Transient => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
     }
 }

@@ -36,6 +36,18 @@ pub enum RpcError {
         /// How long the endpoint waited without progress, in milliseconds.
         waited_ms: u64,
     },
+    /// Wire-integrity recovery failed: a CRC-failed block could not be
+    /// NACKed/retransmitted (e.g. the NACK referenced a block the peer no
+    /// longer retains). Ordinary CRC failures are absorbed by the
+    /// NACK/retransmit path and never surface as errors; this variant
+    /// marks the unrecoverable tail of that path.
+    Integrity(String),
+    /// A request was quarantined: its payload failed untrusted-input
+    /// validation (malformed bytes or a resource-budget rejection). The
+    /// request gets a per-request error; the connection, the rest of the
+    /// block, and the offload path are all unaffected — in particular this
+    /// must NOT count toward the offload circuit breaker.
+    Quarantined(String),
 }
 
 /// How an [`RpcError`] should be handled by a resilient caller (the
@@ -73,10 +85,14 @@ pub fn classify_qp(e: &QpError) -> RetryClass {
             RetryClass::Transient
         }
         // Lost or corrupted delivery state: only a fresh connection can
-        // restore the deterministic ID synchronization.
+        // restore the deterministic ID synchronization. BitFlip never
+        // actually surfaces as a QpError (the fault is silent by design —
+        // only the CRC path can see it), but if it ever did, the data in
+        // flight is suspect and reconnect-with-replay is the safe answer.
         QpError::Fault(
             FaultKind::TransportRetryExceeded
             | FaultKind::PayloadCorrupt
+            | FaultKind::BitFlip
             | FaultKind::DelayedCompletion
             | FaultKind::DroppedAck
             | FaultKind::ConnectionKill,
@@ -96,10 +112,17 @@ impl RpcError {
                 RetryClass::Transient
             }
             RpcError::Transport(e) => classify_qp(e),
-            RpcError::Desync(_) | RpcError::Stalled { .. } => RetryClass::Reconnect,
+            // Integrity recovery that ran out of road behaves like a lost
+            // completion: only a fresh connection (which re-ships every
+            // unacknowledged block) restores a trustworthy stream.
+            RpcError::Desync(_) | RpcError::Stalled { .. } | RpcError::Integrity(_) => {
+                RetryClass::Reconnect
+            }
             RpcError::PayloadTooLarge { .. }
             | RpcError::PayloadWriter(_)
-            | RpcError::NoSuchProcedure(_) => RetryClass::Fatal,
+            | RpcError::NoSuchProcedure(_)
+            // Retrying a quarantined request resends the same poison.
+            | RpcError::Quarantined(_) => RetryClass::Fatal,
         }
     }
 }
@@ -126,6 +149,8 @@ impl std::fmt::Display for RpcError {
             RpcError::Stalled { waited_ms } => {
                 write!(f, "no progress for {waited_ms} ms with work outstanding")
             }
+            RpcError::Integrity(m) => write!(f, "wire integrity failure: {m}"),
+            RpcError::Quarantined(m) => write!(f, "request quarantined: {m}"),
         }
     }
 }
@@ -157,6 +182,14 @@ mod tests {
         );
         assert_eq!(
             RpcError::NoSuchProcedure(3).retry_class(),
+            RetryClass::Fatal
+        );
+        assert_eq!(
+            RpcError::Integrity("nack for unretained block".into()).retry_class(),
+            RetryClass::Reconnect
+        );
+        assert_eq!(
+            RpcError::Quarantined("truncated varint".into()).retry_class(),
             RetryClass::Fatal
         );
         assert_eq!(

@@ -43,6 +43,7 @@ pub mod background;
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod integrity;
 pub mod poller;
 pub mod retry;
 pub mod server;
@@ -53,6 +54,7 @@ pub use background::{BackgroundHandler, OwnedRequest};
 pub use client::{ClientMetricsSnapshot, RpcClient};
 pub use config::{Config, PAPER_BLOCK_SIZE, PAPER_CREDITS};
 pub use error::{classify_qp, RetryClass, RpcError};
+pub use integrity::{crc32c, INTEGRITY_NACK};
 pub use poller::ServerPoller;
 pub use retry::{JournalEntry, ReplayJournal, RetryPolicy};
 pub use server::{

@@ -13,6 +13,7 @@
 use crate::background::{BackgroundHandler, Job, OwnedRequest, ThreadPool};
 use crate::config::Config;
 use crate::error::{RetryClass, RpcError};
+use crate::integrity::{self, CONTROL_ACK, INTEGRITY_NACK};
 use crate::retry::RetryPolicy;
 use crate::wire::{
     bucket_to_offset, offset_to_bucket, BlockHeaderIter, Header, Preamble, BLOCK_ALIGN,
@@ -112,7 +113,12 @@ struct SealedBlock {
 struct OpenRespBlock {
     alloc: Allocation,
     cursor: usize,
+    /// Request ids answered in this block — what the client's §IV.D
+    /// replay frees. Integrity control messages never appear here.
     ids: Vec<u16>,
+    /// Messages in the block (responses *and* control messages): the
+    /// preamble `msg_count`, decoupled from `ids`.
+    msgs: u16,
 }
 
 /// Server-side counters.
@@ -134,6 +140,11 @@ pub struct ServerMetrics {
     pub retries: Counter,
     /// Receiver-not-ready events observed by this sender.
     pub rnr_events: Gauge,
+    /// Received blocks that failed their CRC32C (or carried an
+    /// out-of-bounds length) and were NACKed for retransmit.
+    pub crc_failures: Counter,
+    /// Blocks re-posted in response to a peer integrity NACK.
+    pub integrity_retransmits: Counter,
 }
 
 impl ServerMetrics {
@@ -148,6 +159,12 @@ impl ServerMetrics {
             busy_ns: reg.counter("rpc_server_busy_ns_total", "poller busy time", l),
             retries: reg.counter("rpc_retries_total", "transient failures retried", l),
             rnr_events: reg.gauge("rpc_rnr_events", "receiver-not-ready events seen", l),
+            crc_failures: reg.counter("crc_failures_total", "received blocks failing CRC32C", l),
+            integrity_retransmits: reg.counter(
+                "integrity_retransmits_total",
+                "blocks re-posted after a peer integrity NACK",
+                l,
+            ),
         }
     }
 }
@@ -182,6 +199,19 @@ pub struct RpcServer {
     open: Option<OpenRespBlock>,
     sealed: VecDeque<SealedBlock>,
     sent_resp_blocks: VecDeque<SealedBlock>,
+    /// Bucket of a request block that failed its CRC: processing is
+    /// paused (later immediates are parked in `held_req_blocks`) until
+    /// the client retransmits it cleanly — in-order block processing is
+    /// what keeps the §IV.D ID replay deterministic.
+    awaiting_req_retransmit: Option<u32>,
+    /// Request-block immediates that arrived while awaiting a
+    /// retransmit, drained in arrival order once it lands.
+    held_req_blocks: VecDeque<u32>,
+    /// Buckets of corrupt request blocks whose NACK control message has
+    /// not been appended yet (backpressure-tolerant).
+    pending_nacks: VecDeque<u32>,
+    /// Buckets of response blocks the client NACKed, awaiting re-post.
+    retransmit_queue: VecDeque<u32>,
     /// When responses first failed to drain on zero credits (livelock
     /// detection; see [`RpcServer::flush_responses`]).
     stall_since: Option<Instant>,
@@ -231,6 +261,10 @@ impl RpcServer {
             open: None,
             sealed: VecDeque::new(),
             sent_resp_blocks: VecDeque::new(),
+            awaiting_req_retransmit: None,
+            held_req_blocks: VecDeque::new(),
+            pending_nacks: VecDeque::new(),
+            retransmit_queue: VecDeque::new(),
             stall_since: None,
             retry: None,
             flush_attempts: 0,
@@ -357,6 +391,7 @@ impl RpcServer {
     /// the tail half of [`RpcServer::event_loop`], split out for shared
     /// pollers.
     pub fn collect_and_flush(&mut self) -> Result<(), RpcError> {
+        self.service_integrity()?;
         if let Some(pool) = &mut self.pool {
             let done = pool.drain();
             for c in done {
@@ -364,6 +399,58 @@ impl RpcServer {
             }
         }
         self.flush_responses()
+    }
+
+    /// Drives integrity recovery: appends pending NACK control messages
+    /// and re-posts response blocks the client asked to have
+    /// retransmitted. Transient backpressure leaves work queued for the
+    /// next pass.
+    fn service_integrity(&mut self) -> Result<(), RpcError> {
+        while let Some(bucket) = self.pending_nacks.front().copied() {
+            match self.append_control(INTEGRITY_NACK, bucket) {
+                Ok(()) => {
+                    self.pending_nacks.pop_front();
+                }
+                Err(e) if e.retry_class() == RetryClass::Transient => break,
+                Err(e) => return Err(e),
+            }
+        }
+        while let Some(bucket) = self.retransmit_queue.front().copied() {
+            let off = bucket_to_offset(bucket);
+            // The NACKed block must still be retained: responses live in
+            // `sent_resp_blocks` until the client's positional ack — and a
+            // client that NACKed a block cannot have acked it.
+            let Some((offset, bytes)) = self
+                .sent_resp_blocks
+                .iter()
+                .find(|b| b.alloc.offset == off)
+                .map(|b| (b.alloc.offset as usize, b.bytes))
+            else {
+                return Err(RpcError::Integrity(format!(
+                    "peer requested retransmit of unretained block at bucket {bucket}"
+                )));
+            };
+            self.wr_seq += 1;
+            match self.qp.post_write_imm(
+                WorkRequestId(self.wr_seq),
+                &self.sbuf,
+                offset,
+                bytes,
+                &self.remote_rbuf,
+                offset,
+                bucket,
+                false,
+            ) {
+                // Retransmits reuse the credit the original post consumed.
+                Ok(()) => {
+                    self.retransmit_queue.pop_front();
+                    self.metrics.integrity_retransmits.inc();
+                }
+                Err(e) if crate::error::classify_qp(&e) == RetryClass::Transient => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
     }
 
     /// Metric snapshot.
@@ -418,6 +505,25 @@ impl RpcServer {
     }
 
     fn process_request_block(&mut self, imm: u32) -> Result<usize, RpcError> {
+        if let Some(wait) = self.awaiting_req_retransmit {
+            if imm != wait {
+                // In-order block processing is load-bearing (§IV.D): park
+                // later blocks until the corrupt one arrives again cleanly.
+                self.held_req_blocks.push_back(imm);
+                return Ok(0);
+            }
+        }
+        let mut n = self.handle_req_block(imm)?;
+        while self.awaiting_req_retransmit.is_none() {
+            let Some(next) = self.held_req_blocks.pop_front() else {
+                break;
+            };
+            n += self.handle_req_block(next)?;
+        }
+        Ok(n)
+    }
+
+    fn handle_req_block(&mut self, imm: u32) -> Result<usize, RpcError> {
         let offset = bucket_to_offset(imm) as usize;
         if offset >= self.rbuf.len() {
             return Err(RpcError::Desync(format!("bucket {imm} out of range")));
@@ -425,14 +531,29 @@ impl RpcServer {
         let rbuf = self.rbuf.clone();
         // SAFETY: published by the completion; the client will not recycle
         // this block until it sees our first response for it.
-        let head = unsafe { rbuf.slice(offset, PREAMBLE_SIZE) };
-        let pre = Preamble::read(head);
-        let block_len = pre.block_bytes as usize;
-        if block_len < PREAMBLE_SIZE || offset + block_len > rbuf.len() {
-            return Err(RpcError::Desync(format!(
-                "request block at {offset} claims {block_len} bytes"
-            )));
+        let max = self.rbuf.len() - offset;
+        let head = unsafe { rbuf.slice(offset, PREAMBLE_SIZE.min(max)) };
+        // A truncated preamble, an out-of-bounds length, and a CRC
+        // mismatch are all integrity failures of the block *bytes* — any
+        // of them takes the NACK/retransmit path rather than tearing the
+        // connection down as a desync.
+        let block_len = Preamble::try_read(head)
+            .map(|p| p.block_bytes as usize)
+            .filter(|&len| len >= PREAMBLE_SIZE && offset + len <= rbuf.len());
+        let verified = match block_len {
+            // SAFETY: length just bounds-checked against the region.
+            Some(len) => integrity::verify_block(unsafe { rbuf.slice(offset, len) }),
+            None => false,
+        };
+        if !verified {
+            self.metrics.crc_failures.inc();
+            self.awaiting_req_retransmit = Some(imm);
+            self.pending_nacks.push_back(imm);
+            return Ok(0);
         }
+        self.awaiting_req_retransmit = None;
+        let block_len = block_len.expect("verified implies valid length");
+        let pre = Preamble::try_read(head).expect("verified implies readable preamble");
 
         // §IV.D step 2: replay the client's frees (the acked response
         // blocks' ids, oldest first), then allocate ids for this block's
@@ -453,9 +574,28 @@ impl RpcServer {
         let block = unsafe { rbuf.slice(offset, block_len) };
         let region_base = rbuf.base_addr() as u64;
         let region_len = rbuf.len() as u64;
-        let (_, iter) = BlockHeaderIter::new(block);
+        let (_, mut iter) = BlockHeaderIter::new(block);
         let mut n = 0;
-        for (header, payload_off, payload, metadata) in iter {
+        let mut control_acked = false;
+        for (header, payload_off, payload, metadata) in iter.by_ref() {
+            // Integrity control messages are intercepted before tracing
+            // and before the ID replay — they are not requests and exist
+            // on neither side's ID pool.
+            if header.selector == INTEGRITY_NACK {
+                if payload.len() < 4 {
+                    return Err(RpcError::Desync("short integrity control payload".into()));
+                }
+                let bucket = u32::from_le_bytes(payload[..4].try_into().expect("checked"));
+                self.retransmit_queue.push_back(bucket);
+                if !control_acked {
+                    // Ack the carrying block (once) so a control-only
+                    // block — which gets no ordinary response — still
+                    // recycles its memory and credit at the client.
+                    control_acked = true;
+                    self.append_control(CONTROL_ACK, imm)?;
+                }
+                continue;
+            }
             // Mirror of the client's per-message sequence: dispatch order
             // within blocks in arrival order equals enqueue-commit order,
             // so this yields the client's trace id without wire bytes.
@@ -566,6 +706,11 @@ impl RpcServer {
             self.metrics.requests.inc();
             n += 1;
         }
+        if iter.malformed() {
+            // The CRC passed, so the peer really built this block:
+            // structural garbage is a protocol bug, not wire damage.
+            return Err(RpcError::Desync("malformed request block structure".into()));
+        }
         self.metrics.blocks_received.inc();
         Ok(n)
     }
@@ -611,12 +756,39 @@ impl RpcServer {
         })
     }
 
+    /// Appends an integrity control message (reserved selector
+    /// [`INTEGRITY_NACK`], status `status`) carrying a bucket payload.
+    /// Control messages occupy message slots on the wire but push no
+    /// request id, so the client's §IV.D replay never sees them.
+    fn append_control(&mut self, status: u16, bucket: u32) -> Result<(), RpcError> {
+        let payload = bucket.to_le_bytes();
+        self.append_message(INTEGRITY_NACK, false, payload.len(), &mut |dst, _| {
+            if dst.len() < payload.len() {
+                return Err(crate::client::PayloadError::NeedMore);
+            }
+            dst[..payload.len()].copy_from_slice(&payload);
+            Ok((payload.len(), status))
+        })
+    }
+
     /// Core zero-copy response appender: `write` returns
     /// `(bytes_used, status)` so handlers can decide the status while
     /// materializing the payload.
     fn append_with(
         &mut self,
         req_id: u16,
+        size_hint: usize,
+        write: &mut StatusWriteFn<'_>,
+    ) -> Result<(), RpcError> {
+        self.append_message(req_id, true, size_hint, write)
+    }
+
+    /// Appends one message — a response (`track_id`, freeing `selector`
+    /// at the client's replay) or an integrity control message (no id).
+    fn append_message(
+        &mut self,
+        selector: u16,
+        track_id: bool,
         size_hint: usize,
         write: &mut StatusWriteFn<'_>,
     ) -> Result<(), RpcError> {
@@ -646,6 +818,7 @@ impl RpcServer {
                     alloc,
                     cursor: PREAMBLE_SIZE,
                     ids: Vec::new(),
+                    msgs: 0,
                 });
             }
             let open = self.open.as_mut().expect("opened");
@@ -670,20 +843,23 @@ impl RpcServer {
                     let hdr = unsafe { sbuf.slice_mut(base + header_off, HEADER_SIZE) };
                     Header {
                         payload_size: used as u16,
-                        selector: req_id,
+                        selector,
                         status,
                         meta_len: 0,
                     }
                     .write(hdr);
                     open.cursor = align_up((payload_off + used) as u64, 8) as usize;
-                    open.ids.push(req_id);
+                    open.msgs += 1;
+                    if track_id {
+                        open.ids.push(selector);
+                    }
                     if open.cursor + HEADER_SIZE + 8 > open.alloc.size as usize {
                         self.seal_open();
                     }
                     return Ok(());
                 }
                 Err(crate::client::PayloadError::NeedMore) => {
-                    let has_others = !self.open.as_ref().expect("open").ids.is_empty();
+                    let has_others = self.open.as_ref().expect("open").msgs > 0;
                     if has_others {
                         // Ship the others; retry in a fresh block.
                         self.seal_open();
@@ -702,7 +878,11 @@ impl RpcServer {
                                 })?;
                     }
                 }
-                Err(crate::client::PayloadError::Fail(m)) => {
+                // Response writers run host-side on already-validated
+                // native objects: a Poison there is a machinery failure,
+                // not an untrusted-input one — same handling as Fail.
+                Err(crate::client::PayloadError::Fail(m))
+                | Err(crate::client::PayloadError::Poison(m)) => {
                     return Err(RpcError::PayloadWriter(m))
                 }
             }
@@ -713,7 +893,7 @@ impl RpcServer {
         let Some(open) = self.open.take() else {
             return;
         };
-        if open.ids.is_empty() {
+        if open.msgs == 0 {
             self.alloc.free(open.alloc);
             return;
         }
@@ -721,11 +901,14 @@ impl RpcServer {
         // SAFETY: block range exclusively ours until posted.
         let pre = unsafe { sbuf.slice_mut(open.alloc.offset as usize, PREAMBLE_SIZE) };
         Preamble {
-            msg_count: open.ids.len() as u16,
+            msg_count: open.msgs,
             ack_blocks: 0, // the server acks implicitly by responding
             block_bytes: open.cursor as u32,
+            crc32c: 0,
         }
         .write(pre);
+        // SAFETY: the whole sealed block is ours until posted.
+        integrity::stamp_block(unsafe { sbuf.slice_mut(open.alloc.offset as usize, open.cursor) });
         self.sealed.push_back(SealedBlock {
             alloc: open.alloc,
             bytes: open.cursor,

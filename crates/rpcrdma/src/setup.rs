@@ -424,6 +424,127 @@ mod tests {
     }
 
     #[test]
+    fn bit_flipped_request_block_is_nacked_retransmitted_and_delivered_once() {
+        let fabric = Fabric::new();
+        let registry = Registry::new();
+        let mut ep = establish(
+            &fabric,
+            Config::test_small(),
+            Config::test_small(),
+            &registry,
+            "bitflip_req",
+            None,
+        );
+        ep.server.register(
+            7,
+            Box::new(|req, sink| {
+                sink.write(req.payload);
+                sink.write(b"!");
+                0
+            }),
+        );
+        let got = Arc::new(parking_lot_stub::Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        let deliveries = Arc::new(AtomicUsize::new(0));
+        let d = deliveries.clone();
+        ep.client
+            .enqueue_bytes(
+                7,
+                b"hello",
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0);
+                    got2.lock().extend_from_slice(payload);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        // Silently corrupt the next send-side op: the request block post.
+        fabric.faults().fail_nth(0, pbo_simnet::FaultKind::BitFlip);
+        ep.client.flush().unwrap();
+        // The server must not dispatch the corrupt block — it NACKs it.
+        assert_eq!(ep.server.event_loop(Duration::ZERO).unwrap(), 0);
+        let server_labels = [("conn", "bitflip_req"), ("side", "server")];
+        assert_eq!(
+            registry.counter_value("crc_failures_total", &server_labels),
+            Some(1)
+        );
+        // The client sees the NACK and re-posts the retained block…
+        assert_eq!(ep.client.event_loop(Duration::ZERO).unwrap(), 0);
+        let client_labels = [("conn", "bitflip_req"), ("side", "client")];
+        assert_eq!(
+            registry.counter_value("integrity_retransmits_total", &client_labels),
+            Some(1)
+        );
+        // …whose clean copy is dispatched normally.
+        assert_eq!(ep.server.event_loop(Duration::ZERO).unwrap(), 1);
+        assert_eq!(ep.client.event_loop(Duration::ZERO).unwrap(), 1);
+        assert_eq!(got.lock().as_slice(), b"hello!");
+        assert_eq!(deliveries.load(Ordering::Relaxed), 1);
+        assert_eq!(ep.client.outstanding(), 0);
+        assert_eq!(ep.client.credits(), ep.client.config().credits);
+    }
+
+    #[test]
+    fn bit_flipped_response_block_is_nacked_retransmitted_and_delivered_once() {
+        let fabric = Fabric::new();
+        let registry = Registry::new();
+        let mut ep = establish(
+            &fabric,
+            Config::test_small(),
+            Config::test_small(),
+            &registry,
+            "bitflip_resp",
+            None,
+        );
+        ep.server.register(
+            7,
+            Box::new(|req, sink| {
+                sink.write(req.payload);
+                0
+            }),
+        );
+        let deliveries = Arc::new(AtomicUsize::new(0));
+        let d = deliveries.clone();
+        ep.client
+            .enqueue_bytes(
+                7,
+                b"ping",
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0);
+                    assert_eq!(payload, b"ping");
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        ep.client.flush().unwrap();
+        // Corrupt the next send-side op: the server's response post.
+        fabric.faults().fail_nth(0, pbo_simnet::FaultKind::BitFlip);
+        assert_eq!(ep.server.event_loop(Duration::ZERO).unwrap(), 1);
+        // The client must not run the continuation on corrupt bytes; it
+        // NACKs (a control-only request block) instead.
+        assert_eq!(ep.client.event_loop(Duration::ZERO).unwrap(), 0);
+        let client_labels = [("conn", "bitflip_resp"), ("side", "client")];
+        assert_eq!(
+            registry.counter_value("crc_failures_total", &client_labels),
+            Some(1)
+        );
+        // The server retransmits the retained response block and acks the
+        // control-only block so the client recycles it.
+        assert_eq!(ep.server.event_loop(Duration::ZERO).unwrap(), 0);
+        let server_labels = [("conn", "bitflip_resp"), ("side", "server")];
+        assert_eq!(
+            registry.counter_value("integrity_retransmits_total", &server_labels),
+            Some(1)
+        );
+        assert_eq!(ep.client.event_loop(Duration::ZERO).unwrap(), 1);
+        assert_eq!(deliveries.load(Ordering::Relaxed), 1);
+        assert_eq!(ep.client.outstanding(), 0);
+        // Both the request block and the control-only NACK block must be
+        // recycled: no leaked credits.
+        assert_eq!(ep.client.credits(), ep.client.config().credits);
+    }
+
+    #[test]
     fn responses_with_payloads_roundtrip() {
         let mut ep = pair("resp");
         ep.server.register(

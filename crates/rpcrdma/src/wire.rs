@@ -4,12 +4,14 @@
 //! write-with-immediate and laid out as
 //!
 //! ```text
-//! [ preamble (8 B) ][ header #1 (8 B) ][ payload #1, 8-aligned ]
-//!                   [ header #2 (8 B) ][ payload #2 ] …
+//! [ preamble (16 B) ][ header #1 (8 B) ][ payload #1, 8-aligned ]
+//!                    [ header #2 (8 B) ][ payload #2 ] …
 //! ```
 //!
-//! * Preamble: message count (max 2¹⁶), the piggybacked ack counter, and
-//!   the block's total byte length.
+//! * Preamble: message count (max 2¹⁶), the piggybacked ack counter, the
+//!   block's total byte length, and a CRC32C over the whole block (with
+//!   the CRC field itself zeroed) — see [`crate::integrity`]. Four bytes
+//!   are reserved, keeping the preamble 8-aligned.
 //! * Header: the payload size (max 2¹⁶, §IV.E) plus a 16-bit selector —
 //!   the procedure id in request blocks, the request id in response blocks
 //!   — and a 16-bit status for responses.
@@ -23,8 +25,8 @@ use pbo_alloc::align_up;
 /// Block placement alignment inside buffers; the immediate's bucket unit.
 pub const BLOCK_ALIGN: u64 = 1024;
 
-/// Size of the block preamble.
-pub const PREAMBLE_SIZE: usize = 8;
+/// Size of the block preamble (8 B framing + 4 B CRC32C + 4 B reserved).
+pub const PREAMBLE_SIZE: usize = 16;
 
 /// Size of each message header.
 pub const HEADER_SIZE: usize = 8;
@@ -45,6 +47,9 @@ pub struct Preamble {
     pub ack_blocks: u16,
     /// Total block length in bytes, preamble included.
     pub block_bytes: u32,
+    /// CRC32C over the whole block with this field zeroed (stamped at
+    /// seal time by [`crate::integrity::stamp_block`]).
+    pub crc32c: u32,
 }
 
 impl Preamble {
@@ -53,15 +58,32 @@ impl Preamble {
         buf[0..2].copy_from_slice(&self.msg_count.to_le_bytes());
         buf[2..4].copy_from_slice(&self.ack_blocks.to_le_bytes());
         buf[4..8].copy_from_slice(&self.block_bytes.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.crc32c.to_le_bytes());
+        buf[12..16].fill(0); // reserved
     }
 
-    /// Decodes from the first [`PREAMBLE_SIZE`] bytes of `buf`.
-    pub fn read(buf: &[u8]) -> Self {
-        Self {
+    /// Decodes from the first [`PREAMBLE_SIZE`] bytes of `buf`, or `None`
+    /// when `buf` is too short — received bytes are untrusted, so a
+    /// truncated preamble must surface as a typed failure, never a panic.
+    pub fn try_read(buf: &[u8]) -> Option<Self> {
+        if buf.len() < PREAMBLE_SIZE {
+            return None;
+        }
+        Some(Self {
             msg_count: u16::from_le_bytes(buf[0..2].try_into().unwrap()),
             ack_blocks: u16::from_le_bytes(buf[2..4].try_into().unwrap()),
             block_bytes: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
-        }
+            crc32c: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        })
+    }
+
+    /// Decodes from the first [`PREAMBLE_SIZE`] bytes of `buf`.
+    ///
+    /// # Panics
+    /// When `buf` is shorter than [`PREAMBLE_SIZE`]; use
+    /// [`Preamble::try_read`] on untrusted input.
+    pub fn read(buf: &[u8]) -> Self {
+        Self::try_read(buf).expect("buffer shorter than PREAMBLE_SIZE")
     }
 }
 
@@ -89,14 +111,27 @@ impl Header {
         buf[6..8].copy_from_slice(&self.meta_len.to_le_bytes());
     }
 
-    /// Decodes from the first [`HEADER_SIZE`] bytes of `buf`.
-    pub fn read(buf: &[u8]) -> Self {
-        Self {
+    /// Decodes from the first [`HEADER_SIZE`] bytes of `buf`, or `None`
+    /// when `buf` is too short.
+    pub fn try_read(buf: &[u8]) -> Option<Self> {
+        if buf.len() < HEADER_SIZE {
+            return None;
+        }
+        Some(Self {
             payload_size: u16::from_le_bytes(buf[0..2].try_into().unwrap()),
             selector: u16::from_le_bytes(buf[2..4].try_into().unwrap()),
             status: u16::from_le_bytes(buf[4..6].try_into().unwrap()),
             meta_len: u16::from_le_bytes(buf[6..8].try_into().unwrap()),
-        }
+        })
+    }
+
+    /// Decodes from the first [`HEADER_SIZE`] bytes of `buf`.
+    ///
+    /// # Panics
+    /// When `buf` is shorter than [`HEADER_SIZE`]; use
+    /// [`Header::try_read`] on untrusted input.
+    pub fn read(buf: &[u8]) -> Self {
+        Self::try_read(buf).expect("buffer shorter than HEADER_SIZE")
     }
 
     /// Total 8-aligned extent of this message after the header: the
@@ -125,25 +160,50 @@ pub fn bucket_to_offset(bucket: u32) -> u64 {
 }
 
 /// Walks the `[header][payload]` sequence of a received block.
+///
+/// Every slice is bounds-checked against the block: a header or payload
+/// that would overrun it ends iteration and raises
+/// [`BlockHeaderIter::malformed`] instead of panicking — receivers treat
+/// that as a protocol violation (the CRC already passed, so the structure
+/// itself is inconsistent).
 pub struct BlockHeaderIter<'a> {
     block: &'a [u8],
     cursor: usize,
     remaining: u16,
+    malformed: bool,
 }
 
 impl<'a> BlockHeaderIter<'a> {
     /// Opens an iterator over `block` (which must start with its
-    /// preamble). Returns the preamble alongside.
-    pub fn new(block: &'a [u8]) -> (Preamble, Self) {
-        let preamble = Preamble::read(block);
-        (
+    /// preamble). Returns the preamble alongside, or `None` when the
+    /// block is shorter than a preamble.
+    pub fn try_new(block: &'a [u8]) -> Option<(Preamble, Self)> {
+        let preamble = Preamble::try_read(block)?;
+        Some((
             preamble,
             Self {
                 block,
                 cursor: PREAMBLE_SIZE,
                 remaining: preamble.msg_count,
+                malformed: false,
             },
-        )
+        ))
+    }
+
+    /// Opens an iterator over `block` (which must start with its
+    /// preamble). Returns the preamble alongside.
+    ///
+    /// # Panics
+    /// When `block` is shorter than a preamble; use
+    /// [`BlockHeaderIter::try_new`] on untrusted input.
+    pub fn new(block: &'a [u8]) -> (Preamble, Self) {
+        Self::try_new(block).expect("block shorter than PREAMBLE_SIZE")
+    }
+
+    /// True when iteration stopped early because a header or payload
+    /// overran the block bounds.
+    pub fn malformed(&self) -> bool {
+        self.malformed
     }
 }
 
@@ -152,18 +212,33 @@ impl<'a> Iterator for BlockHeaderIter<'a> {
     type Item = (Header, usize, &'a [u8], &'a [u8]);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.remaining == 0 {
+        if self.remaining == 0 || self.malformed {
             return None;
         }
         self.remaining -= 1;
-        let h = Header::read(&self.block[self.cursor..]);
+        let Some(h) = self.block.get(self.cursor..).and_then(Header::try_read) else {
+            self.malformed = true;
+            return None;
+        };
         let payload_off = self.cursor + HEADER_SIZE;
-        let payload = &self.block[payload_off..payload_off + h.payload_size as usize];
+        let Some(payload) = self
+            .block
+            .get(payload_off..payload_off + h.payload_size as usize)
+        else {
+            self.malformed = true;
+            return None;
+        };
         let meta_off = payload_off + align_up(h.payload_size as u64, 8) as usize;
         let metadata = if h.meta_len == 0 {
             &[][..]
         } else {
-            &self.block[meta_off..meta_off + h.meta_len as usize]
+            match self.block.get(meta_off..meta_off + h.meta_len as usize) {
+                Some(m) => m,
+                None => {
+                    self.malformed = true;
+                    return None;
+                }
+            }
         };
         self.cursor = payload_off + h.message_extent();
         Some((h, payload_off, payload, metadata))
@@ -180,10 +255,57 @@ mod tests {
             msg_count: 300,
             ack_blocks: 7,
             block_bytes: 8192,
+            crc32c: 0xdead_beef,
         };
         let mut buf = [0u8; PREAMBLE_SIZE];
         p.write(&mut buf);
         assert_eq!(Preamble::read(&buf), p);
+    }
+
+    #[test]
+    fn truncated_reads_return_none() {
+        assert_eq!(Preamble::try_read(&[0u8; PREAMBLE_SIZE - 1]), None);
+        assert_eq!(Header::try_read(&[0u8; HEADER_SIZE - 1]), None);
+        assert!(BlockHeaderIter::try_new(&[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn overrunning_header_marks_block_malformed() {
+        // Preamble claims 2 messages but the block has room for none.
+        let mut block = vec![0u8; PREAMBLE_SIZE + 4];
+        Preamble {
+            msg_count: 2,
+            ack_blocks: 0,
+            block_bytes: block.len() as u32,
+            crc32c: 0,
+        }
+        .write(&mut block);
+        let (_, mut iter) = BlockHeaderIter::new(&block);
+        assert!(iter.next().is_none());
+        assert!(iter.malformed());
+    }
+
+    #[test]
+    fn overrunning_payload_marks_block_malformed() {
+        // One message whose claimed payload runs past the block end.
+        let mut block = vec![0u8; PREAMBLE_SIZE + HEADER_SIZE + 8];
+        Preamble {
+            msg_count: 1,
+            ack_blocks: 0,
+            block_bytes: block.len() as u32,
+            crc32c: 0,
+        }
+        .write(&mut block);
+        Header {
+            payload_size: 4096,
+            selector: 1,
+            status: 0,
+            meta_len: 0,
+        }
+        .write(&mut block[PREAMBLE_SIZE..]);
+        let (_, mut iter) = BlockHeaderIter::new(&block);
+        assert!(iter.next().is_none());
+        assert!(iter.malformed());
     }
 
     #[test]
@@ -233,6 +355,7 @@ mod tests {
             msg_count: 3,
             ack_blocks: 0,
             block_bytes: cursor as u32,
+            crc32c: 0,
         }
         .write(&mut block);
 
@@ -279,6 +402,7 @@ mod tests {
                     msg_count: payloads.len() as u16,
                     ack_blocks: ack,
                     block_bytes: cursor as u32,
+                    crc32c: 0,
                 }
                 .write(&mut block);
 
@@ -317,6 +441,7 @@ mod tests {
             msg_count: 2,
             ack_blocks: 0,
             block_bytes: 64,
+            crc32c: 0,
         }
         .write(&mut block);
         let mut cursor = PREAMBLE_SIZE;

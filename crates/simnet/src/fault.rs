@@ -21,8 +21,16 @@ pub enum FaultKind {
     /// The DMA engine reports a transport retry exhaustion.
     TransportRetryExceeded,
     /// The immediate data was delivered but the payload write failed
-    /// (catastrophic; used to verify the protocol fails loudly).
+    /// loudly — the initiator sees the error, so recovery is a transport
+    /// concern (reconnect + replay), not a data-integrity one. Contrast
+    /// [`FaultKind::BitFlip`], which corrupts *silently*.
     PayloadCorrupt,
+    /// One payload bit is flipped after the DMA copy, and the operation
+    /// reports success: neither endpoint sees a transport error, the
+    /// completion (and its immediate) is delivered normally, and only an
+    /// end-to-end check over the delivered bytes — the block CRC32C — can
+    /// detect it. Models silent PCIe/DMA/memory corruption.
+    BitFlip,
     /// The data lands but its completion is held back until the next
     /// operation on the same responder drains it (order preserved). If no
     /// later operation arrives the completion is lost — surfacing only as
@@ -40,10 +48,11 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every injectable kind, for exhaustive schedules and dashboards.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::ReceiverNotReady,
         FaultKind::TransportRetryExceeded,
         FaultKind::PayloadCorrupt,
+        FaultKind::BitFlip,
         FaultKind::DelayedCompletion,
         FaultKind::DroppedAck,
         FaultKind::ConnectionKill,
@@ -55,6 +64,7 @@ impl FaultKind {
             FaultKind::ReceiverNotReady => "receiver_not_ready",
             FaultKind::TransportRetryExceeded => "transport_retry_exceeded",
             FaultKind::PayloadCorrupt => "payload_corrupt",
+            FaultKind::BitFlip => "bit_flip",
             FaultKind::DelayedCompletion => "delayed_completion",
             FaultKind::DroppedAck => "dropped_ack",
             FaultKind::ConnectionKill => "connection_kill",

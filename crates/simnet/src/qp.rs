@@ -180,9 +180,10 @@ impl QueuePair {
     }
 
     /// Validates the post and consults the fault plane. Loud faults come
-    /// back as `Err`; the two kinds the post body must *absorb* rather
-    /// than fail on — [`FaultKind::DelayedCompletion`] and
-    /// [`FaultKind::DroppedAck`] — come back as `Ok(Some(kind))`.
+    /// back as `Err`; the kinds the post body must *absorb* rather than
+    /// fail on — [`FaultKind::DelayedCompletion`], [`FaultKind::DroppedAck`]
+    /// and the silent [`FaultKind::BitFlip`] — come back as
+    /// `Ok(Some(kind))`.
     fn precheck(&self, local_mr: &MemoryRegion) -> Result<Option<FaultKind>, QpError> {
         if local_mr.pd_id() != self.pd {
             return Err(QpError::PdMismatch {
@@ -195,7 +196,9 @@ impl QueuePair {
         }
         match self.faults.check() {
             None => Ok(None),
-            Some(k @ (FaultKind::DelayedCompletion | FaultKind::DroppedAck)) => Ok(Some(k)),
+            Some(
+                k @ (FaultKind::DelayedCompletion | FaultKind::DroppedAck | FaultKind::BitFlip),
+            ) => Ok(Some(k)),
             Some(FaultKind::ConnectionKill) => {
                 self.poison();
                 Err(QpError::Fault(FaultKind::ConnectionKill))
@@ -284,6 +287,23 @@ impl QueuePair {
         };
         let dma_start = std::time::Instant::now();
         MemoryRegion::dma_copy(local_mr, local_off, remote_mr, remote_off, len);
+        if fault == Some(FaultKind::BitFlip) && len > 0 {
+            // Silent corruption *after* the DMA copy: one bit of the
+            // delivered bytes flips, the completion (and immediate) is
+            // still delivered normally, and the initiator sees success.
+            // The flipped position is a pure function of the post, keeping
+            // runs deterministic. Retransmits of the same block advance
+            // the fault-plane op counter, so a retransmit is only
+            // re-corrupted if another BitFlip is scheduled for it.
+            let bit = (imm as usize)
+                .wrapping_mul(7)
+                .wrapping_add(len)
+                .wrapping_add(13)
+                % (len * 8);
+            let mut byte = remote_mr.read(remote_off + bit / 8, 1);
+            byte[0] ^= 1 << (bit % 8);
+            remote_mr.write(remote_off + bit / 8, &byte);
+        }
         self.last_dma_ns
             .store(dma_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.link.record(self.dir_to_peer, len as u64);
@@ -584,6 +604,59 @@ mod tests {
             })
             .collect();
         assert_eq!(imms, vec![10, 11]);
+    }
+
+    #[test]
+    fn bit_flip_is_silent_and_corrupts_exactly_one_bit() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let faults = FaultInjector::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, PcieLink::new(), faults.clone());
+        let src = pd_a.register(64);
+        let dst = pd_b.register(64);
+        src.write(0, &[0u8; 32]);
+        b.post_recv(WorkRequestId(0), None);
+        faults.fail_nth(0, FaultKind::BitFlip);
+        // The post succeeds: no error, completion + immediate delivered.
+        a.post_write_imm(WorkRequestId(0), &src, 0, 32, &dst, 0, 5, false)
+            .unwrap();
+        let rx = b.recv_cq().poll(4);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].kind, CqeKind::RecvWriteImm { imm: 5, len: 32 });
+        // Exactly one destination bit differs from the source.
+        let delivered = dst.read(0, 32);
+        let flipped: u32 = delivered.iter().map(|byt| byt.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must have flipped");
+        assert_eq!(faults.fired_of(FaultKind::BitFlip), 1);
+        // The connection remains healthy.
+        b.post_recv(WorkRequestId(1), None);
+        a.post_write_imm(WorkRequestId(1), &src, 0, 32, &dst, 32, 6, false)
+            .unwrap();
+        assert_eq!(dst.read(32, 32), vec![0u8; 32]);
+    }
+
+    #[test]
+    fn bit_flip_on_two_sided_send_is_absorbed() {
+        let pd_a = ProtectionDomain::new();
+        let pd_b = ProtectionDomain::new();
+        let faults = FaultInjector::new();
+        let (a, b) = connect_pair(&pd_a, &pd_b, 64, PcieLink::new(), faults.clone());
+        let src = pd_a.register(32);
+        let landing = pd_b.register(32);
+        src.write(0, b"control!");
+        b.post_recv(
+            WorkRequestId(0),
+            Some(RecvBufferSlot {
+                mr: landing.clone(),
+                offset: 0,
+                len: 32,
+            }),
+        );
+        faults.fail_nth(0, FaultKind::BitFlip);
+        // Control traffic ignores the flip (the ADT path has its own
+        // digest verification); the send must not fail.
+        a.post_send(WorkRequestId(0), &src, 0, 8, false).unwrap();
+        assert_eq!(&landing.read(0, 8), b"control!");
     }
 
     #[test]

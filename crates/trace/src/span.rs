@@ -36,6 +36,9 @@ pub mod stages {
     /// Interval a request spent routed over the degraded (host-side
     /// deserialization) path while the offload circuit breaker was open.
     pub const DEGRADED: &str = "degraded";
+    /// A malformed (poison) request was rejected with a per-request error
+    /// response instead of entering the datapath.
+    pub const QUARANTINE: &str = "quarantine";
 
     /// Every stage name the datapath can emit, in datapath order.
     pub const ALL: &[&str] = &[
@@ -51,6 +54,7 @@ pub mod stages {
         RETRY,
         RECONNECT,
         DEGRADED,
+        QUARANTINE,
     ];
 }
 

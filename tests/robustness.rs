@@ -50,7 +50,13 @@ fn abi_mismatch_is_rejected_at_setup() {
     let err = OffloadClient::new(ep.client, bundle, ep.control_blob.as_deref())
         .err()
         .expect("ABI mismatch must be rejected");
-    assert!(matches!(err, pbo_adt::AdtError::AbiMismatch { .. }));
+    // Per-class layout digests localize the mismatch to a message class
+    // before the whole-table comparison runs, so a stdlib divergence now
+    // surfaces as LayoutSkew naming the first incompatible class.
+    assert!(
+        matches!(err, pbo_adt::AdtError::LayoutSkew { .. }),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -197,7 +203,13 @@ fn garbage_wire_bytes_never_reach_the_host() {
     for len in [1usize, 3, 10, 50, 200] {
         let garbage: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
         match client.call_offloaded(2, &garbage, Box::new(|_p, _s| {})) {
-            Err(RpcError::PayloadWriter(_)) => rejected += 1,
+            // Malformed *input* is quarantined (fatal for this request
+            // only), distinct from PayloadWriter which flags host-side
+            // machinery failures.
+            Err(e @ RpcError::Quarantined(_)) => {
+                assert_eq!(e.retry_class(), RetryClass::Fatal);
+                rejected += 1;
+            }
             Ok(()) => { /* garbage can occasionally be valid protobuf */ }
             Err(e) => panic!("unexpected {e}"),
         }
@@ -250,10 +262,13 @@ fn no_rnr_events_under_sustained_load() {
 // ---------------------------------------------------------------------------
 
 /// Runs a [`ResilientSession`] closed loop against a reproducible fault
-/// schedule covering every [`FaultKind`], plus a forced offload
-/// degradation cycle and a forced reconnect-with-replay. Verifies the
-/// exactly-once contract: every request's continuation fires precisely
-/// once, with the correct payload and status, no matter which faults hit.
+/// schedule covering every [`FaultKind`] (including silent [`FaultKind::
+/// BitFlip`] corruption, which only the wire CRC can catch), plus a
+/// forced offload degradation cycle, a forced reconnect-with-replay, and
+/// a poison-message burst. Verifies the exactly-once contract: every
+/// request's continuation fires precisely once, with the correct payload
+/// and status, no matter which faults hit — and poisoned requests get a
+/// per-request quarantine error, never a disconnect or a breaker trip.
 fn chaos_soak(seed: u32) {
     const CAPACITY: usize = 4000;
     let bundle = ServiceSchema::paper_bench();
@@ -312,7 +327,7 @@ fn chaos_soak(seed: u32) {
             FaultKind::ConnectionKill,
         ],
     );
-    let scheduled = fabric.faults().pending() as u64;
+    let mut scheduled = fabric.faults().pending() as u64;
     assert!(scheduled >= FaultKind::ALL.len() as u64);
 
     let wire = encode_message(&gen_small(&paper_schema()));
@@ -440,6 +455,65 @@ fn chaos_soak(seed: u32) {
     }
     assert_eq!(done.load(Ordering::Relaxed), replay_floor + 8);
 
+    // Phase 4 — poison quarantine: malformed requests are answered with a
+    // per-request error (status 3, empty payload) instead of a disconnect,
+    // the breaker never trips, and good traffic keeps flowing afterwards.
+    let poison = [0x05u8]; // tag with field number 0: structurally invalid
+    let poison_count = 16u64;
+    let quarantined = Arc::new(AtomicU64::new(0));
+    for _ in 0..poison_count {
+        let q = quarantined.clone();
+        session
+            .call(
+                1,
+                &poison,
+                Box::new(move |payload, status| {
+                    assert_eq!(status, pbo_core::STATUS_QUARANTINED);
+                    assert!(payload.is_empty());
+                    q.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+    }
+    assert_eq!(
+        quarantined.load(Ordering::Relaxed),
+        poison_count,
+        "seed {seed}: quarantine continuations must fire exactly once each"
+    );
+    assert!(
+        !session.breaker_is_open(),
+        "seed {seed}: poison input must not trip the offload breaker"
+    );
+    // One more silent corruption, landing deterministically on the next
+    // posted request block (the quarantined requests above never reached
+    // the wire): proves CRC → NACK → retransmit heals in-band traffic
+    // even outside the chaos schedule.
+    fabric.faults().fail_nth(0, FaultKind::BitFlip);
+    scheduled += 1;
+    total += 8;
+    while issued < total {
+        let c = counts.clone();
+        let d = done.clone();
+        let i = issued as usize;
+        session
+            .call(
+                1,
+                &wire,
+                Box::new(move |payload, status| {
+                    assert_eq!(status, 0);
+                    assert_eq!(payload, 300u32.to_le_bytes());
+                    c[i].fetch_add(1, Ordering::Relaxed);
+                    d.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .unwrap();
+        issued += 1;
+    }
+    while done.load(Ordering::Relaxed) < total {
+        assert!(Instant::now() < deadline, "seed {seed}: phase 4 wedged");
+        session.tick(Duration::ZERO).unwrap();
+    }
+
     // Exactly-once: every issued request fired its continuation precisely
     // once — across retries, replays, and degraded re-routing.
     for i in 0..issued as usize {
@@ -510,6 +584,41 @@ fn chaos_soak(seed: u32) {
     assert_eq!(
         registry.gauge_value("session_journal_depth", &labels),
         Some(0)
+    );
+
+    // Integrity: the scheduled BitFlip corrupted a block silently; only
+    // the wire CRC could have caught it, and every CRC failure must have
+    // been healed by a NACK-driven retransmit (the soak completed, so the
+    // corrupted requests were ultimately delivered intact).
+    let side_sum = |name: &str| -> u64 {
+        ["client", "server"]
+            .iter()
+            .map(|s| {
+                registry
+                    .counter_value(name, &[("conn", "soak"), ("side", s)])
+                    .unwrap_or(0)
+            })
+            .sum()
+    };
+    let crc_failures = side_sum("crc_failures_total");
+    let retransmits = side_sum("integrity_retransmits_total");
+    assert!(
+        crc_failures >= 1,
+        "seed {seed}: BitFlip fired but no CRC failure was recorded"
+    );
+    assert!(
+        retransmits >= 1,
+        "seed {seed}: CRC failure healed without a recorded retransmit"
+    );
+
+    // Quarantine: exactly the poison burst, counted on the DPU side.
+    assert_eq!(
+        registry.counter_value(
+            "quarantined_requests_total",
+            &[("conn", "soak"), ("side", "dpu")]
+        ),
+        Some(poison_count),
+        "seed {seed}"
     );
 }
 
