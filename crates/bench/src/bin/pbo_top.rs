@@ -1,0 +1,274 @@
+//! `pbo-top` — a `top`-style poller for the live telemetry endpoint.
+//!
+//! Connects to a running `pbo-telemetry` server (e.g. the one
+//! `examples/full_offload.rs` starts when `PBO_TELEMETRY_ADDR` is set),
+//! scrapes `/metrics` on an interval, and renders the datapath's vital
+//! signs: request/response rates from counter deltas, per-stage latency
+//! quantiles from the `pbo_trace_stage_ns` histograms, credit and
+//! breaker state, SLO burn rates, and integrity counters.
+//!
+//! Run: `cargo run --release -p pbo-bench --bin pbo_top -- \
+//!           --addr 127.0.0.1:9464 [--iterations N] [--interval-ms M]`
+//!
+//! `--iterations` makes runs finite (CI smoke uses 2); the default polls
+//! until interrupted. Exit code is non-zero when the endpoint cannot be
+//! scraped or the exposition is unparseable, so CI can gate on it.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One scrape, parsed: `name{labels} -> value` plus histogram buckets
+/// grouped as `name{labels-without-le} -> [(le, cumulative_count)]`.
+#[derive(Default)]
+struct Scrape {
+    samples: BTreeMap<String, f64>,
+    buckets: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+fn fetch(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: pbo-top\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read {addr}{path}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response".to_string())?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("GET {path}: HTTP {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Splits `metric{a="x",b="y"}` into the name and an ordered label list.
+/// Label values are exposition-escaped; this poller only inspects label
+/// values we emit (`stage`, `slo`, `conn`, `side`), which never contain
+/// escapes, so a plain split suffices.
+fn parse_series(series: &str) -> (String, Vec<(String, String)>) {
+    let Some(brace) = series.find('{') else {
+        return (series.to_string(), Vec::new());
+    };
+    let name = series[..brace].to_string();
+    let inner = series[brace + 1..].trim_end_matches('}');
+    let labels = inner
+        .split(',')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            Some((k.to_string(), v.trim_matches('"').to_string()))
+        })
+        .collect();
+    (name, labels)
+}
+
+fn parse(text: &str) -> Result<Scrape, String> {
+    let mut out = Scrape::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("unparseable exposition line: {line}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("non-numeric sample: {line}"))?;
+        let (name, labels) = parse_series(series);
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("+Inf");
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().map_err(|_| format!("bad le bound: {line}"))?
+            };
+            let rest: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let key = format!("{base}{{{}}}", rest.join(","));
+            out.buckets.entry(key).or_default().push((le, value));
+        } else {
+            // Sum label variants (conn, side) into one headline series.
+            let total = out.samples.entry(name).or_insert(0.0);
+            *total += value;
+        }
+    }
+    Ok(out)
+}
+
+/// Quantile from cumulative buckets: the upper bound of the bucket the
+/// rank falls into (matches `pbo-metrics`' own estimator's spirit).
+fn quantile(buckets: &[(f64, f64)], q: f64) -> Option<f64> {
+    let mut sorted = buckets.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let total = sorted.last()?.1;
+    if total <= 0.0 {
+        return None;
+    }
+    let rank = q * total;
+    for (le, cum) in &sorted {
+        if *cum >= rank {
+            return Some(*le);
+        }
+    }
+    Some(f64::INFINITY)
+}
+
+fn fmt_ns(v: f64) -> String {
+    if !v.is_finite() {
+        return ">max".to_string();
+    }
+    if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}µs", v / 1e3)
+    } else {
+        format!("{v:.0}ns")
+    }
+}
+
+fn rate(cur: &Scrape, prev: Option<&Scrape>, name: &str, dt: f64) -> f64 {
+    let now = cur.samples.get(name).copied().unwrap_or(0.0);
+    let before = prev
+        .and_then(|p| p.samples.get(name).copied())
+        .unwrap_or(now);
+    ((now - before).max(0.0)) / dt.max(1e-9)
+}
+
+fn render(cur: &Scrape, prev: Option<&Scrape>, dt: f64) {
+    println!(
+        "req/s {:>10.0}  resp/s {:>10.0}  blocks/s {:>8.0}  bytes/s {:>12.0}",
+        rate(cur, prev, "rpc_requests_enqueued_total", dt),
+        rate(cur, prev, "rpc_responses_total", dt),
+        rate(cur, prev, "rpc_blocks_sent_total", dt),
+        rate(cur, prev, "rpc_bytes_sent_total", dt),
+    );
+    let g = |n: &str| cur.samples.get(n).copied().unwrap_or(0.0);
+    println!(
+        "credits {:>6.0}  credit_peak {:>5.0}  inflight_peak {:>5.0}  breaker_open {:>2.0}  \
+         journal {:>4.0} (peak {:.0})",
+        g("rpc_credits"),
+        g("rpc_credits_in_use_peak"),
+        g("rpc_inflight_requests_peak"),
+        g("session_breaker_open"),
+        g("session_journal_depth"),
+        g("session_journal_depth_peak"),
+    );
+    println!(
+        "crc_fail {:>5.0}  retransmits {:>5.0}  quarantined {:>5.0}  reconnects {:>3.0}  \
+         flight_dumps {:>3.0}",
+        g("crc_failures_total"),
+        g("integrity_retransmits_total"),
+        g("quarantined_requests_total"),
+        g("session_reconnects_total"),
+        g("flight_trigger_total"),
+    );
+    let burns: Vec<String> = cur
+        .samples
+        .keys()
+        .filter(|k| k.starts_with("slo_burn_rate"))
+        .map(|k| format!("{k}={:.2}", cur.samples[k] / 1000.0))
+        .collect();
+    if !burns.is_empty() {
+        println!("burn {}", burns.join("  "));
+    }
+    let mut stage_rows: Vec<String> = Vec::new();
+    for (key, buckets) in &cur.buckets {
+        if !key.starts_with("pbo_trace_stage_ns") {
+            continue;
+        }
+        let stage = key
+            .split("stage=")
+            .nth(1)
+            .map(|s| s.trim_end_matches('}'))
+            .unwrap_or(key);
+        let (Some(p50), Some(p99)) = (quantile(buckets, 0.5), quantile(buckets, 0.99)) else {
+            continue;
+        };
+        stage_rows.push(format!(
+            "{stage:>14} p50 {:>9} p99 {:>9}",
+            fmt_ns(p50),
+            fmt_ns(p99)
+        ));
+    }
+    for row in stage_rows {
+        println!("  {row}");
+    }
+    println!();
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9464".to_string();
+    let mut iterations: Option<u64> = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs a value"),
+            "--iterations" => {
+                iterations = Some(
+                    args.next()
+                        .expect("--iterations needs a value")
+                        .parse()
+                        .expect("--iterations must be a number"),
+                )
+            }
+            "--interval-ms" => {
+                interval = Duration::from_millis(
+                    args.next()
+                        .expect("--interval-ms needs a value")
+                        .parse()
+                        .expect("--interval-ms must be a number"),
+                )
+            }
+            other => {
+                eprintln!("unknown flag {other}; flags: --addr --iterations --interval-ms");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut prev: Option<(Scrape, Instant)> = None;
+    let mut n = 0u64;
+    loop {
+        let body = match fetch(&addr, "/metrics") {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("pbo-top: {e}");
+                std::process::exit(1);
+            }
+        };
+        let cur = match parse(&body) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pbo-top: {e}");
+                std::process::exit(1);
+            }
+        };
+        let now = Instant::now();
+        let dt = prev
+            .as_ref()
+            .map(|(_, t)| now.duration_since(*t).as_secs_f64())
+            .unwrap_or(interval.as_secs_f64());
+        println!("== pbo-top @ {addr} (scrape {}) ==", n + 1);
+        render(&cur, prev.as_ref().map(|(s, _)| s), dt);
+        prev = Some((cur, now));
+        n += 1;
+        if iterations.is_some_and(|max| n >= max) {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+}

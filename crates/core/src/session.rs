@@ -40,7 +40,7 @@ use pbo_rpcrdma::{
     try_establish, Config, JournalEntry, ReplayJournal, RetryClass, RetryPolicy, RpcError,
 };
 use pbo_simnet::Fabric;
-use pbo_trace::{stages, Span, SpanSink, Tracer};
+use pbo_trace::{stages, triggers, FlightRecorder, Span, SpanSink, Tracer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -176,6 +176,7 @@ struct SessionCounters {
     quarantined: Counter,
     breaker_open: Gauge,
     journal_depth: Gauge,
+    journal_depth_peak: Gauge,
 }
 
 impl SessionCounters {
@@ -227,6 +228,11 @@ impl SessionCounters {
                 "Unacknowledged requests held for replay",
                 &l,
             ),
+            journal_depth_peak: registry.gauge(
+                "session_journal_depth_peak",
+                "High-water mark of unacknowledged requests held for replay",
+                &l,
+            ),
         }
     }
 }
@@ -258,6 +264,10 @@ pub struct ResilientSession {
 
     counters: SessionCounters,
     trace: Option<(Tracer, SpanSink)>,
+    /// Flight-recorder handle plus the clock that stamps its marks; set
+    /// whenever the attached tracer carries a recorder — independently of
+    /// span sampling, so anomaly dumps work in production-shaped runs.
+    flight: Option<(Tracer, FlightRecorder)>,
 }
 
 impl ResilientSession {
@@ -311,6 +321,7 @@ impl ResilientSession {
             reconnect_seq: 0,
             counters,
             trace: None,
+            flight: None,
         })
     }
 
@@ -328,6 +339,7 @@ impl ResilientSession {
         } else {
             None
         };
+        self.flight = tracer.flight().map(|f| (tracer.clone(), f));
     }
 
     /// Registers a degradable handler (see
@@ -397,6 +409,11 @@ impl ResilientSession {
                     // breaker alone — a flood of malformed requests must
                     // not push healthy traffic off the offload path.
                     self.counters.quarantined.inc();
+                    if let Some((t, f)) = &self.flight {
+                        let now = t.now_ns();
+                        f.record_mark(seq, triggers::QUARANTINE, now, wire.len() as u64);
+                        f.trigger(triggers::QUARANTINE, now);
+                    }
                     if let (Some((t, sink)), Some(start_ns)) = (&self.trace, start_ns) {
                         sink.record(Span {
                             trace_id: seq,
@@ -419,6 +436,11 @@ impl ResilientSession {
                     if self.breaker.on_failure() {
                         self.counters.breaker_trips.inc();
                         self.counters.breaker_open.set(1);
+                        if let Some((t, f)) = &self.flight {
+                            let now = t.now_ns();
+                            f.record_mark(seq, triggers::BREAKER_OPEN, now, wire.len() as u64);
+                            f.trigger(triggers::BREAKER_OPEN, now);
+                        }
                     }
                     native = false;
                     self.counters.degraded_calls.inc();
@@ -457,7 +479,9 @@ impl ResilientSession {
         self.slots.insert(seq, slot);
         self.issued_at.insert(seq, Instant::now());
         self.next_seq += 1;
-        self.counters.journal_depth.set(self.journal.len() as i64);
+        let depth = self.journal.len() as i64;
+        self.counters.journal_depth.set(depth);
+        self.counters.journal_depth_peak.set_max(depth);
         Ok(seq)
     }
 
@@ -534,6 +558,11 @@ impl ResilientSession {
         self.drain_acks();
         self.counters.reconnects.inc();
         self.reconnect_seq += 1;
+        if let Some((t, f)) = &self.flight {
+            let now = t.now_ns();
+            f.record_mark(self.reconnect_seq, triggers::RECONNECT, now, 0);
+            f.trigger(triggers::RECONNECT, now);
+        }
         let start_ns = self.trace.as_ref().map(|(t, _)| t.now_ns());
         let mut last = RpcError::Stalled { waited_ms: 0 };
         for attempt in 1..=self.cfg.reconnect_max_attempts.max(1) {

@@ -48,6 +48,18 @@ impl Gauge {
         self.sub(1);
     }
 
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    ///
+    /// A single atomic `fetch_max`, so concurrent writers cannot lose a
+    /// peak: whatever interleaving occurs, the gauge ends at the largest
+    /// value any writer observed. Used for occupancy peaks (credits in
+    /// use, in-flight requests) that would otherwise vanish between
+    /// scrapes of the instantaneous gauge.
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
@@ -75,5 +87,37 @@ mod tests {
         let g = Gauge::new();
         g.sub(4);
         assert_eq!(g.get(), -4);
+    }
+
+    #[test]
+    fn set_max_only_raises() {
+        let g = Gauge::new();
+        g.set_max(10);
+        assert_eq!(g.get(), 10);
+        g.set_max(3);
+        assert_eq!(g.get(), 10, "lower value must not overwrite the peak");
+        g.set_max(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn set_max_race_free_across_threads() {
+        // Many writers racing distinct values: the final gauge value must
+        // be exactly the global maximum — a lost update would leave it
+        // lower. fetch_max makes this a single-instruction invariant.
+        let g = Gauge::new();
+        let mut handles = Vec::new();
+        for t in 0..8i64 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000i64 {
+                    g.set_max(t * 10_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 7 * 10_000 + 9_999);
     }
 }

@@ -26,12 +26,16 @@ mod gauge;
 mod histogram;
 mod monitor;
 mod registry;
+mod sliding;
+mod slo;
 
 pub use counter::Counter;
 pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_BUCKETS};
 pub use monitor::{Monitor, MonitorConfig, RateSample, StabilityReport};
-pub use registry::{LabelSet, MetricFamily, MetricKind, Registry};
+pub use registry::{KindMismatch, LabelSet, MetricFamily, MetricKind, Registry};
+pub use sliding::{SlidingConfig, SlidingHistogram};
+pub use slo::{SloSpec, SloStatus, SloTracker};
 
 #[cfg(test)]
 mod tests {

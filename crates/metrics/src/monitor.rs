@@ -63,6 +63,7 @@ pub struct Monitor {
     last_rate: Option<f64>,
     stable_run: usize,
     samples: usize,
+    resets: usize,
 }
 
 impl Monitor {
@@ -74,6 +75,7 @@ impl Monitor {
             last_rate: None,
             stable_run: 0,
             samples: 0,
+            resets: 0,
         }
     }
 
@@ -81,11 +83,27 @@ impl Monitor {
     ///
     /// The instant rate of increase uses only the last two data points:
     /// `(vᵢ - vᵢ₋₁) / (tᵢ - tᵢ₋₁)`, scaled to per-second.
+    ///
+    /// A *decrease* in value is a counter reset (a reconnect replaced the
+    /// per-connection counter, or a warmup discard zeroed it), not a
+    /// negative rate: the sample re-anchors the estimator — no rate is
+    /// produced, the stability run restarts, and the previous rate is
+    /// forgotten so the next genuine rate is not compared against a
+    /// pre-reset one.
     pub fn push(&mut self, sample: RateSample) -> Option<f64> {
         self.samples += 1;
+        if let Some(prev) = self.last {
+            if sample.value < prev.value {
+                self.resets += 1;
+                self.stable_run = 0;
+                self.last_rate = None;
+                self.last = Some(sample);
+                return None;
+            }
+        }
         let rate = match self.last {
             Some(prev) if sample.t_ns > prev.t_ns => {
-                let dv = sample.value.saturating_sub(prev.value) as f64;
+                let dv = (sample.value - prev.value) as f64;
                 let dt = (sample.t_ns - prev.t_ns) as f64 / 1e9;
                 Some(dv / dt)
             }
@@ -109,6 +127,11 @@ impl Monitor {
     /// Whether the stability criterion has been met.
     pub fn is_stable(&self) -> bool {
         self.stable_run >= self.cfg.required_stable
+    }
+
+    /// Counter resets (value decreases) absorbed so far.
+    pub fn resets(&self) -> usize {
+        self.resets
     }
 
     /// Whether sampling should stop (stable, or budget exhausted).
@@ -234,13 +257,68 @@ mod tests {
     }
 
     #[test]
-    fn counter_reset_yields_zero_rate_not_underflow() {
-        // A counter reset (benchmark warmup discard) must not wrap the
-        // rate negative/huge: the saturating difference reads as zero.
+    fn counter_reset_yields_no_rate_not_underflow() {
+        // A counter reset (reconnect replay, warmup discard) must not
+        // wrap the rate negative/huge, and must not masquerade as a real
+        // 0/s measurement: the sample re-anchors and produces no rate.
         let mut m = Monitor::new(MonitorConfig::default());
         m.push(sample(0, 10_000));
-        let r = m.push(sample(1000, 50)).unwrap();
-        assert_eq!(r, 0.0);
+        assert_eq!(m.push(sample(1000, 50)), None);
+        assert_eq!(m.resets(), 1);
+        // The next sample rates against the post-reset anchor.
+        let r = m.push(sample(2000, 1050)).unwrap();
+        assert!((r - 1000.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn counter_reset_mid_run_does_not_fake_stability() {
+        // Steady 1000/s, then the connection reconnects and its counter
+        // restarts from zero mid-run. Without reset detection the
+        // saturating delta reads 0/s and — compared against another 0/s
+        // from a second reset — could count toward the stability run. The
+        // verdict right after a reset must NOT be "stable".
+        let mut m = Monitor::new(MonitorConfig {
+            tolerance: 0.01,
+            required_stable: 2,
+            max_samples: 100,
+        });
+        m.push(sample(0, 0));
+        m.push(sample(1000, 1000)); // 1000/s
+        m.push(sample(2000, 2000)); // 1000/s -> stable_run = 1
+        m.push(sample(3000, 5)); // reset: counter restarted
+        assert!(!m.is_stable(), "reset must clear the stability run");
+        // One in-tolerance pair after the reset is not enough either:
+        // the first post-reset rate has no valid predecessor.
+        m.push(sample(4000, 1005)); // 1000/s, compared against nothing
+        assert!(!m.is_stable());
+        m.push(sample(5000, 2005)); // 1000/s
+        m.push(sample(6000, 3005)); // 1000/s -> stable_run = 2
+        assert!(m.is_stable(), "post-reset rates re-converge");
+        assert_eq!(m.resets(), 1);
+    }
+
+    #[test]
+    fn repeated_resets_never_report_stable() {
+        // A counter that resets every window (pathological reconnect
+        // churn) produces no two comparable rates at all — the monitor
+        // must run to its sample budget rather than return a bogus
+        // "stable at 0/s" verdict.
+        let mut m = Monitor::new(MonitorConfig {
+            tolerance: 0.01,
+            required_stable: 2,
+            max_samples: 10,
+        });
+        let mut i = 0u64;
+        while !m.done() {
+            i += 1;
+            // Sawtooth: climbs within the window, resets below the
+            // previous sample every time.
+            m.push(sample(i * 1000, 10 + (i % 2) * 5));
+        }
+        let rep = m.report();
+        assert!(!rep.stable, "{rep:?}");
+        assert_eq!(rep.samples, 10);
+        assert!(m.resets() >= 4);
     }
 
     #[test]

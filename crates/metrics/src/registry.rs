@@ -20,6 +20,35 @@ pub enum MetricKind {
     Histogram,
 }
 
+/// A metric name was requested with a kind different from the kind it was
+/// first registered with (e.g. `counter("x")` after `gauge("x")`).
+///
+/// Registration is idempotent only within one kind; silently handing out a
+/// mismatched handle would corrupt the family, and panicking deep inside a
+/// library component is hostile to embedders — the `try_*` accessors
+/// surface this as a typed error instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KindMismatch {
+    /// The metric family name.
+    pub name: String,
+    /// The kind the family was first registered with.
+    pub existing: MetricKind,
+    /// The kind this request asked for.
+    pub requested: MetricKind,
+}
+
+impl std::fmt::Display for KindMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "metric {} already registered with a different kind ({:?} requested, {:?} registered)",
+            self.name, self.requested, self.existing
+        )
+    }
+}
+
+impl std::error::Error for KindMismatch {}
+
 enum Series {
     Counter(Counter),
     Gauge(Gauge),
@@ -54,6 +83,9 @@ impl MetricFamily {
 #[derive(Default)]
 pub struct Registry {
     families: RwLock<BTreeMap<String, MetricFamily>>,
+    /// Kind-mismatched registration attempts observed (self-observation:
+    /// a scrape of a misbehaving embedder shows the count).
+    kind_mismatches: std::sync::atomic::AtomicU64,
 }
 
 fn labels_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
@@ -79,7 +111,7 @@ impl Registry {
         labels: &[(&str, &str)],
         make: F,
         extract: G,
-    ) -> T {
+    ) -> Result<T, KindMismatch> {
         let key = labels_key(labels);
         let mut fams = self.families.write();
         let fam = fams
@@ -90,16 +122,27 @@ impl Registry {
                 kind,
                 series: BTreeMap::new(),
             });
-        assert_eq!(
-            fam.kind, kind,
-            "metric {name} already registered with a different kind"
-        );
+        if fam.kind != kind {
+            self.kind_mismatches
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(KindMismatch {
+                name: name.to_string(),
+                existing: fam.kind,
+                requested: kind,
+            });
+        }
         let series = fam.series.entry(key).or_insert_with(make);
-        extract(series).expect("metric kind mismatch within family")
+        Ok(extract(series).expect("series kind always matches its family kind"))
     }
 
-    /// Returns (registering if needed) a counter series.
-    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+    /// Returns (registering if needed) a counter series, or a typed error
+    /// when `name` already names a family of a different kind.
+    pub fn try_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Counter, KindMismatch> {
         self.get_or_insert(
             name,
             help,
@@ -113,8 +156,14 @@ impl Registry {
         )
     }
 
-    /// Returns (registering if needed) a gauge series.
-    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+    /// Returns (registering if needed) a gauge series, or a typed error
+    /// when `name` already names a family of a different kind.
+    pub fn try_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Gauge, KindMismatch> {
         self.get_or_insert(
             name,
             help,
@@ -128,14 +177,15 @@ impl Registry {
         )
     }
 
-    /// Returns (registering if needed) a histogram series.
-    pub fn histogram(
+    /// Returns (registering if needed) a histogram series, or a typed
+    /// error when `name` already names a family of a different kind.
+    pub fn try_histogram(
         &self,
         name: &str,
         help: &str,
         labels: &[(&str, &str)],
         bounds: &[f64],
-    ) -> Histogram {
+    ) -> Result<Histogram, KindMismatch> {
         self.get_or_insert(
             name,
             help,
@@ -147,6 +197,61 @@ impl Registry {
                 _ => None,
             },
         )
+    }
+
+    /// Returns (registering if needed) a counter series.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind; use
+    /// [`Registry::try_counter`] for a recoverable error.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.try_counter(name, help, labels).unwrap_or_else(|e| {
+            panic!(
+                "metric {} already registered with a different kind: {e}",
+                e.name
+            )
+        })
+    }
+
+    /// Returns (registering if needed) a gauge series.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind; use
+    /// [`Registry::try_gauge`] for a recoverable error.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.try_gauge(name, help, labels).unwrap_or_else(|e| {
+            panic!(
+                "metric {} already registered with a different kind: {e}",
+                e.name
+            )
+        })
+    }
+
+    /// Returns (registering if needed) a histogram series.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind; use
+    /// [`Registry::try_histogram`] for a recoverable error.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        self.try_histogram(name, help, labels, bounds)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "metric {} already registered with a different kind: {e}",
+                    e.name
+                )
+            })
+    }
+
+    /// Kind-mismatched registration attempts observed so far.
+    pub fn kind_mismatches(&self) -> u64 {
+        self.kind_mismatches
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Reads the current value of a counter series, if present.
@@ -186,8 +291,53 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// Sums a gauge family across all label sets (e.g. "how many
+    /// connections currently have their breaker open").
+    pub fn gauge_sum(&self, name: &str) -> i64 {
+        let fams = self.families.read();
+        fams.get(name)
+            .map(|f| {
+                f.series
+                    .values()
+                    .map(|s| match s {
+                        Series::Gauge(g) => g.get(),
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
     /// Renders the Prometheus text exposition format.
     pub fn expose(&self) -> String {
+        // Label values are quoted strings in the text format: backslash,
+        // double-quote, and line-feed must be escaped or a value
+        // containing them desynchronizes every parser reading the scrape
+        // (Prometheus exposition format spec, "Comments, help text, and
+        // type information" / label value escaping).
+        fn escape_label_value(out: &mut String, v: &str) {
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+        }
+
+        // HELP text escapes only backslash and line-feed (it is not
+        // quoted, so a literal newline would terminate the comment early).
+        fn escape_help(out: &mut String, v: &str) {
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+        }
+
         fn fmt_labels(out: &mut String, key: &[(String, String)], extra: Option<(&str, &str)>) {
             if key.is_empty() && extra.is_none() {
                 return;
@@ -198,14 +348,18 @@ impl Registry {
                 if !first {
                     out.push(',');
                 }
-                let _ = write!(out, "{k}=\"{v}\"");
+                let _ = write!(out, "{k}=\"");
+                escape_label_value(out, v);
+                out.push('"');
                 first = false;
             }
             if let Some((k, v)) = extra {
                 if !first {
                     out.push(',');
                 }
-                let _ = write!(out, "{k}=\"{v}\"");
+                let _ = write!(out, "{k}=\"");
+                escape_label_value(out, v);
+                out.push('"');
             }
             out.push('}');
         }
@@ -218,7 +372,9 @@ impl Registry {
                 MetricKind::Gauge => "gauge",
                 MetricKind::Histogram => "histogram",
             };
-            let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
+            let _ = write!(out, "# HELP {} ", fam.name);
+            escape_help(&mut out, &fam.help);
+            out.push('\n');
             let _ = writeln!(out, "# TYPE {} {}", fam.name, kind);
             for (key, series) in &fam.series {
                 match series {
@@ -316,5 +472,69 @@ mod tests {
         assert_eq!(reg.counter_value("nope", &[]), None);
         assert_eq!(reg.gauge_value("nope", &[]), None);
         assert_eq!(reg.counter_sum("nope"), 0);
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_exposition() {
+        // A label value containing backslash, double-quote, AND newline
+        // must round-trip through the text format with all three escaped.
+        let reg = Registry::new();
+        reg.counter("esc", "escaping test", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = reg.expose();
+        assert!(
+            text.contains(r#"esc{path="a\\b\"c\nd"} 1"#),
+            "escaped series line missing:\n{text}"
+        );
+        // The raw (unescaped) byte sequences must not appear inside the
+        // quoted value: no literal newline, no bare quote.
+        let series_line = text
+            .lines()
+            .find(|l| l.starts_with("esc{"))
+            .expect("series line present");
+        assert!(!series_line.contains("a\\b\"c"), "bare quote leaked");
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("esc")).count(),
+            1,
+            "newline in a label value split the series across lines:\n{text}"
+        );
+    }
+
+    #[test]
+    fn help_text_newlines_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("h", "line one\nline two \\ done", &[]).inc();
+        let text = reg.expose();
+        assert!(
+            text.contains("# HELP h line one\\nline two \\\\ done"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_typed_error() {
+        let reg = Registry::new();
+        let _ = reg.counter("y", "y", &[]);
+        let err = reg.try_gauge("y", "y", &[]).unwrap_err();
+        assert_eq!(err.name, "y");
+        assert_eq!(err.existing, MetricKind::Counter);
+        assert_eq!(err.requested, MetricKind::Gauge);
+        assert!(err.to_string().contains("different kind"));
+        // Histograms conflict the same way, and mismatches are recorded.
+        assert!(reg.try_histogram("y", "y", &[], &[1.0]).is_err());
+        assert_eq!(reg.kind_mismatches(), 2);
+        // The family is unharmed: the original counter still works.
+        reg.counter("y", "y", &[]).inc();
+        assert_eq!(reg.counter_value("y", &[]), Some(1));
+    }
+
+    #[test]
+    fn gauge_sum_aggregates_over_labels() {
+        let reg = Registry::new();
+        reg.gauge("open", "o", &[("conn", "a")]).set(1);
+        reg.gauge("open", "o", &[("conn", "b")]).set(1);
+        reg.gauge("open", "o", &[("conn", "c")]).set(0);
+        assert_eq!(reg.gauge_sum("open"), 2);
+        assert_eq!(reg.gauge_sum("absent"), 0);
     }
 }

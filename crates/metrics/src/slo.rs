@@ -1,0 +1,349 @@
+//! Windowed SLO tracking: per-stage latency objectives evaluated over a
+//! sliding window, with burn-rate and violation exposition.
+//!
+//! An [`SloTracker`] holds a set of objectives of the form "`stage` p`q`
+//! stays under `threshold_ns`" (e.g. *deserialize p99 < 5 µs*, *end-to-end
+//! p99 < 200 µs*). Each objective owns a [`SlidingHistogram`]; stage
+//! latencies stream in (typically from sampled trace spans), and
+//! [`SloTracker::evaluate`] renders the verdicts:
+//!
+//! * `slo_burn_rate{slo}` — a gauge, in **milli-burn** units: the observed
+//!   bad-request fraction divided by the error budget, ×1000. A value of
+//!   `1000` means the budget is being consumed exactly as fast as it
+//!   accrues; above that, the objective is on course to be violated.
+//! * `slo_violations_total{slo}` — a counter of evaluations at which the
+//!   windowed quantile actually exceeded the objective.
+//!
+//! The tracker also carries windowed counter *ratios* ([`WindowedRatio`])
+//! for dimensionless health signals like the PCIe amplification factor
+//! (DMA bytes moved per wire byte accepted), exposed the same
+//! milli-scaled way (`{name}_milli`).
+
+use crate::sliding::{SlidingConfig, SlidingHistogram};
+use crate::{Counter, Gauge, Registry};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One latency objective over a sliding window.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Objective name (the `slo` label value), e.g. `deserialize_p99`.
+    pub name: String,
+    /// Stage whose latencies feed this objective (matched against
+    /// [`SloTracker::observe_stage`] calls), e.g. `deserialize`.
+    pub stage: String,
+    /// Quantile in `[0, 1]` the objective constrains (0.99 = p99).
+    pub quantile: f64,
+    /// Latency threshold in nanoseconds the quantile must stay under.
+    pub threshold_ns: f64,
+    /// Error budget: tolerated fraction of observations over the
+    /// threshold (Google-SRE style; 0.01 = 1%).
+    pub error_budget: f64,
+}
+
+impl SloSpec {
+    /// A p99-under-`threshold_ns` objective with a 1% error budget.
+    pub fn p99(name: &str, stage: &str, threshold_ns: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            stage: stage.to_string(),
+            quantile: 0.99,
+            threshold_ns,
+            error_budget: 0.01,
+        }
+    }
+}
+
+/// Point-in-time verdict for one objective.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    /// Objective name.
+    pub name: String,
+    /// Windowed quantile value (NaN when the window is empty).
+    pub quantile_ns: f64,
+    /// The threshold it is held against.
+    pub threshold_ns: f64,
+    /// Fraction of windowed observations over the threshold.
+    pub bad_fraction: f64,
+    /// `bad_fraction / error_budget` (1.0 = burning exactly at budget).
+    pub burn_rate: f64,
+    /// Whether the windowed quantile currently exceeds the objective.
+    pub violated: bool,
+    /// Observations inside the window.
+    pub window_count: u64,
+}
+
+struct SloEntry {
+    spec: SloSpec,
+    hist: SlidingHistogram,
+    burn: Gauge,
+    violations: Counter,
+}
+
+struct RatioEntry {
+    name: String,
+    num: Counter,
+    den: Counter,
+    gauge: Gauge,
+    /// (t_ns, num, den) samples bounding the window, oldest first.
+    samples: parking_lot::Mutex<std::collections::VecDeque<(u64, u64, u64)>>,
+    window_ns: u64,
+    windows: usize,
+}
+
+/// Windowed SLO evaluation over stage latencies and counter ratios.
+///
+/// Thread-safe and cheap to clone; observation is lock-light (one RwLock
+/// read + the sliding histogram's slot lock).
+#[derive(Clone)]
+pub struct SloTracker {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    registry: Arc<Registry>,
+    window: SlidingConfig,
+    slos: RwLock<Vec<Arc<SloEntry>>>,
+    ratios: RwLock<Vec<Arc<RatioEntry>>>,
+}
+
+impl SloTracker {
+    /// Creates a tracker exporting into `registry`, with every objective
+    /// sharing the `window` epoch geometry.
+    pub fn new(registry: Arc<Registry>, window: SlidingConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                registry,
+                window,
+                slos: RwLock::new(Vec::new()),
+                ratios: RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Registers one latency objective.
+    pub fn add(&self, spec: SloSpec) {
+        let burn = self.inner.registry.gauge(
+            "slo_burn_rate",
+            "SLO burn rate in milli units (1000 = consuming error budget exactly at rate)",
+            &[("slo", &spec.name)],
+        );
+        let violations = self.inner.registry.counter(
+            "slo_violations_total",
+            "Evaluations at which the windowed quantile exceeded its objective",
+            &[("slo", &spec.name)],
+        );
+        let entry = Arc::new(SloEntry {
+            hist: SlidingHistogram::new(self.inner.window.clone()),
+            spec,
+            burn,
+            violations,
+        });
+        self.inner.slos.write().push(entry);
+    }
+
+    /// Registers a windowed counter ratio gauge `{name}_milli` =
+    /// `Δnum/Δden × 1000` over the tracker's window. Used for the PCIe
+    /// amplification factor (DMA bytes per accepted wire byte).
+    pub fn add_ratio(&self, name: &str, num: Counter, den: Counter) {
+        let gauge = self.inner.registry.gauge(
+            &format!("{name}_milli"),
+            "Windowed counter ratio in milli units",
+            &[],
+        );
+        let entry = Arc::new(RatioEntry {
+            name: name.to_string(),
+            num,
+            den,
+            gauge,
+            samples: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            window_ns: self.inner.window.window_ns,
+            windows: self.inner.window.windows,
+        });
+        self.inner.ratios.write().push(entry);
+    }
+
+    /// Streams one stage latency into every objective watching `stage`.
+    pub fn observe_stage(&self, stage: &str, now_ns: u64, duration_ns: f64) {
+        let slos = self.inner.slos.read();
+        for e in slos.iter() {
+            if e.spec.stage == stage {
+                e.hist.observe(now_ns, duration_ns);
+            }
+        }
+    }
+
+    /// True when any registered objective watches `stage` (lets emitters
+    /// skip the observation entirely).
+    pub fn watches(&self, stage: &str) -> bool {
+        self.inner.slos.read().iter().any(|e| e.spec.stage == stage)
+    }
+
+    /// Evaluates every objective and ratio at `now_ns`, updating the
+    /// exported gauges/counters and returning the verdicts.
+    pub fn evaluate(&self, now_ns: u64) -> Vec<SloStatus> {
+        let mut out = Vec::new();
+        for e in self.inner.slos.read().iter() {
+            let snap = e.hist.window_snapshot(now_ns);
+            let q = snap.quantile(e.spec.quantile);
+            // Bad fraction from the bucket data: observations in buckets
+            // strictly above the one containing the threshold. (Bucketed,
+            // so conservative to one bucket's resolution.)
+            let bad = if snap.count == 0 {
+                0.0
+            } else {
+                let idx = snap
+                    .bounds
+                    .partition_point(|&b| b < e.spec.threshold_ns)
+                    .min(snap.bounds.len());
+                let over: u64 = snap.buckets.iter().skip(idx + 1).sum();
+                over as f64 / snap.count as f64
+            };
+            let burn = bad / e.spec.error_budget.max(f64::MIN_POSITIVE);
+            let violated = snap.count > 0 && q > e.spec.threshold_ns;
+            e.burn.set((burn * 1000.0) as i64);
+            if violated {
+                e.violations.inc();
+            }
+            out.push(SloStatus {
+                name: e.spec.name.clone(),
+                quantile_ns: q,
+                threshold_ns: e.spec.threshold_ns,
+                bad_fraction: bad,
+                burn_rate: burn,
+                violated,
+                window_count: snap.count,
+            });
+        }
+        for r in self.inner.ratios.read().iter() {
+            let (num, den) = (r.num.get(), r.den.get());
+            let mut samples = r.samples.lock();
+            samples.push_back((now_ns, num, den));
+            let horizon = now_ns.saturating_sub(r.window_ns * r.windows as u64);
+            while samples.len() > 1 && samples.front().is_some_and(|&(t, _, _)| t < horizon) {
+                samples.pop_front();
+            }
+            if let (Some(&(_, n0, d0)), Some(&(_, n1, d1))) = (samples.front(), samples.back()) {
+                let dn = n1.saturating_sub(n0) as f64;
+                let dd = d1.saturating_sub(d0) as f64;
+                if dd > 0.0 {
+                    r.gauge.set((dn / dd * 1000.0) as i64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Names of the registered ratios (introspection/debug).
+    pub fn ratio_names(&self) -> Vec<String> {
+        self.inner
+            .ratios
+            .read()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> (SloTracker, Arc<Registry>) {
+        let reg = Arc::new(Registry::new());
+        let t = SloTracker::new(
+            reg.clone(),
+            SlidingConfig {
+                window_ns: 1_000_000,
+                windows: 3,
+                bounds: vec![100.0, 1_000.0, 10_000.0, 100_000.0],
+            },
+        );
+        (t, reg)
+    }
+
+    #[test]
+    fn healthy_traffic_burns_nothing() {
+        let (t, reg) = tracker();
+        t.add(SloSpec::p99("deser_p99", "deserialize", 10_000.0));
+        assert!(t.watches("deserialize"));
+        assert!(!t.watches("dma"));
+        for i in 0..1000 {
+            t.observe_stage("deserialize", i * 100, 500.0);
+        }
+        let s = &t.evaluate(100_000)[0];
+        assert!(!s.violated);
+        assert_eq!(s.bad_fraction, 0.0);
+        assert_eq!(s.window_count, 1000);
+        assert_eq!(
+            reg.gauge_value("slo_burn_rate", &[("slo", "deser_p99")]),
+            Some(0)
+        );
+        assert_eq!(
+            reg.counter_value("slo_violations_total", &[("slo", "deser_p99")]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn degrading_tail_breaches_and_burns() {
+        let (t, reg) = tracker();
+        t.add(SloSpec::p99("deser_p99", "deserialize", 1_000.0));
+        // 5% of requests land at 50 µs — five times the 1% budget.
+        for i in 0..1000u64 {
+            let v = if i % 20 == 0 { 50_000.0 } else { 300.0 };
+            t.observe_stage("deserialize", i * 100, v);
+        }
+        let s = &t.evaluate(100_000)[0];
+        assert!(s.violated, "{s:?}");
+        assert!((s.bad_fraction - 0.05).abs() < 1e-9);
+        assert!((s.burn_rate - 5.0).abs() < 1e-9);
+        assert_eq!(
+            reg.gauge_value("slo_burn_rate", &[("slo", "deser_p99")]),
+            Some(5000)
+        );
+        assert_eq!(
+            reg.counter_value("slo_violations_total", &[("slo", "deser_p99")]),
+            Some(1)
+        );
+        // The slow cohort ages out of the window: burn drops back to 0.
+        for i in 0..1000u64 {
+            t.observe_stage("deserialize", 10_000_000 + i * 100, 300.0);
+        }
+        let s = &t.evaluate(10_100_000)[0];
+        assert!(!s.violated);
+        assert_eq!(
+            reg.gauge_value("slo_burn_rate", &[("slo", "deser_p99")]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn windowed_ratio_tracks_recent_deltas_only() {
+        let (t, reg) = tracker();
+        let num = Counter::new();
+        let den = Counter::new();
+        t.add_ratio("pcie_amplification", num.clone(), den.clone());
+        // Early history: 10x amplification.
+        num.inc_by(1000);
+        den.inc_by(100);
+        t.evaluate(0);
+        // Recent window: 2x amplification.
+        num.inc_by(200);
+        den.inc_by(100);
+        t.evaluate(1_000_000);
+        num.inc_by(200);
+        den.inc_by(100);
+        t.evaluate(2_000_000);
+        // Window spans 3 epochs; the t=0 sample ages out at t=4e6.
+        num.inc_by(200);
+        den.inc_by(100);
+        t.evaluate(4_000_000);
+        assert_eq!(
+            reg.gauge_value("pcie_amplification_milli", &[]),
+            Some(2000),
+            "aged-out 10x prefix must not pollute the windowed ratio"
+        );
+        assert_eq!(t.ratio_names(), vec!["pcie_amplification".to_string()]);
+    }
+}

@@ -138,6 +138,10 @@ pub struct ClientMetrics {
     pub crc_failures: Counter,
     /// Blocks re-posted in response to a peer integrity NACK.
     pub integrity_retransmits: Counter,
+    /// High-water mark of credits consumed at once (occupancy peak).
+    pub credits_in_use_peak: Gauge,
+    /// High-water mark of requests awaiting responses.
+    pub inflight_peak: Gauge,
 }
 
 impl ClientMetrics {
@@ -157,6 +161,16 @@ impl ClientMetrics {
             integrity_retransmits: reg.counter(
                 "integrity_retransmits_total",
                 "blocks re-posted after a peer integrity NACK",
+                l,
+            ),
+            credits_in_use_peak: reg.gauge(
+                "rpc_credits_in_use_peak",
+                "high-water mark of send credits consumed at once",
+                l,
+            ),
+            inflight_peak: reg.gauge(
+                "rpc_inflight_requests_peak",
+                "high-water mark of requests awaiting responses",
                 l,
             ),
         }
@@ -229,6 +243,10 @@ pub struct RpcClient {
     cqe_buf: Vec<pbo_simnet::Cqe>,
     metrics: ClientMetrics,
     trace: Option<ClientTraceState>,
+    /// Flight recorder (with the clock that stamps its marks); captured
+    /// from the tracer even when span sampling is off, so CRC-failure
+    /// anomaly dumps work in production-shaped runs.
+    flight: Option<(Tracer, pbo_trace::FlightRecorder)>,
     /// Trace context of the most recently committed enqueue (lets callers
     /// attribute work done inside the payload writer, e.g. deserialization).
     last_ctx: Option<MsgCtx>,
@@ -285,6 +303,7 @@ impl RpcClient {
             cfg,
             metrics,
             trace: None,
+            flight: None,
             last_ctx: None,
         }
     }
@@ -295,6 +314,9 @@ impl RpcClient {
     /// connection must attach with the same `conn_label` so request
     /// identities match (paper §IV.D determinism; no ids on the wire).
     pub fn set_tracer(&mut self, tracer: &Tracer, conn_label: &str) {
+        // The flight recorder rides the tracer but works independently of
+        // span sampling — anomaly capture stays on when tracing is off.
+        self.flight = tracer.flight().map(|f| (tracer.clone(), f));
         if !tracer.is_enabled() {
             self.trace = None;
             return;
@@ -665,6 +687,9 @@ impl RpcClient {
                 },
             );
         }
+        self.metrics
+            .inflight_peak
+            .set_max(self.pending.len() as i64);
 
         let block_bytes = open.cursor;
         let sbuf = self.sbuf.clone();
@@ -721,6 +746,9 @@ impl RpcClient {
         }
         self.credits -= 1;
         self.metrics.credits.dec();
+        self.metrics
+            .credits_in_use_peak
+            .set_max((self.cfg.credits - self.credits) as i64);
         self.metrics.blocks_sent.inc();
         self.metrics.bytes_sent.inc_by(sealed.block_bytes as u64);
         self.sent_blocks.insert(
@@ -912,6 +940,11 @@ impl RpcClient {
         };
         if !verified {
             self.metrics.crc_failures.inc();
+            if let Some((t, f)) = &self.flight {
+                let now = t.now_ns();
+                f.record_mark(imm as u64, pbo_trace::triggers::CRC_FAILURE, now, 0);
+                f.trigger(pbo_trace::triggers::CRC_FAILURE, now);
+            }
             self.awaiting_resp_retransmit = Some(imm);
             self.pending_nacks.push_back(imm);
             return Ok(0);

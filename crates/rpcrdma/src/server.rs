@@ -145,6 +145,8 @@ pub struct ServerMetrics {
     pub crc_failures: Counter,
     /// Blocks re-posted in response to a peer integrity NACK.
     pub integrity_retransmits: Counter,
+    /// High-water mark of credits consumed at once (occupancy peak).
+    pub credits_in_use_peak: Gauge,
 }
 
 impl ServerMetrics {
@@ -163,6 +165,11 @@ impl ServerMetrics {
             integrity_retransmits: reg.counter(
                 "integrity_retransmits_total",
                 "blocks re-posted after a peer integrity NACK",
+                l,
+            ),
+            credits_in_use_peak: reg.gauge(
+                "rpc_server_credits_in_use_peak",
+                "high-water mark of send credits consumed at once",
                 l,
             ),
         }
@@ -227,6 +234,9 @@ pub struct RpcServer {
     cqe_buf: Vec<pbo_simnet::Cqe>,
     metrics: ServerMetrics,
     trace: Option<ServerTraceState>,
+    /// Flight recorder (with the clock that stamps its marks); captured
+    /// from the tracer even when span sampling is off.
+    flight: Option<(Tracer, pbo_trace::FlightRecorder)>,
 }
 
 impl RpcServer {
@@ -279,6 +289,7 @@ impl RpcServer {
             cfg,
             metrics,
             trace: None,
+            flight: None,
         }
     }
 
@@ -288,6 +299,9 @@ impl RpcServer {
     /// per-connection sequence (§IV.D dispatch order == enqueue order)
     /// yields identical trace ids.
     pub fn set_tracer(&mut self, tracer: &Tracer, conn_label: &str) {
+        // The flight recorder rides the tracer but works independently of
+        // span sampling — anomaly capture stays on when tracing is off.
+        self.flight = tracer.flight().map(|f| (tracer.clone(), f));
         if !tracer.is_enabled() {
             self.trace = None;
             return;
@@ -547,6 +561,11 @@ impl RpcServer {
         };
         if !verified {
             self.metrics.crc_failures.inc();
+            if let Some((t, f)) = &self.flight {
+                let now = t.now_ns();
+                f.record_mark(imm as u64, pbo_trace::triggers::CRC_FAILURE, now, 0);
+                f.trigger(pbo_trace::triggers::CRC_FAILURE, now);
+            }
             self.awaiting_req_retransmit = Some(imm);
             self.pending_nacks.push_back(imm);
             return Ok(0);
@@ -959,6 +978,9 @@ impl RpcServer {
             }
             self.credits -= 1;
             self.metrics.credits.dec();
+            self.metrics
+                .credits_in_use_peak
+                .set_max((self.cfg.credits - self.credits) as i64);
             self.metrics.blocks_sent.inc();
             self.metrics.bytes_sent.inc_by(block.bytes as u64);
             self.sent_resp_blocks.push_back(block);

@@ -1,0 +1,210 @@
+//! Minimal HTTP/1.0 server over `std::net::TcpListener`.
+//!
+//! Just enough HTTP for `curl`, Prometheus scrapers, and the `pbo-top`
+//! poller: one request per connection, request line + headers parsed
+//! leniently, response carries `Content-Length` and `Connection: close`.
+//! No keep-alive, no TLS, no chunked encoding — deliberately, so the
+//! whole transport stays dependency-free and auditable.
+
+use crate::Telemetry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape endpoint bound to a real TCP socket.
+///
+/// Accepts connections on a background thread until dropped or
+/// [`shutdown`](TelemetryServer::shutdown). Bind to port `0` to let the
+/// OS pick (see [`local_addr`](TelemetryServer::local_addr)).
+pub struct TelemetryServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"` or `"127.0.0.1:0"`) and
+    /// starts serving `telemetry` on a background thread.
+    pub fn start(addr: &str, telemetry: Telemetry) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("pbo-telemetry".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request per connection; errors on a single
+                        // connection must not take the endpoint down.
+                        let _ = serve_one(stream, &telemetry);
+                    }
+                }
+            })?;
+        Ok(Self {
+            local_addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the serving thread.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads one request, writes one response. Lenient: only the request
+/// line matters; headers are drained and ignored.
+fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(2000)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(2000)))?;
+
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > 8192 {
+            break; // header flood: answer what we have
+        }
+    }
+
+    let request_line = String::from_utf8_lossy(&buf);
+    let request_line = request_line.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+
+    let resp = if method == "GET" || method == "HEAD" {
+        telemetry.handle(path)
+    } else {
+        crate::HttpResponse {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "method not allowed\n".to_string(),
+        }
+    };
+
+    let reason = match resp.status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason,
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    if method != "HEAD" {
+        stream.write_all(resp.body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_metrics::Registry;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status: u16 = head
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        (status, head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_over_a_real_socket_repeatedly() {
+        let reg = Arc::new(Registry::new());
+        let hits = reg.counter("scrape_demo_total", "demo", &[]);
+        hits.inc_by(5);
+        let server = TelemetryServer::start("127.0.0.1:0", Telemetry::new(reg.clone())).unwrap();
+        let addr = server.local_addr();
+
+        let (status, head, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("Content-Length:"));
+        assert!(body.contains("scrape_demo_total 5"), "{body}");
+
+        // Second scrape sees the counter advance — the endpoint is live,
+        // not a snapshot.
+        hits.inc_by(2);
+        let (_, _, body) = get(addr, "/metrics");
+        assert!(body.contains("scrape_demo_total 7"), "{body}");
+
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"health_score\""));
+
+        let (status, _, _) = get(addr, "/flight");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let reg = Arc::new(Registry::new());
+        let mut server = TelemetryServer::start("127.0.0.1:0", Telemetry::new(reg)).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // The port is released: a new server can bind it.
+        let again = TelemetryServer::start(&addr.to_string(), {
+            let reg = Arc::new(Registry::new());
+            Telemetry::new(reg)
+        });
+        assert!(again.is_ok());
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let reg = Arc::new(Registry::new());
+        let server = TelemetryServer::start("127.0.0.1:0", Telemetry::new(reg)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 405"), "{raw}");
+    }
+}

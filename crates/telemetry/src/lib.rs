@@ -1,0 +1,402 @@
+//! Live telemetry for the offload datapath: a scrape/introspection
+//! endpoint over a minimal HTTP/1.0 server, health scoring, and flight
+//! recorder dumps.
+//!
+//! The paper's methodology (§VI) scrapes a Prometheus client embedded in
+//! the RPC library; this crate is that scrape surface plus the live
+//! operational views built on it:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the bound
+//!   [`Registry`]. Each scrape first re-evaluates the bound
+//!   [`SloTracker`] so `slo_burn_rate{slo}` and `slo_violations_total`
+//!   are current at scrape time, and fires the `slo_burn` flight trigger
+//!   when an objective *newly* starts burning above budget.
+//! * `GET /healthz` — JSON health report: a 0–100 score aggregated from
+//!   breaker state, replay journal depth, CRC failures, quarantines and
+//!   SLO burn, plus the raw signals it was computed from.
+//! * `GET /flight` — the most recent anomaly dump from the bound
+//!   [`FlightRecorder`] as Chrome trace-event JSON (Perfetto-loadable);
+//!   `404` while no trigger has fired.
+//!
+//! [`Telemetry`] is the transport-free handler — simnet tests and
+//! embedders call [`Telemetry::handle`] directly. [`TelemetryServer`]
+//! binds it to a real `std::net::TcpListener` for `curl`/Prometheus.
+
+#![warn(missing_docs)]
+
+mod http;
+
+pub use http::TelemetryServer;
+
+use parking_lot::Mutex;
+use pbo_metrics::{Registry, SloStatus, SloTracker};
+use pbo_trace::{triggers, Clock, FlightRecorder, Tracer};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A rendered HTTP response, transport-agnostic.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    fn not_found(body: &str) -> Self {
+        Self {
+            status: 404,
+            content_type: "application/json",
+            body: format!("{{\"error\":{}}}\n", json_str(body)),
+        }
+    }
+}
+
+struct TelemetryInner {
+    registry: Arc<Registry>,
+    clock: Clock,
+    slo: Mutex<Option<SloTracker>>,
+    flight: Mutex<Option<FlightRecorder>>,
+    /// Objectives currently burning above budget (edge-triggers the
+    /// `slo_burn` flight dump once per breach episode, not per scrape).
+    breached: Mutex<HashSet<String>>,
+}
+
+/// The transport-free telemetry handler. Cheap to clone; clones share
+/// all state.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl Telemetry {
+    /// Creates a handler over `registry`, stamped by the wall clock.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self::with_clock(registry, Clock::wall())
+    }
+
+    /// Creates a handler stamped by `clock` (virtual clocks make
+    /// SLO-window behavior deterministic in tests).
+    pub fn with_clock(registry: Arc<Registry>, clock: Clock) -> Self {
+        Self {
+            inner: Arc::new(TelemetryInner {
+                registry,
+                clock,
+                slo: Mutex::new(None),
+                flight: Mutex::new(None),
+                breached: Mutex::new(HashSet::new()),
+            }),
+        }
+    }
+
+    /// Binds an SLO tracker: every `/metrics` and `/healthz` request
+    /// re-evaluates it first.
+    pub fn bind_slo(&self, slo: &SloTracker) {
+        *self.inner.slo.lock() = Some(slo.clone());
+    }
+
+    /// Binds a flight recorder: `/flight` serves its newest dump, and
+    /// SLO burn breaches fire its `slo_burn` trigger.
+    pub fn bind_flight(&self, flight: &FlightRecorder) {
+        *self.inner.flight.lock() = Some(flight.clone());
+    }
+
+    /// Convenience: adopts the flight recorder and SLO tracker already
+    /// attached to `tracer` (the usual wiring — datapath components bind
+    /// there).
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        if let Some(f) = tracer.flight() {
+            self.bind_flight(&f);
+        }
+        if let Some(s) = tracer.slo() {
+            self.bind_slo(&s);
+        }
+    }
+
+    /// The registry this handler exposes.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    /// Re-evaluates the bound SLO tracker at the handler clock's now,
+    /// edge-firing the `slo_burn` flight trigger for objectives that
+    /// newly exceeded their budget. Returns the statuses (empty without
+    /// a tracker).
+    pub fn evaluate(&self) -> Vec<SloStatus> {
+        let slo = self.inner.slo.lock().clone();
+        let Some(slo) = slo else {
+            return Vec::new();
+        };
+        let now = self.inner.clock.now_ns();
+        let statuses = slo.evaluate(now);
+        let flight = self.inner.flight.lock().clone();
+        let mut breached = self.inner.breached.lock();
+        for s in &statuses {
+            if s.burn_rate > 1.0 {
+                if breached.insert(s.name.clone()) {
+                    if let Some(f) = &flight {
+                        f.trigger(triggers::SLO_BURN, now);
+                    }
+                }
+            } else {
+                breached.remove(&s.name);
+            }
+        }
+        statuses
+    }
+
+    /// Serves one request path. Unknown paths get a 404; `/` lists the
+    /// available endpoints.
+    pub fn handle(&self, path: &str) -> HttpResponse {
+        let path = path.split('?').next().unwrap_or(path);
+        match path {
+            "/metrics" => {
+                self.evaluate();
+                HttpResponse::ok(
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.inner.registry.expose(),
+                )
+            }
+            "/healthz" => {
+                let statuses = self.evaluate();
+                HttpResponse::ok("application/json", self.health_json(&statuses))
+            }
+            "/flight" => {
+                let flight = self.inner.flight.lock().clone();
+                match flight.and_then(|f| f.last_dump()) {
+                    Some(dump) => HttpResponse::ok("application/json", dump.to_chrome_json()),
+                    None => HttpResponse::not_found("no flight dumps recorded"),
+                }
+            }
+            "/" => HttpResponse::ok(
+                "text/plain; charset=utf-8",
+                "pbo-telemetry endpoints: /metrics /healthz /flight\n".to_string(),
+            ),
+            _ => HttpResponse::not_found("unknown path"),
+        }
+    }
+
+    /// The health report served by `/healthz`, computed from registry
+    /// aggregates and the given SLO verdicts.
+    fn health_json(&self, statuses: &[SloStatus]) -> String {
+        let reg = &self.inner.registry;
+        let breaker_open = reg.gauge_sum("session_breaker_open") > 0;
+        let journal_depth = reg.gauge_sum("session_journal_depth");
+        let crc_failures = reg.counter_sum("crc_failures_total");
+        let quarantined = reg.counter_sum("quarantined_requests_total");
+        let reconnects = reg.counter_sum("session_reconnects_total");
+        let degraded_calls = reg.counter_sum("session_degraded_calls_total");
+        let breaker_trips = reg.counter_sum("session_breaker_trips_total");
+        let burning = statuses.iter().any(|s| s.burn_rate > 1.0);
+
+        let mut score: i64 = 100;
+        if breaker_open {
+            score -= 40;
+        }
+        if burning {
+            score -= 20;
+        }
+        if crc_failures > 0 {
+            score -= 10;
+        }
+        if quarantined > 0 {
+            score -= 5;
+        }
+        score -= journal_depth.clamp(0, 10);
+        score = score.clamp(0, 100);
+        let status = if score >= 80 {
+            "ok"
+        } else if score >= 40 {
+            "degraded"
+        } else {
+            "critical"
+        };
+
+        let mut slos = String::from("[");
+        for (i, s) in statuses.iter().enumerate() {
+            if i > 0 {
+                slos.push(',');
+            }
+            slos.push_str(&format!(
+                "{{\"name\":{},\"quantile_ns\":{},\"threshold_ns\":{},\"burn_rate\":{},\
+                 \"violated\":{},\"window_count\":{}}}",
+                json_str(&s.name),
+                json_f64(s.quantile_ns),
+                json_f64(s.threshold_ns),
+                json_f64(s.burn_rate),
+                s.violated,
+                s.window_count
+            ));
+        }
+        slos.push(']');
+
+        format!(
+            "{{\"status\":{},\"health_score\":{score},\"breaker_open\":{breaker_open},\
+             \"breaker_trips\":{breaker_trips},\"journal_depth\":{journal_depth},\
+             \"reconnects\":{reconnects},\"degraded_calls\":{degraded_calls},\
+             \"quarantined\":{quarantined},\"crc_failures\":{crc_failures},\
+             \"slo_burning\":{burning},\"slos\":{slos}}}\n",
+            json_str(status)
+        )
+    }
+}
+
+/// JSON string literal with escaping for the characters our values can
+/// contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; non-finite values (empty-window quantiles) become null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_metrics::{SlidingConfig, SloSpec};
+    use pbo_trace::VirtualClock;
+
+    fn telemetry() -> (Telemetry, Arc<Registry>, VirtualClock) {
+        let reg = Arc::new(Registry::new());
+        let vclock = VirtualClock::new();
+        let t = Telemetry::with_clock(reg.clone(), Clock::virtual_from(&vclock));
+        (t, reg, vclock)
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_exposition() {
+        let (t, reg, _) = telemetry();
+        reg.counter("rpc_requests_total", "reqs", &[("side", "server")])
+            .inc_by(7);
+        let resp = t.handle("/metrics");
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain"));
+        assert!(resp.body.contains("rpc_requests_total{side=\"server\"} 7"));
+    }
+
+    #[test]
+    fn healthz_reports_full_score_when_clean() {
+        let (t, _, _) = telemetry();
+        let resp = t.handle("/healthz");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"health_score\":100"), "{}", resp.body);
+        assert!(resp.body.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn healthz_degrades_under_breaker_and_crc_failures() {
+        let (t, reg, _) = telemetry();
+        reg.gauge("session_breaker_open", "breaker", &[]).set(1);
+        reg.counter("crc_failures_total", "crc", &[("side", "client")])
+            .inc_by(3);
+        let resp = t.handle("/healthz");
+        assert!(resp.body.contains("\"health_score\":50"), "{}", resp.body);
+        assert!(resp.body.contains("\"status\":\"degraded\""));
+        assert!(resp.body.contains("\"breaker_open\":true"));
+        assert!(resp.body.contains("\"crc_failures\":3"));
+    }
+
+    #[test]
+    fn flight_is_404_until_a_trigger_fires() {
+        let (t, _, _) = telemetry();
+        assert_eq!(t.handle("/flight").status, 404);
+        let flight = FlightRecorder::new(16, 2);
+        t.bind_flight(&flight);
+        assert_eq!(t.handle("/flight").status, 404);
+        flight.trigger(triggers::MANUAL, 42);
+        let resp = t.handle("/flight");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("flight:manual"));
+    }
+
+    #[test]
+    fn slo_burn_breach_fires_flight_trigger_once_per_episode() {
+        let (t, reg, vclock) = telemetry();
+        let slo = SloTracker::new(
+            reg.clone(),
+            SlidingConfig {
+                window_ns: 1_000_000,
+                windows: 2,
+                bounds: vec![100.0, 1_000.0, 10_000.0],
+            },
+        );
+        slo.add(SloSpec::p99("deser_p99", "deserialize", 1_000.0));
+        let flight = FlightRecorder::new(16, 4);
+        t.bind_slo(&slo);
+        t.bind_flight(&flight);
+
+        // 10% of requests over threshold: burn 10x the 1% budget.
+        for i in 0..100u64 {
+            let v = if i % 10 == 0 { 5_000.0 } else { 200.0 };
+            slo.observe_stage("deserialize", i * 100, v);
+        }
+        vclock.set_ns(50_000);
+        t.handle("/metrics");
+        assert_eq!(flight.trigger_count(), 1, "breach fires the trigger");
+        t.handle("/metrics");
+        assert_eq!(flight.trigger_count(), 1, "no re-fire while still burning");
+
+        // Burn subsides (slow cohort ages out), then breaches again.
+        for i in 0..100u64 {
+            slo.observe_stage("deserialize", 10_000_000 + i, 200.0);
+        }
+        vclock.set_ns(10_000_100);
+        t.handle("/metrics");
+        assert_eq!(flight.trigger_count(), 1);
+        for i in 0..100u64 {
+            slo.observe_stage("deserialize", 10_500_000 + i, 5_000.0);
+        }
+        t.handle("/metrics");
+        assert_eq!(flight.trigger_count(), 2, "new episode re-fires");
+        assert_eq!(t.handle("/flight").status, 200);
+    }
+
+    #[test]
+    fn unknown_paths_are_404_and_index_lists_endpoints() {
+        let (t, _, _) = telemetry();
+        assert_eq!(t.handle("/nope").status, 404);
+        let idx = t.handle("/");
+        assert_eq!(idx.status, 200);
+        assert!(idx.body.contains("/metrics"));
+        // Query strings are ignored.
+        assert_eq!(t.handle("/healthz?verbose=1").status, 200);
+    }
+
+    #[test]
+    fn json_helpers_escape_and_handle_non_finite() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.500");
+    }
+}

@@ -1,0 +1,506 @@
+//! The anomaly-triggered flight recorder: an always-on, bounded,
+//! lock-free ring of recent span/event records, snapshotted to a dump
+//! when something goes wrong.
+//!
+//! Sampled tracing answers "what does a normal request look like";
+//! post-mortem debugging needs the opposite — *the requests right before
+//! the anomaly*. The [`FlightRecorder`] keeps the last `capacity` records
+//! in fixed memory at all times. When a trigger fires (circuit-breaker
+//! open, reconnect, CRC failure, quarantine, SLO burn-rate breach — see
+//! [`triggers`]), the ring is snapshotted into a [`FlightDump`] that can
+//! be served over the telemetry endpoint (`/flight`) or exported as
+//! Chrome trace-event JSON for Perfetto.
+//!
+//! ## Memory and concurrency model
+//!
+//! The ring is a fixed array of slots; each slot is a handful of atomics
+//! guarded by a per-slot sequence word (even = stable, odd = being
+//! written). Writers claim a slot with one CAS and never block: a writer
+//! that loses the (wrap-around) race for a slot simply drops its record
+//! — the competing writer holds *newer* data. Readers validate the
+//! sequence word before and after reading and skip torn slots. No locks,
+//! no allocation after construction, capacity is a hard bound.
+//!
+//! Stage names are interned against a table seeded with every known
+//! stage and trigger name, so a record is pure plain data; an unknown
+//! name (none exist in-tree) records as `"?"`.
+
+use crate::span::{stages, Span};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Well-known trigger reasons, usable as record stage names.
+pub mod triggers {
+    /// The offload circuit breaker opened (degraded routing begins).
+    pub const BREAKER_OPEN: &str = "breaker_open";
+    /// A reconnect-class failure forced connection re-establishment.
+    pub const RECONNECT: &str = "reconnect_trigger";
+    /// A received block failed its CRC32C and was NACKed.
+    pub const CRC_FAILURE: &str = "crc_failure";
+    /// A poison request was quarantined.
+    pub const QUARANTINE: &str = "quarantine_trigger";
+    /// An SLO burn rate breached its objective.
+    pub const SLO_BURN: &str = "slo_burn";
+    /// Operator-requested dump.
+    pub const MANUAL: &str = "manual";
+
+    /// Every trigger reason.
+    pub const ALL: &[&str] = &[
+        BREAKER_OPEN,
+        RECONNECT,
+        CRC_FAILURE,
+        QUARANTINE,
+        SLO_BURN,
+        MANUAL,
+    ];
+}
+
+/// One record in the flight ring: either a completed span mirrored from
+/// the trace stream, or a discrete mark emitted at an instrumentation
+/// site (trigger events themselves, state transitions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Global sequence number (total order of recording).
+    pub seq: u64,
+    /// Request identity (or site-specific id for marks).
+    pub trace_id: u64,
+    /// Stage or event name.
+    pub stage: &'static str,
+    /// Span start (== `end_ns` for marks).
+    pub start_ns: u64,
+    /// Span end / mark timestamp.
+    pub end_ns: u64,
+    /// Bytes involved (0 when not meaningful).
+    pub bytes: u64,
+    /// True for discrete marks, false for mirrored spans.
+    pub mark: bool,
+}
+
+/// A snapshot taken when a trigger fired.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// Why the dump was taken (one of [`triggers`]).
+    pub reason: &'static str,
+    /// Timestamp of the trigger on the recorder's record clock.
+    pub t_ns: u64,
+    /// Ring contents at trigger time, oldest first.
+    pub records: Vec<FlightRecord>,
+}
+
+impl FlightDump {
+    /// Renders the dump as Chrome trace-event JSON (Perfetto-loadable):
+    /// spans become duration (`X`) events, marks become instant (`i`)
+    /// events, and the trigger itself is an instant event named
+    /// `flight:{reason}`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            out.push_str(&s);
+            *first = false;
+        };
+        for r in &self.records {
+            let ev = if r.mark {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":1,\"s\":\"g\",\
+                     \"args\":{{\"trace_id\":{},\"bytes\":{},\"seq\":{}}}}}",
+                    r.stage,
+                    r.end_ns as f64 / 1000.0,
+                    r.trace_id,
+                    r.bytes,
+                    r.seq
+                )
+            } else {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\
+                     \"tid\":1,\"args\":{{\"trace_id\":{},\"bytes\":{},\"seq\":{}}}}}",
+                    r.stage,
+                    r.start_ns as f64 / 1000.0,
+                    r.end_ns.saturating_sub(r.start_ns) as f64 / 1000.0,
+                    r.trace_id,
+                    r.bytes,
+                    r.seq
+                )
+            };
+            push(ev, &mut first);
+        }
+        push(
+            format!(
+                "{{\"name\":\"flight:{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":1,\
+                 \"s\":\"g\"}}",
+                self.reason,
+                self.t_ns as f64 / 1000.0
+            ),
+            &mut first,
+        );
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One ring slot: `seq_word` even ⇒ fields are a stable record published
+/// by the writer that set it; odd ⇒ a write is in progress. Every field
+/// is an independent atomic, so readers can never observe torn *words* —
+/// only torn *records*, which the sequence check rejects.
+struct Slot {
+    seq_word: AtomicU64,
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    stage_idx: AtomicU64,
+    start_ns: AtomicU64,
+    end_ns: AtomicU64,
+    bytes: AtomicU64,
+    mark: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq_word: AtomicU64::new(0),
+            seq: AtomicU64::new(u64::MAX),
+            trace_id: AtomicU64::new(0),
+            stage_idx: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            end_ns: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            mark: AtomicU64::new(0),
+        }
+    }
+}
+
+struct FlightInner {
+    slots: Box<[Slot]>,
+    /// Monotonic record counter; `head % capacity` is the next slot.
+    head: AtomicU64,
+    /// Records dropped to a lost wrap-around slot race.
+    dropped: AtomicU64,
+    /// Trigger count (all reasons).
+    trigger_count: AtomicU64,
+    /// Interned stage/trigger names; index 0 is the unknown marker.
+    names: Vec<&'static str>,
+    /// Recent dumps, newest last, bounded by `max_dumps`.
+    dumps: Mutex<VecDeque<FlightDump>>,
+    max_dumps: usize,
+    /// Optional metric hook: `(registry, conn-agnostic)` trigger counters.
+    metrics: Mutex<Option<Arc<pbo_metrics::Registry>>>,
+}
+
+/// The always-on bounded recorder. Cheap to clone; clones share the ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the most recent `capacity` records and
+    /// the `max_dumps` most recent trigger snapshots.
+    pub fn new(capacity: usize, max_dumps: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut names = vec!["?"];
+        names.extend_from_slice(stages::ALL);
+        names.extend_from_slice(triggers::ALL);
+        Self {
+            inner: Arc::new(FlightInner {
+                slots: (0..capacity).map(|_| Slot::empty()).collect(),
+                head: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                trigger_count: AtomicU64::new(0),
+                names,
+                dumps: Mutex::new(VecDeque::new()),
+                max_dumps: max_dumps.max(1),
+                metrics: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Binds a registry: triggers count into
+    /// `flight_trigger_total{reason}` and the ring's drop count exports as
+    /// `flight_records_dropped_total`.
+    pub fn bind_metrics(&self, registry: &Arc<pbo_metrics::Registry>) {
+        *self.inner.metrics.lock() = Some(registry.clone());
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Records dropped to wrap-around slot races (distinct from plain
+    /// overwriting, which is the ring working as intended).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total triggers fired.
+    pub fn trigger_count(&self) -> u64 {
+        self.inner.trigger_count.load(Ordering::Relaxed)
+    }
+
+    fn intern(&self, name: &str) -> u64 {
+        // Pointer fast path (all in-tree emitters pass the interned
+        // statics), then a value comparison for safety.
+        for (i, n) in self.inner.names.iter().enumerate() {
+            if std::ptr::eq(n.as_ptr(), name.as_ptr()) || *n == name {
+                return i as u64;
+            }
+        }
+        0
+    }
+
+    /// Mirrors a completed span into the ring.
+    pub fn record_span(&self, span: &Span) {
+        self.record_raw(
+            span.trace_id,
+            span.stage,
+            span.start_ns,
+            span.end_ns,
+            span.bytes,
+            false,
+        );
+    }
+
+    /// Records a discrete mark (state transition, trigger site).
+    pub fn record_mark(&self, trace_id: u64, name: &'static str, t_ns: u64, bytes: u64) {
+        self.record_raw(trace_id, name, t_ns, t_ns, bytes, true);
+    }
+
+    fn record_raw(
+        &self,
+        trace_id: u64,
+        stage: &str,
+        start_ns: u64,
+        end_ns: u64,
+        bytes: u64,
+        mark: bool,
+    ) {
+        let inner = &*self.inner;
+        let seq = inner.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &inner.slots[(seq % inner.slots.len() as u64) as usize];
+        // Claim: even -> odd. Losing the CAS means another writer already
+        // lapped us onto this slot with a newer record — drop ours.
+        let word = slot.seq_word.load(Ordering::Acquire);
+        if word % 2 == 1
+            || slot
+                .seq_word
+                .compare_exchange(word, word + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.seq.store(seq, Ordering::Relaxed);
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        slot.stage_idx.store(self.intern(stage), Ordering::Relaxed);
+        slot.start_ns.store(start_ns, Ordering::Relaxed);
+        slot.end_ns.store(end_ns, Ordering::Relaxed);
+        slot.bytes.store(bytes, Ordering::Relaxed);
+        slot.mark.store(mark as u64, Ordering::Relaxed);
+        // Publish: odd -> even (a new even value, so readers that loaded
+        // the pre-claim word also notice).
+        slot.seq_word.store(word + 2, Ordering::Release);
+    }
+
+    /// Snapshots the ring, oldest record first. Torn slots (a writer in
+    /// flight) are skipped rather than blocked on.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let inner = &*self.inner;
+        let mut out = Vec::with_capacity(inner.slots.len());
+        for slot in inner.slots.iter() {
+            let w1 = slot.seq_word.load(Ordering::Acquire);
+            if w1 % 2 == 1 {
+                continue;
+            }
+            let rec = FlightRecord {
+                seq: slot.seq.load(Ordering::Relaxed),
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+                stage: inner.names
+                    [(slot.stage_idx.load(Ordering::Relaxed) as usize).min(inner.names.len() - 1)],
+                start_ns: slot.start_ns.load(Ordering::Relaxed),
+                end_ns: slot.end_ns.load(Ordering::Relaxed),
+                bytes: slot.bytes.load(Ordering::Relaxed),
+                mark: slot.mark.load(Ordering::Relaxed) != 0,
+            };
+            let w2 = slot.seq_word.load(Ordering::Acquire);
+            if w1 != w2 || rec.seq == u64::MAX {
+                continue;
+            }
+            out.push(rec);
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Fires a trigger: snapshots the ring into a [`FlightDump`], retains
+    /// it (bounded), counts it, and returns it.
+    pub fn trigger(&self, reason: &'static str, t_ns: u64) -> FlightDump {
+        let dump = FlightDump {
+            reason,
+            t_ns,
+            records: self.snapshot(),
+        };
+        self.inner.trigger_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = self.inner.metrics.lock().clone() {
+            reg.counter(
+                "flight_trigger_total",
+                "Flight-recorder dumps taken, by trigger reason",
+                &[("reason", reason)],
+            )
+            .inc();
+            reg.counter(
+                "flight_records_dropped_total",
+                "Flight records dropped to wrap-around slot races",
+                &[],
+            )
+            .inc_by(
+                self.dropped().saturating_sub(
+                    reg.counter_value("flight_records_dropped_total", &[])
+                        .unwrap_or(0),
+                ),
+            );
+        }
+        let mut dumps = self.inner.dumps.lock();
+        if dumps.len() == self.inner.max_dumps {
+            dumps.pop_front();
+        }
+        dumps.push_back(dump.clone());
+        dump
+    }
+
+    /// The retained dumps, oldest first.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.inner.dumps.lock().iter().cloned().collect()
+    }
+
+    /// The most recent dump, if any trigger has fired.
+    pub fn last_dump(&self) -> Option<FlightDump> {
+        self.inner.dumps.lock().back().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, stage: &'static str, t: u64) -> Span {
+        Span {
+            trace_id: id,
+            stage,
+            start_ns: t,
+            end_ns: t + 10,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let fr = FlightRecorder::new(8, 2);
+        for i in 0..100u64 {
+            fr.record_span(&span(i, stages::DESERIALIZE, i * 100));
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 8, "ring must never exceed capacity");
+        let ids: Vec<u64> = snap.iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, (92..100).collect::<Vec<_>>(), "oldest evicted first");
+        assert_eq!(fr.capacity(), 8);
+    }
+
+    #[test]
+    fn trigger_snapshots_contain_the_triggering_mark() {
+        let fr = FlightRecorder::new(16, 2);
+        fr.record_span(&span(1, stages::RDMA_WRITE, 100));
+        fr.record_mark(7, triggers::CRC_FAILURE, 250, 4096);
+        let dump = fr.trigger(triggers::CRC_FAILURE, 260);
+        assert_eq!(dump.reason, triggers::CRC_FAILURE);
+        let mark = dump
+            .records
+            .iter()
+            .find(|r| r.mark)
+            .expect("triggering mark present in dump");
+        assert_eq!(mark.stage, triggers::CRC_FAILURE);
+        assert_eq!(mark.trace_id, 7);
+        assert_eq!(mark.bytes, 4096);
+        assert_eq!(fr.trigger_count(), 1);
+        assert_eq!(fr.dumps().len(), 1);
+    }
+
+    #[test]
+    fn dump_retention_is_bounded() {
+        let fr = FlightRecorder::new(4, 2);
+        fr.trigger(triggers::MANUAL, 1);
+        fr.trigger(triggers::BREAKER_OPEN, 2);
+        fr.trigger(triggers::RECONNECT, 3);
+        let dumps = fr.dumps();
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[0].reason, triggers::BREAKER_OPEN);
+        assert_eq!(fr.last_dump().unwrap().reason, triggers::RECONNECT);
+    }
+
+    #[test]
+    fn chrome_json_has_span_mark_and_trigger_events() {
+        let fr = FlightRecorder::new(8, 1);
+        fr.record_span(&span(3, stages::HOST_DISPATCH, 1000));
+        fr.record_mark(3, triggers::QUARANTINE, 1500, 0);
+        let json = fr.trigger(triggers::QUARANTINE, 1600).to_chrome_json();
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("host_dispatch"));
+        assert!(json.contains("flight:quarantine_trigger"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn concurrent_writers_stay_within_capacity_without_locking() {
+        let fr = FlightRecorder::new(64, 1);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let fr = fr.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    fr.record_span(&span(t * 100_000 + i, stages::DMA, i));
+                }
+            }));
+        }
+        // A reader racing the writers must only ever see valid records.
+        for _ in 0..200 {
+            for r in fr.snapshot() {
+                assert!(!r.stage.is_empty());
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = fr.snapshot();
+        assert!(snap.len() <= 64);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(snap.iter().all(|r| r.seq < 80_000));
+        // A dropped write leaves its slot holding an older lap's record,
+        // so the freshness bound is only exact when nothing was dropped.
+        if fr.dropped() == 0 {
+            let min_seq = snap.iter().map(|r| r.seq).min().unwrap();
+            assert_eq!(min_seq, 80_000 - 64);
+        }
+    }
+
+    #[test]
+    fn metrics_binding_counts_triggers() {
+        let reg = Arc::new(pbo_metrics::Registry::new());
+        let fr = FlightRecorder::new(4, 2);
+        fr.bind_metrics(&reg);
+        fr.trigger(triggers::BREAKER_OPEN, 10);
+        fr.trigger(triggers::BREAKER_OPEN, 20);
+        fr.trigger(triggers::SLO_BURN, 30);
+        assert_eq!(
+            reg.counter_value("flight_trigger_total", &[("reason", "breaker_open")]),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter_value("flight_trigger_total", &[("reason", "slo_burn")]),
+            Some(1)
+        );
+    }
+}

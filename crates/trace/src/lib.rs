@@ -23,6 +23,7 @@
 
 mod clock;
 mod export;
+mod flight;
 mod span;
 mod tracer;
 
@@ -30,5 +31,6 @@ pub use clock::{Clock, VirtualClock};
 pub use export::{
     chrome_trace_json, stage_stats, stage_table, waterfall, StageStats, TraceProcess,
 };
+pub use flight::{triggers, FlightDump, FlightRecord, FlightRecorder};
 pub use span::{stages, Span, SpanSink};
 pub use tracer::{ConnTracer, MsgCtx, TraceConfig, Tracer, STAGE_HISTOGRAM_METRIC};

@@ -97,14 +97,22 @@ pub(crate) struct SinkShared {
 pub struct SpanSink {
     pub(crate) shared: Arc<SinkShared>,
     pub(crate) recorder: Option<crate::tracer::StageRecorder>,
+    pub(crate) flight: Option<crate::flight::FlightRecorder>,
+    pub(crate) slo: Option<pbo_metrics::SloTracker>,
 }
 
 impl SpanSink {
-    /// Records a completed span (and feeds its duration into the bound
-    /// per-stage histogram, when a registry is attached).
+    /// Records a completed span (and feeds it into the bound per-stage
+    /// histogram, flight recorder, and SLO tracker, when attached).
     pub fn record(&self, span: Span) {
         if let Some(rec) = &self.recorder {
             rec.observe(span.stage, span.duration_ns());
+        }
+        if let Some(flight) = &self.flight {
+            flight.record_span(&span);
+        }
+        if let Some(slo) = &self.slo {
+            slo.observe_stage(span.stage, span.end_ns, span.duration_ns() as f64);
         }
         let mut buf = self.shared.buf.lock();
         if buf.len() == self.shared.capacity {
@@ -143,6 +151,8 @@ mod tests {
                 dropped: Mutex::new(0),
             }),
             recorder: None,
+            flight: None,
+            slo: None,
         }
     }
 

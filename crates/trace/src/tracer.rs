@@ -2,9 +2,10 @@
 //! deterministic per-connection request identity.
 
 use crate::clock::Clock;
+use crate::flight::FlightRecorder;
 use crate::span::{SinkShared, Span, SpanSink};
 use parking_lot::Mutex;
-use pbo_metrics::{Histogram, Registry, DEFAULT_BUCKETS};
+use pbo_metrics::{Histogram, Registry, SloTracker, DEFAULT_BUCKETS};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -68,6 +69,8 @@ struct TracerInner {
     sink_capacity: usize,
     sinks: Mutex<Vec<Arc<SinkShared>>>,
     recorder: Mutex<Option<StageRecorder>>,
+    flight: Mutex<Option<FlightRecorder>>,
+    slo: Mutex<Option<SloTracker>>,
 }
 
 /// Entry point for datapath tracing. Cheap to clone; all clones share
@@ -100,6 +103,8 @@ impl Tracer {
                 sink_capacity: config.sink_capacity.max(1),
                 sinks: Mutex::new(Vec::new()),
                 recorder: Mutex::new(None),
+                flight: Mutex::new(None),
+                slo: Mutex::new(None),
             }),
         }
     }
@@ -146,6 +151,8 @@ impl Tracer {
         SpanSink {
             shared,
             recorder: self.inner.recorder.lock().clone(),
+            flight: self.inner.flight.lock().clone(),
+            slo: self.inner.slo.lock().clone(),
         }
     }
 
@@ -157,6 +164,32 @@ impl Tracer {
             registry: registry.clone(),
             cache: Arc::new(Mutex::new(HashMap::new())),
         });
+    }
+
+    /// Attaches an always-on flight recorder. Sinks obtained *after*
+    /// this call mirror every span they record into the flight ring, and
+    /// instrumentation sites can fetch the handle via [`Tracer::flight`]
+    /// to emit trigger marks and dumps — that part works even when span
+    /// sampling is disabled (`sample_every == 0`).
+    pub fn set_flight(&self, flight: &FlightRecorder) {
+        *self.inner.flight.lock() = Some(flight.clone());
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<FlightRecorder> {
+        self.inner.flight.lock().clone()
+    }
+
+    /// Binds an SLO tracker: sinks obtained after this call feed every
+    /// span's `(stage, end_ns, duration)` into the tracker's sliding
+    /// per-stage histograms.
+    pub fn bind_slo(&self, slo: &SloTracker) {
+        *self.inner.slo.lock() = Some(slo.clone());
+    }
+
+    /// The bound SLO tracker, if any.
+    pub fn slo(&self) -> Option<SloTracker> {
+        self.inner.slo.lock().clone()
     }
 
     /// Drains all sinks, returning `(track_name, spans)` per sink in
@@ -324,6 +357,39 @@ mod tests {
         let text = reg.expose();
         assert!(text.contains(STAGE_HISTOGRAM_METRIC));
         assert!(text.contains("stage=\"deserialize\""));
+    }
+
+    #[test]
+    fn sinks_mirror_spans_into_flight_ring_and_slo_tracker() {
+        use crate::flight::FlightRecorder;
+        use pbo_metrics::{SloSpec, SloTracker};
+
+        let t = Tracer::new(TraceConfig::sampled(1));
+        let reg = Arc::new(Registry::new());
+        let flight = FlightRecorder::new(32, 2);
+        let slo = SloTracker::new(reg.clone(), pbo_metrics::SlidingConfig::seconds(4));
+        slo.add(SloSpec::p99("deser_p99", stages::DESERIALIZE, 5_000.0));
+        t.set_flight(&flight);
+        t.bind_slo(&slo);
+
+        let sink = t.sink("client");
+        sink.record(Span {
+            trace_id: 9,
+            stage: stages::DESERIALIZE,
+            start_ns: 100,
+            end_ns: 600,
+            bytes: 64,
+        });
+
+        let snap = flight.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].trace_id, 9);
+        assert_eq!(snap[0].stage, stages::DESERIALIZE);
+        assert!(!snap[0].mark);
+        assert!(t.flight().is_some());
+        let statuses = t.slo().unwrap().evaluate(600);
+        assert_eq!(statuses.len(), 1);
+        assert!(!statuses[0].violated);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! connections over a shared completion queue.
 //!
 //! Run with: `cargo run --release --example full_offload`
+//!
+//! Live telemetry: set `PBO_TELEMETRY_ADDR=127.0.0.1:9464` to serve
+//! `/metrics`, `/healthz`, and `/flight` while the run is in flight
+//! (`curl http://127.0.0.1:9464/metrics`, or poll with
+//! `cargo run -p pbo-bench --bin pbo_top`). Set `PBO_TELEMETRY_HOLD_MS`
+//! to keep the endpoint up that many milliseconds after the workload
+//! finishes, so scrapers can collect the final state.
 
 use pbo_core::{serialize_view, OffloadClient, ServiceSchema};
 use pbo_grpc::ServiceDescriptor;
@@ -59,7 +66,18 @@ fn main() {
     let bundle = ServiceSchema::new(schema, service, pbo_adt::StdLib::Libstdcxx);
 
     let fabric = Fabric::new();
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
+    // Env-gated live telemetry endpoint (scrape with curl or pbo_top).
+    let telemetry_server = std::env::var("PBO_TELEMETRY_ADDR").ok().map(|addr| {
+        let telemetry = pbo_telemetry::Telemetry::new(registry.clone());
+        let server =
+            pbo_telemetry::TelemetryServer::start(&addr, telemetry).expect("bind telemetry");
+        println!(
+            "telemetry: serving /metrics /healthz /flight on {}",
+            server.local_addr()
+        );
+        server
+    });
     // Two DPU connections, ONE host poller over a shared CQ (§III.C).
     let (clients, mut poller) = establish_group(
         &fabric,
@@ -291,4 +309,15 @@ fn main() {
         pcie.bytes_to_host as f64 / 1024.0,
         pcie.bytes_to_device as f64 / 1024.0
     );
+    if let Some(server) = telemetry_server {
+        let hold: u64 = std::env::var("PBO_TELEMETRY_HOLD_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if hold > 0 {
+            println!("telemetry: holding endpoint for {hold}ms (PBO_TELEMETRY_HOLD_MS)");
+            std::thread::sleep(Duration::from_millis(hold));
+        }
+        drop(server);
+    }
 }
