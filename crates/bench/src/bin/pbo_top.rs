@@ -21,10 +21,14 @@ use std::time::{Duration, Instant};
 
 /// One scrape, parsed: `name{labels} -> value` plus histogram buckets
 /// grouped as `name{labels-without-le} -> [(le, cumulative_count)]`.
+/// Tenant-labeled samples are additionally kept per tenant (the headline
+/// map sums across labels), so the scheduler's per-tenant vitals can be
+/// rendered as their own rows.
 #[derive(Default)]
 struct Scrape {
     samples: BTreeMap<String, f64>,
     buckets: BTreeMap<String, Vec<(f64, f64)>>,
+    tenants: BTreeMap<(String, String), f64>,
 }
 
 fn fetch(addr: &str, path: &str) -> Result<String, String> {
@@ -100,6 +104,9 @@ fn parse(text: &str) -> Result<Scrape, String> {
             let key = format!("{base}{{{}}}", rest.join(","));
             out.buckets.entry(key).or_default().push((le, value));
         } else {
+            if let Some((_, t)) = labels.iter().find(|(k, _)| k == "tenant") {
+                *out.tenants.entry((name.clone(), t.clone())).or_insert(0.0) += value;
+            }
             // Sum label variants (conn, side) into one headline series.
             let total = out.samples.entry(name).or_insert(0.0);
             *total += value;
@@ -206,6 +213,43 @@ fn render(cur: &Scrape, prev: Option<&Scrape>, dt: f64) {
     for row in stage_rows {
         println!("  {row}");
     }
+    // Per-tenant scheduler rows, shown when tenant-labeled metrics are
+    // present (i.e. the tenant scheduler is wired and bound).
+    let mut tenant_names: Vec<&str> = cur
+        .tenants
+        .keys()
+        .filter(|(name, _)| name == "sched_admitted_total")
+        .map(|(_, t)| t.as_str())
+        .collect();
+    tenant_names.sort_unstable();
+    tenant_names.dedup();
+    for t in tenant_names {
+        let trate = |name: &str| {
+            let key = (name.to_string(), t.to_string());
+            let now = cur.tenants.get(&key).copied().unwrap_or(0.0);
+            let before = prev
+                .and_then(|p| p.tenants.get(&key).copied())
+                .unwrap_or(now);
+            ((now - before).max(0.0)) / dt.max(1e-9)
+        };
+        let admitted = trate("sched_admitted_total");
+        let shed = trate("sched_shed_total");
+        let offered = admitted + shed;
+        let shed_pct = if offered > 0.0 {
+            100.0 * shed / offered
+        } else {
+            0.0
+        };
+        let p99 = cur
+            .buckets
+            .get(&format!("sched_wait_ns{{tenant={t}}}"))
+            .and_then(|b| quantile(b, 0.99))
+            .map(fmt_ns)
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "  tenant {t:>12}  req/s {admitted:>8.0}  shed {shed_pct:>5.1}%  sched_wait p99 {p99:>9}"
+        );
+    }
     println!();
 }
 
@@ -270,5 +314,41 @@ fn main() {
             break;
         }
         std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tenant rows depend on two contracts: tenant-labeled samples
+    /// are kept per tenant (not only summed into the headline), and a
+    /// tenant wait histogram lands under the exact key `render` looks up.
+    #[test]
+    fn tenant_series_are_retained_per_tenant() {
+        let text = "\
+# TYPE sched_admitted_total counter
+sched_admitted_total{tenant=\"light\"} 5
+sched_admitted_total{tenant=\"heavy\"} 50
+sched_shed_total{tenant=\"heavy\"} 10
+sched_wait_ns_bucket{tenant=\"light\",le=\"1000\"} 4
+sched_wait_ns_bucket{tenant=\"light\",le=\"+Inf\"} 5
+rpc_requests_enqueued_total{conn=\"a\"} 55
+";
+        let s = parse(text).unwrap();
+        assert_eq!(
+            s.tenants
+                .get(&("sched_admitted_total".into(), "light".into())),
+            Some(&5.0)
+        );
+        assert_eq!(
+            s.tenants.get(&("sched_shed_total".into(), "heavy".into())),
+            Some(&10.0)
+        );
+        // Headline still sums across tenants.
+        assert_eq!(s.samples.get("sched_admitted_total"), Some(&55.0));
+        // The histogram key matches render's lookup format.
+        let b = s.buckets.get("sched_wait_ns{tenant=light}").unwrap();
+        assert_eq!(quantile(b, 0.5), Some(1000.0));
     }
 }

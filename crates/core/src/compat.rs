@@ -38,6 +38,23 @@ fn count_quarantine(cell: &QuarantineCell) {
     }
 }
 
+/// Shared registry slot for per-tenant dispatch counting: metadata-aware
+/// handlers hold a clone and resolve `host_dispatch_total{tenant}` per
+/// request, so label sets follow whatever tenants actually show up (the
+/// registry's tenant cardinality cap bounds hostile streams).
+type TenantRegistryCell = Arc<Mutex<Option<Arc<Registry>>>>;
+
+fn count_tenant_dispatch(cell: &TenantRegistryCell, tenant: &str) {
+    if let Some(r) = &*cell.lock() {
+        r.counter(
+            "host_dispatch_total",
+            "Requests dispatched to host business logic, by tenant",
+            &[("tenant", tenant)],
+        )
+        .inc();
+    }
+}
+
 /// A gRPC-style unary handler over a typed native request view. Returns
 /// `(status, response_bytes)` — response serialization stays host-side,
 /// mirroring the paper's primary scope ("our implementation for protobuf
@@ -80,6 +97,7 @@ pub struct CompatServer {
     rpc: RpcServer,
     mode: PayloadMode,
     quarantined: QuarantineCell,
+    tenant_reg: TenantRegistryCell,
 }
 
 impl CompatServer {
@@ -89,6 +107,7 @@ impl CompatServer {
             rpc,
             mode,
             quarantined: Arc::new(Mutex::new(None)),
+            tenant_reg: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -103,6 +122,15 @@ impl CompatServer {
             "Malformed (poison) requests failed individually with an error response",
             &[("conn", conn), ("side", "host")],
         ));
+    }
+
+    /// Binds per-tenant dispatch counting: every request served by a
+    /// metadata-aware handler ([`CompatServer::register_native_md`])
+    /// increments `host_dispatch_total{tenant}`, classified from the
+    /// request's `tenant` metadata key. May be called before or after
+    /// handlers are registered.
+    pub fn bind_tenant_metrics(&mut self, registry: &Arc<Registry>) {
+        *self.tenant_reg.lock() = Some(registry.clone());
     }
 
     /// The payload mode in force.
@@ -144,6 +172,7 @@ impl CompatServer {
             .clone();
         let class = adt.class_id(&desc.name).expect("validated");
         let quarantined = self.quarantined.clone();
+        let tenant_reg = self.tenant_reg.clone();
         self.rpc.register(
             proc_id,
             Box::new(move |req, sink| {
@@ -155,6 +184,7 @@ impl CompatServer {
                         Err(_) => return 13, // INTERNAL: corrupt metadata
                     }
                 };
+                count_tenant_dispatch(&tenant_reg, metadata.tenant());
                 match NativeObject::from_addr(
                     &adt,
                     class,

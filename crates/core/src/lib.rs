@@ -60,6 +60,7 @@ pub use datapath::{
     ScenarioKind,
 };
 pub use offload::OffloadClient;
+pub use pbo_sched::{SchedConfig, ShedReason, TenantScheduler, TenantSpec, STATUS_SHED};
 pub use serialize::{serialize_view, SerializeError};
 pub use service::ServiceSchema;
 pub use session::{CircuitBreaker, ResilientSession, SessionConfig, STATUS_QUARANTINED};

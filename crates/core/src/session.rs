@@ -39,6 +39,7 @@ use pbo_rpcrdma::client::Continuation;
 use pbo_rpcrdma::{
     try_establish, Config, JournalEntry, ReplayJournal, RetryClass, RetryPolicy, RpcError,
 };
+use pbo_sched::{TenantScheduler, STATUS_SHED};
 use pbo_simnet::Fabric;
 use pbo_trace::{stages, triggers, FlightRecorder, Span, SpanSink, Tracer};
 use std::collections::BTreeMap;
@@ -268,6 +269,10 @@ pub struct ResilientSession {
     /// whenever the attached tracer carries a recorder — independently of
     /// span sampling, so anomaly dumps work in production-shaped runs.
     flight: Option<(Tracer, FlightRecorder)>,
+    /// Tenant admission control for [`ResilientSession::call_tenant`]
+    /// (admission-only — this path does its own queueing via the journal).
+    sched: Option<TenantScheduler<()>>,
+    sched_epoch: Instant,
 }
 
 impl ResilientSession {
@@ -322,7 +327,24 @@ impl ResilientSession {
             counters,
             trace: None,
             flight: None,
+            sched: None,
+            sched_epoch: Instant::now(),
         })
+    }
+
+    /// Installs a tenant scheduler for [`ResilientSession::call_tenant`]:
+    /// per-tenant token buckets shed overload with [`STATUS_SHED`]
+    /// *before* the request touches the breaker or the datapath, and the
+    /// scheduler's fabric-window observer is attached to the offload
+    /// client (and re-attached on every reconnect).
+    pub fn set_scheduler(&mut self, sched: TenantScheduler<()>) {
+        self.client.rpc().set_credit_observer(sched.fabric());
+        self.sched = Some(sched);
+    }
+
+    /// Read access to the installed tenant scheduler.
+    pub fn scheduler(&self) -> Option<&TenantScheduler<()>> {
+        self.sched.as_ref()
     }
 
     /// Attaches a tracer: both endpoints get the usual per-stage spans,
@@ -375,6 +397,34 @@ impl ResilientSession {
     /// True while the offload circuit breaker is open.
     pub fn breaker_is_open(&self) -> bool {
         self.breaker.is_open()
+    }
+
+    /// [`ResilientSession::call`] with tenant admission control in front:
+    /// when a scheduler is installed ([`ResilientSession::set_scheduler`])
+    /// the tenant's token bucket runs first; on overload the continuation
+    /// fires immediately with [`STATUS_SHED`] (retryable, like quarantine:
+    /// the breaker never sees it and `Ok(seq)` is returned — the *request*
+    /// was answered, just not served). Admitted requests proceed exactly
+    /// as [`ResilientSession::call`].
+    pub fn call_tenant(
+        &mut self,
+        tenant: &str,
+        proc_id: u16,
+        wire: &[u8],
+        cont: Continuation,
+    ) -> Result<u64, RpcError> {
+        if let Some(sched) = &mut self.sched {
+            let now_ns = self.sched_epoch.elapsed().as_nanos() as u64;
+            if sched.admit(tenant, wire.len() as u32, now_ns).is_err() {
+                // Shed: answer this caller with the retryable status and
+                // leave the breaker and the datapath untouched.
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                cont(&[], STATUS_SHED);
+                return Ok(seq);
+            }
+        }
+        self.call(proc_id, wire, cont)
     }
 
     /// Issues one call. Returns the session sequence number; the
@@ -625,6 +675,12 @@ impl ResilientSession {
         }
         self.client = client;
         self.server = server;
+        if let Some(sched) = &self.sched {
+            // The fresh client knows nothing of the scheduler: re-attach
+            // the fabric-window observer so borrowing keeps tracking real
+            // credit consumption across reconnects.
+            self.client.rpc().set_credit_observer(sched.fabric());
+        }
 
         // Replay unacknowledged requests, oldest first. The server may
         // re-execute a handler whose response was lost in the old

@@ -12,15 +12,16 @@
 //! the many-to-one-to-one model of §III.C.
 
 use crate::offload::OffloadClient;
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use pbo_grpc::{spawn_server, ServerHandle, ServiceRegistry};
 use pbo_rpcrdma::RpcError;
+use pbo_sched::{Scheduled, TenantScheduler, STATUS_SHED};
 use pbo_simnet::TcpFabric;
 use pbo_trace::{stages, Span, SpanSink, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which client-side behaviour the terminator uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +40,9 @@ pub struct ForwardRequest {
     pub wire: Vec<u8>,
     /// Encoded call metadata to forward host-ward (empty = none).
     pub metadata: Vec<u8>,
+    /// Tenant the request classified into (from the `tenant` metadata
+    /// key; [`pbo_grpc::DEFAULT_TENANT`] for unlabeled traffic).
+    pub tenant: String,
     /// Completion slot: `(status, response bytes)`.
     pub resp_tx: Sender<(u16, Vec<u8>)>,
     /// Tracer timestamp taken when the xRPC frame was received (0 when
@@ -88,6 +92,7 @@ pub fn forwarding_registry_traced(
                         } else {
                             metadata.encode()
                         },
+                        tenant: metadata.tenant().to_string(),
                         resp_tx,
                         recv_ns,
                     })
@@ -146,6 +151,42 @@ impl XrpcTerminator {
             .is_enabled()
             .then(|| tracer.sink(&format!("{conn_label}/client")));
         let poller = std::thread::spawn(move || poller_loop_traced(client, rx, mode, stop2, trace));
+        Self {
+            grpc,
+            poller: Some(poller),
+            stop,
+        }
+    }
+
+    /// [`XrpcTerminator::spawn_traced`] with a tenant scheduler in the
+    /// path: requests classified by their `tenant` metadata go through
+    /// admission control and WDRR dispatch before touching the RDMA
+    /// datapath, and the scheduler's fabric-window observer is installed
+    /// on the offload client so credit borrowing tracks real block-credit
+    /// consumption.
+    pub fn spawn_scheduled(
+        fabric: &TcpFabric,
+        addr: &str,
+        mut client: OffloadClient,
+        mode: ForwardMode,
+        sched: TenantScheduler<ForwardRequest>,
+        tracer: &Tracer,
+        conn_label: &str,
+    ) -> Self {
+        client.set_tracer(tracer, conn_label);
+        client.rpc().set_credit_observer(sched.fabric());
+        let (tx, rx) = bounded::<ForwardRequest>(4096);
+        let registry = forwarding_registry_traced(client.bundle(), tx, tracer);
+        let listener = fabric.bind(addr);
+        let grpc = spawn_server(listener, registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let trace = tracer
+            .is_enabled()
+            .then(|| tracer.sink(&format!("{conn_label}/client")));
+        let poller = std::thread::spawn(move || {
+            poller_loop_scheduled(client, rx, mode, stop2, trace, sched)
+        });
         Self {
             grpc,
             poller: Some(poller),
@@ -272,6 +313,140 @@ pub fn poller_loop_traced(
         client.event_loop(Duration::from_millis(1))?;
         if stop.load(Ordering::Acquire)
             && backlog.is_empty()
+            && client.rpc().outstanding() == 0
+            && rx.is_empty()
+        {
+            return Ok(());
+        }
+    }
+}
+
+/// [`poller_loop_traced`] with a tenant scheduler between the xRPC side
+/// and the RDMA client (§ multi-tenancy): every forwarded request passes
+/// through per-tenant admission control (token bucket + queue-depth
+/// shedding, answered with [`pbo_sched::STATUS_SHED`]) and WDRR dispatch
+/// gated on the tenant's credit sub-pool. Completions return grants via
+/// an in-thread channel fired from the response continuation.
+pub fn poller_loop_scheduled(
+    mut client: OffloadClient,
+    rx: Receiver<ForwardRequest>,
+    mode: ForwardMode,
+    stop: Arc<AtomicBool>,
+    trace: Option<SpanSink>,
+    mut sched: TenantScheduler<ForwardRequest>,
+) -> Result<(), RpcError> {
+    let epoch = Instant::now();
+    let (done_tx, done_rx) = unbounded::<usize>();
+    // A dispatched request the RDMA client pushed back on (credits / send
+    // buffer). Its scheduler grant is already held, so it retries ahead
+    // of everything else rather than re-entering the queues.
+    let mut pending: Option<Scheduled<ForwardRequest>> = None;
+    loop {
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        // Classify + admit everything the xRPC side has forwarded.
+        loop {
+            match rx.try_recv() {
+                Ok(req) => {
+                    let tenant = req.tenant.clone();
+                    let cost = req.wire.len() as u32;
+                    if let Err((req, _reason)) = sched.offer(&tenant, req, cost, now_ns) {
+                        // Shed: retryable RESOURCE_EXHAUSTED back to the
+                        // xRPC client; the datapath never sees it.
+                        let _ = req.resp_tx.send((STATUS_SHED, Vec::new()));
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if pending.is_none()
+                        && sched.queued() == 0
+                        && stop.load(Ordering::Acquire)
+                        && client.rpc().outstanding() == 0
+                    {
+                        return Ok(());
+                    }
+                    break;
+                }
+            }
+            if sched.queued() >= 512 {
+                break;
+            }
+        }
+        // Return completed grants before asking for new dispatches.
+        while let Ok(t) = done_rx.try_recv() {
+            sched.complete(t);
+        }
+        // Dispatch in WDRR order among credit-eligible tenants; the
+        // pending slot (grant already held) always goes first.
+        loop {
+            let out = match pending.take() {
+                Some(out) => out,
+                None => match sched.next(epoch.elapsed().as_nanos() as u64) {
+                    Some(out) => out,
+                    None => break,
+                },
+            };
+            let tenant = out.tenant;
+            let req = &out.item;
+            let resp_tx = req.resp_tx.clone();
+            let done = done_tx.clone();
+            let cont: pbo_rpcrdma::client::Continuation = Box::new(move |payload, status| {
+                let _ = resp_tx.send((status, payload.to_vec()));
+                let _ = done.send(tenant);
+            });
+            let result = match mode {
+                ForwardMode::Offload => {
+                    client.call_offloaded_md(req.proc_id, &req.wire, &req.metadata, cont)
+                }
+                ForwardMode::Forward => {
+                    client.call_forwarded_md(req.proc_id, &req.wire, &req.metadata, cont)
+                }
+            };
+            match result {
+                Ok(()) => {
+                    if let (Some(sink), true) = (&trace, req.recv_ns != 0) {
+                        if let Some(ctx) = client.rpc().last_trace_ctx() {
+                            // Queueing delay inside the scheduler…
+                            sink.record(Span {
+                                trace_id: ctx.trace_id,
+                                stage: stages::SCHED_WAIT,
+                                start_ns: ctx.begin_ns.saturating_sub(out.wait_ns),
+                                end_ns: ctx.begin_ns,
+                                bytes: req.wire.len() as u64,
+                            });
+                            // …and the termination span as in the
+                            // unscheduled loop.
+                            sink.record(Span {
+                                trace_id: ctx.trace_id,
+                                stage: stages::TERMINATE,
+                                start_ns: req.recv_ns,
+                                end_ns: ctx.begin_ns,
+                                bytes: req.wire.len() as u64,
+                            });
+                        }
+                    }
+                }
+                Err(RpcError::NoCredits)
+                | Err(RpcError::SendBufferFull)
+                | Err(RpcError::TooManyOutstanding) => {
+                    pending = Some(out);
+                    break;
+                }
+                Err(RpcError::Quarantined(_))
+                | Err(RpcError::PayloadWriter(_))
+                | Err(RpcError::NoSuchProcedure(_)) => {
+                    let _ = out.item.resp_tx.send((3, Vec::new()));
+                    sched.complete(tenant);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        client.event_loop(Duration::from_millis(1))?;
+        while let Ok(t) = done_rx.try_recv() {
+            sched.complete(t);
+        }
+        if stop.load(Ordering::Acquire)
+            && pending.is_none()
+            && sched.queued() == 0
             && client.rpc().outstanding() == 0
             && rx.is_empty()
         {

@@ -29,7 +29,7 @@ pub mod service;
 
 pub use channel::{CallError, GrpcChannel};
 pub use frame::{read_frame, write_frame, FrameError, FrameHeader, MAX_FRAME};
-pub use metadata::{Metadata, MetadataError, METADATA_FLAG};
+pub use metadata::{Metadata, MetadataError, DEFAULT_TENANT, METADATA_FLAG, TENANT_KEY};
 pub use service::{
     spawn_server, MethodDescriptor, RawHandler, ServerHandle, ServiceDescriptor, ServiceRegistry,
 };

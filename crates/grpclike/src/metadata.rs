@@ -18,6 +18,13 @@ use std::fmt;
 /// The selector bit marking "payload starts with a metadata section".
 pub const METADATA_FLAG: u16 = 0x8000;
 
+/// Metadata key carrying the caller's tenant identity.
+pub const TENANT_KEY: &str = "tenant";
+
+/// Tenant name assigned to traffic that carries no [`TENANT_KEY`] entry
+/// (or a non-UTF-8 / empty value). Matches the scheduler's default queue.
+pub const DEFAULT_TENANT: &str = "default";
+
 /// Ordered key/value call metadata (keys may repeat, as in gRPC).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metadata {
@@ -60,6 +67,26 @@ impl Metadata {
     /// First value for `key` as UTF-8.
     pub fn get_str(&self, key: &str) -> Option<&str> {
         std::str::from_utf8(self.get(key)?).ok()
+    }
+
+    /// The caller's tenant: the first [`TENANT_KEY`] value, falling back
+    /// to [`DEFAULT_TENANT`] when absent, empty, or not UTF-8 — every
+    /// request classifies into exactly one tenant.
+    pub fn tenant(&self) -> &str {
+        match self.get_str(TENANT_KEY) {
+            Some(t) if !t.is_empty() => t,
+            _ => DEFAULT_TENANT,
+        }
+    }
+
+    /// Extracts the tenant from an *encoded* metadata section without
+    /// materializing the full `Metadata` (the terminator's fast path runs
+    /// per request; undecodable sections classify as the default tenant).
+    pub fn tenant_from_encoded(buf: &[u8]) -> String {
+        match Self::decode(buf) {
+            Ok((md, _)) => md.tenant().to_string(),
+            Err(_) => DEFAULT_TENANT.to_string(),
+        }
     }
 
     /// All entries in insertion order.
@@ -164,6 +191,24 @@ mod tests {
         assert!(Metadata::decode(&[]).is_err());
         assert!(Metadata::decode(&[1, 0]).is_err()); // claims 1 entry, no body
         assert!(Metadata::decode(&[1, 0, 2, 0, 3, 0, b'a']).is_err());
+    }
+
+    #[test]
+    fn tenant_classification_always_yields_a_tenant() {
+        let mut m = Metadata::new();
+        assert_eq!(m.tenant(), DEFAULT_TENANT);
+        m.insert(TENANT_KEY, b"acme".to_vec());
+        assert_eq!(m.tenant(), "acme");
+        // Empty and non-UTF-8 values fall back instead of erroring.
+        let mut empty = Metadata::new();
+        empty.insert(TENANT_KEY, Vec::new());
+        assert_eq!(empty.tenant(), DEFAULT_TENANT);
+        let mut bad = Metadata::new();
+        bad.insert(TENANT_KEY, vec![0xFF, 0xFE]);
+        assert_eq!(bad.tenant(), DEFAULT_TENANT);
+        // Encoded fast path agrees with the decoded path.
+        assert_eq!(Metadata::tenant_from_encoded(&m.encode()), "acme");
+        assert_eq!(Metadata::tenant_from_encoded(&[]), DEFAULT_TENANT);
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub use counter::Counter;
 pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_BUCKETS};
 pub use monitor::{Monitor, MonitorConfig, RateSample, StabilityReport};
-pub use registry::{KindMismatch, LabelSet, MetricFamily, MetricKind, Registry};
+pub use registry::{
+    KindMismatch, LabelSet, MetricFamily, MetricKind, Registry, OVERFLOW_LABEL_VALUE,
+};
 pub use sliding::{SlidingConfig, SlidingHistogram};
 pub use slo::{SloSpec, SloStatus, SloTracker};
 

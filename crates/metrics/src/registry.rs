@@ -75,6 +75,19 @@ impl MetricFamily {
     }
 }
 
+/// Label value that absorbs series beyond a label's cardinality cap.
+///
+/// When [`Registry::cap_label_cardinality`] limits a label (e.g. `tenant`)
+/// to N distinct values, the N+1th and later values all register under
+/// this value instead, so hostile or misconfigured clients cannot grow the
+/// registry without bound.
+pub const OVERFLOW_LABEL_VALUE: &str = "__other";
+
+struct LabelCap {
+    max: usize,
+    seen: std::collections::BTreeSet<String>,
+}
+
 /// A threadsafe registry of metric families.
 ///
 /// Registration is idempotent: asking for the same name + labels returns a
@@ -83,6 +96,9 @@ impl MetricFamily {
 #[derive(Default)]
 pub struct Registry {
     families: RwLock<BTreeMap<String, MetricFamily>>,
+    /// Per-label-name cardinality caps (see
+    /// [`Registry::cap_label_cardinality`]).
+    caps: RwLock<BTreeMap<String, LabelCap>>,
     /// Kind-mismatched registration attempts observed (self-observation:
     /// a scrape of a misbehaving embedder shows the count).
     kind_mismatches: std::sync::atomic::AtomicU64,
@@ -103,6 +119,61 @@ impl Registry {
         Self::default()
     }
 
+    /// Caps the number of distinct values the label `label` may take
+    /// across every family in this registry. The first `max` distinct
+    /// values each get their own series; later values collapse into
+    /// [`OVERFLOW_LABEL_VALUE`], bounding registry growth regardless of
+    /// how many tenants (or other unbounded identities) traffic carries.
+    ///
+    /// Reads ([`Registry::counter_value`], [`Registry::gauge_value`])
+    /// apply the same mapping, so a value that was capped at registration
+    /// reads back from the overflow series.
+    pub fn cap_label_cardinality(&self, label: &str, max: usize) {
+        self.caps.write().insert(
+            label.to_string(),
+            LabelCap {
+                max,
+                seen: std::collections::BTreeSet::new(),
+            },
+        );
+    }
+
+    /// Distinct values currently admitted under a capped label (None when
+    /// the label is uncapped).
+    pub fn label_cardinality(&self, label: &str) -> Option<usize> {
+        self.caps.read().get(label).map(|c| c.seen.len())
+    }
+
+    /// Applies cardinality caps to a label set. `admit` controls whether
+    /// unseen values may claim one of the remaining slots (registration)
+    /// or only map through the existing table (reads).
+    fn capped_key(&self, labels: &[(&str, &str)], admit: bool) -> Vec<(String, String)> {
+        let mut key = labels_key(labels);
+        {
+            let caps = self.caps.read();
+            if caps.is_empty() || !key.iter().any(|(k, _)| caps.contains_key(k)) {
+                return key;
+            }
+        }
+        let mut caps = self.caps.write();
+        for (k, v) in key.iter_mut() {
+            let Some(cap) = caps.get_mut(k.as_str()) else {
+                continue;
+            };
+            if cap.seen.contains(v.as_str()) || v == OVERFLOW_LABEL_VALUE {
+                continue;
+            }
+            if cap.seen.len() < cap.max {
+                if admit {
+                    cap.seen.insert(v.clone());
+                }
+            } else {
+                *v = OVERFLOW_LABEL_VALUE.to_string();
+            }
+        }
+        key
+    }
+
     fn get_or_insert<T: Clone, F: FnOnce() -> Series, G: Fn(&Series) -> Option<T>>(
         &self,
         name: &str,
@@ -112,7 +183,7 @@ impl Registry {
         make: F,
         extract: G,
     ) -> Result<T, KindMismatch> {
-        let key = labels_key(labels);
+        let key = self.capped_key(labels, true);
         let mut fams = self.families.write();
         let fam = fams
             .entry(name.to_string())
@@ -256,7 +327,7 @@ impl Registry {
 
     /// Reads the current value of a counter series, if present.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
-        let key = labels_key(labels);
+        let key = self.capped_key(labels, false);
         let fams = self.families.read();
         match fams.get(name)?.series.get(&key)? {
             Series::Counter(c) => Some(c.get()),
@@ -266,7 +337,7 @@ impl Registry {
 
     /// Reads the current value of a gauge series, if present.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
-        let key = labels_key(labels);
+        let key = self.capped_key(labels, false);
         let fams = self.families.read();
         match fams.get(name)?.series.get(&key)? {
             Series::Gauge(g) => Some(g.get()),
@@ -526,6 +597,54 @@ mod tests {
         // The family is unharmed: the original counter still works.
         reg.counter("y", "y", &[]).inc();
         assert_eq!(reg.counter_value("y", &[]), Some(1));
+    }
+
+    #[test]
+    fn label_cardinality_cap_aggregates_overflow_into_other() {
+        let reg = Registry::new();
+        reg.cap_label_cardinality("tenant", 3);
+        // First three tenants each get their own series.
+        for t in ["a", "b", "c"] {
+            reg.counter("sched_shed_total", "sheds", &[("tenant", t)])
+                .inc();
+        }
+        assert_eq!(reg.label_cardinality("tenant"), Some(3));
+        // Everything beyond the cap lands in the shared overflow series —
+        // even a hostile stream of unique tenant names stays bounded.
+        for i in 0..100 {
+            let name = format!("mallory-{i}");
+            reg.counter("sched_shed_total", "sheds", &[("tenant", &name)])
+                .inc();
+        }
+        assert_eq!(reg.label_cardinality("tenant"), Some(3));
+        assert_eq!(
+            reg.counter_value("sched_shed_total", &[("tenant", OVERFLOW_LABEL_VALUE)]),
+            Some(100)
+        );
+        // Reads of capped-out values route to the overflow series too.
+        assert_eq!(
+            reg.counter_value("sched_shed_total", &[("tenant", "mallory-7")]),
+            Some(100)
+        );
+        // Admitted tenants are unaffected, series count is bounded at
+        // cap + 1, and uncapped labels pass through untouched.
+        assert_eq!(
+            reg.counter_value("sched_shed_total", &[("tenant", "a")]),
+            Some(1)
+        );
+        let text = reg.expose();
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("sched_shed_total{"))
+                .count(),
+            4,
+            "{text}"
+        );
+        reg.counter("other_metric", "o", &[("conn", "c-99")]).inc();
+        assert_eq!(
+            reg.counter_value("other_metric", &[("conn", "c-99")]),
+            Some(1)
+        );
     }
 
     #[test]

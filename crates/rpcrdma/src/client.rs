@@ -242,6 +242,8 @@ pub struct RpcClient {
     /// Reusable completion buffer (no allocator in the datapath, §VI.C.5).
     cqe_buf: Vec<pbo_simnet::Cqe>,
     metrics: ClientMetrics,
+    /// Sees every credit consume/replenish (tenant sub-pool accounting).
+    credit_observer: Option<crate::credit::SharedCreditObserver>,
     trace: Option<ClientTraceState>,
     /// Flight recorder (with the clock that stamps its marks); captured
     /// from the tracer even when span sampling is off, so CRC-failure
@@ -302,10 +304,19 @@ impl RpcClient {
             remote_rbuf_base,
             cfg,
             metrics,
+            credit_observer: None,
             trace: None,
             flight: None,
             last_ctx: None,
         }
+    }
+
+    /// Installs a [`crate::credit::CreditObserver`] that is invoked inline
+    /// whenever this endpoint consumes or replenishes a send credit. The
+    /// tenant scheduler uses this to keep per-tenant credit sub-pools in
+    /// sync with the fabric's actual in-flight window.
+    pub fn set_credit_observer(&mut self, observer: crate::credit::SharedCreditObserver) {
+        self.credit_observer = Some(observer);
     }
 
     /// Attaches a tracer: subsequent requests get per-stage spans
@@ -746,6 +757,9 @@ impl RpcClient {
         }
         self.credits -= 1;
         self.metrics.credits.dec();
+        if let Some(obs) = &self.credit_observer {
+            obs.on_consume(1);
+        }
         self.metrics
             .credits_in_use_peak
             .set_max((self.cfg.credits - self.credits) as i64);
@@ -972,6 +986,9 @@ impl RpcClient {
                 self.alloc.free(sent.alloc);
                 self.credits += 1;
                 self.metrics.credits.inc();
+                if let Some(obs) = &self.credit_observer {
+                    obs.on_replenish(1);
+                }
             }
             (entry.cont)(payload, header.status);
             if let (Some(trace_id), Some(t)) = (entry.trace_id, &self.trace) {
@@ -1024,6 +1041,9 @@ impl RpcClient {
                     self.alloc.free(sent.alloc);
                     self.credits += 1;
                     self.metrics.credits.inc();
+                    if let Some(obs) = &self.credit_observer {
+                        obs.on_replenish(1);
+                    }
                 }
             }
             s => {

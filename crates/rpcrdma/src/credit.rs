@@ -1,0 +1,76 @@
+//! Credit-window observation hooks.
+//!
+//! The paper's credit scheme (§IV.B) treats the DPU↔host channel as one
+//! undifferentiated window of `Config::credits` blocks. A multi-tenant
+//! scheduler sitting above the datapath needs to see that window move —
+//! every block-credit consumed by a post and every credit replenished by
+//! an ack — to keep its per-tenant sub-pool accounting in sync with what
+//! the fabric actually has in flight. [`CreditObserver`] is that tap:
+//! installed with [`crate::RpcClient::set_credit_observer`] (or the server
+//! equivalent), it is invoked inline from the endpoint event loops at
+//! exactly the points the endpoint's own `credits` field changes.
+//!
+//! Observers must be cheap and non-blocking: they run on the datapath.
+
+use std::sync::Arc;
+
+/// Sees every movement of an endpoint's send-credit window.
+pub trait CreditObserver: Send + Sync {
+    /// `n` credits were consumed (a sealed block was posted).
+    fn on_consume(&self, n: u32);
+    /// `n` credits were replenished (a block was acknowledged).
+    fn on_replenish(&self, n: u32);
+}
+
+/// Shared handle to an installed observer.
+pub type SharedCreditObserver = Arc<dyn CreditObserver>;
+
+/// A no-op observer (useful as a default or in tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCreditObserver;
+
+impl CreditObserver for NullCreditObserver {
+    fn on_consume(&self, _n: u32) {}
+    fn on_replenish(&self, _n: u32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Counting observer used by endpoint tests.
+    #[derive(Default)]
+    pub struct CountingObserver {
+        /// Total credits consumed.
+        pub consumed: AtomicU32,
+        /// Total credits replenished.
+        pub replenished: AtomicU32,
+    }
+
+    impl CreditObserver for CountingObserver {
+        fn on_consume(&self, n: u32) {
+            self.consumed.fetch_add(n, Ordering::Relaxed);
+        }
+        fn on_replenish(&self, n: u32) {
+            self.replenished.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn null_observer_is_inert() {
+        let o = NullCreditObserver;
+        o.on_consume(3);
+        o.on_replenish(3);
+    }
+
+    #[test]
+    fn counting_observer_accumulates() {
+        let o = CountingObserver::default();
+        o.on_consume(2);
+        o.on_consume(1);
+        o.on_replenish(3);
+        assert_eq!(o.consumed.load(Ordering::Relaxed), 3);
+        assert_eq!(o.replenished.load(Ordering::Relaxed), 3);
+    }
+}

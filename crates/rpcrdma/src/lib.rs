@@ -42,6 +42,7 @@
 pub mod background;
 pub mod client;
 pub mod config;
+pub mod credit;
 pub mod error;
 pub mod integrity;
 pub mod poller;
@@ -53,6 +54,7 @@ pub mod wire;
 pub use background::{BackgroundHandler, OwnedRequest};
 pub use client::{ClientMetricsSnapshot, RpcClient};
 pub use config::{Config, PAPER_BLOCK_SIZE, PAPER_CREDITS};
+pub use credit::{CreditObserver, NullCreditObserver, SharedCreditObserver};
 pub use error::{classify_qp, RetryClass, RpcError};
 pub use integrity::{crc32c, INTEGRITY_NACK};
 pub use poller::ServerPoller;

@@ -233,6 +233,8 @@ pub struct RpcServer {
     /// Reusable completion buffer (no allocator in the datapath, §VI.C.5).
     cqe_buf: Vec<pbo_simnet::Cqe>,
     metrics: ServerMetrics,
+    /// Sees every credit consume/replenish (tenant sub-pool accounting).
+    credit_observer: Option<crate::credit::SharedCreditObserver>,
     trace: Option<ServerTraceState>,
     /// Flight recorder (with the clock that stamps its marks); captured
     /// from the tracer even when span sampling is off.
@@ -288,9 +290,17 @@ impl RpcServer {
             remote_rbuf,
             cfg,
             metrics,
+            credit_observer: None,
             trace: None,
             flight: None,
         }
+    }
+
+    /// Installs a [`crate::credit::CreditObserver`] invoked inline at
+    /// every response-credit consume/replenish in this endpoint's event
+    /// loop (mirror of [`crate::RpcClient::set_credit_observer`]).
+    pub fn set_credit_observer(&mut self, observer: crate::credit::SharedCreditObserver) {
+        self.credit_observer = Some(observer);
     }
 
     /// Attaches a tracer: dispatched requests get `host_dispatch` and
@@ -588,6 +598,9 @@ impl RpcServer {
             self.alloc.free(sealed.alloc);
             self.credits += 1;
             self.metrics.credits.inc();
+            if let Some(obs) = &self.credit_observer {
+                obs.on_replenish(1);
+            }
         }
 
         let block = unsafe { rbuf.slice(offset, block_len) };
@@ -978,6 +991,9 @@ impl RpcServer {
             }
             self.credits -= 1;
             self.metrics.credits.dec();
+            if let Some(obs) = &self.credit_observer {
+                obs.on_consume(1);
+            }
             self.metrics
                 .credits_in_use_peak
                 .set_max((self.cfg.credits - self.credits) as i64);

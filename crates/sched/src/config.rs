@@ -1,0 +1,109 @@
+//! Scheduler configuration: tenant weights, admission knobs, credit
+//! partitioning geometry.
+
+/// One configured tenant: a name and a service weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name, matched against the `tenant` metadata value.
+    pub name: String,
+    /// Relative service weight (≥ 1). A weight-2 tenant gets twice the
+    /// deserialization slots and credit share of a weight-1 tenant over
+    /// any contended interval.
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A tenant with the given name and weight (clamped to ≥ 1).
+    pub fn new(name: &str, weight: u32) -> Self {
+        Self {
+            name: name.to_string(),
+            weight: weight.max(1),
+        }
+    }
+}
+
+/// Tenant scheduler configuration.
+///
+/// Every knob has a production-shaped default; `SchedConfig::default()`
+/// yields a scheduler that classifies everything into the default tenant
+/// and never sheds (infinite bucket, deep queues) — inert until tuned.
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Statically configured tenants. The default tenant
+    /// ([`pbo_grpc::DEFAULT_TENANT`]) is always present (added
+    /// implicitly with [`SchedConfig::default_weight`] if not listed).
+    pub tenants: Vec<TenantSpec>,
+    /// Weight assigned to the default tenant and to tenants first seen in
+    /// traffic (when under [`SchedConfig::max_tenants`]).
+    pub default_weight: u32,
+    /// DRR quantum added to a tenant's deficit per round, per unit of
+    /// weight, in cost units (a request's cost is its payload bytes, so
+    /// the quantum should comfortably exceed the largest message).
+    pub quantum: u32,
+    /// Per-tenant queue depth beyond which new arrivals are shed
+    /// ([`crate::ShedReason::QueueFull`]).
+    pub max_queue_depth: usize,
+    /// Token-bucket refill rate in requests/second per unit of weight.
+    /// `0.0` disables rate-based admission (bucket always full).
+    pub bucket_rate: f64,
+    /// Token-bucket burst capacity in requests, per unit of weight.
+    pub bucket_burst: f64,
+    /// The RDMA credit window being partitioned (should match
+    /// `pbo_rpcrdma::Config::credits` of the offload connection).
+    pub credit_window: u32,
+    /// Requests one block credit is assumed to carry (a sealed block
+    /// batches many messages, so per-request sub-pool accounting is
+    /// denominated in `credit_window × inflight_per_credit` units).
+    pub inflight_per_credit: u32,
+    /// Tenants first seen in traffic are given their own queue up to this
+    /// many total tenants; beyond it they share the default queue
+    /// (mirroring the metrics label-cardinality cap).
+    pub max_tenants: usize,
+    /// A backlogged tenant unserved for this many consecutive grants
+    /// (scaled by active tenant count) raises the starvation flight
+    /// trigger. `0` disables detection.
+    pub starvation_grants: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            tenants: Vec::new(),
+            default_weight: 1,
+            quantum: 16 * 1024,
+            max_queue_depth: 4096,
+            bucket_rate: 0.0,
+            bucket_burst: 256.0,
+            credit_window: pbo_rpcrdma::PAPER_CREDITS,
+            inflight_per_credit: 16,
+            max_tenants: crate::DEFAULT_TENANT_LABEL_CAP,
+            starvation_grants: 1024,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Two-equal-weight-tenant config sized for tests: small quantum,
+    /// shallow queues, tiny credit window.
+    pub fn test_pair(a: &str, b: &str) -> Self {
+        Self {
+            tenants: vec![TenantSpec::new(a, 1), TenantSpec::new(b, 1)],
+            quantum: 64,
+            max_queue_depth: 64,
+            credit_window: 4,
+            inflight_per_credit: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Panics on nonsensical geometry (zero quantum or credit window).
+    pub fn validate(&self) {
+        assert!(self.quantum > 0, "quantum must be positive");
+        assert!(self.credit_window > 0, "credit window must be positive");
+        assert!(
+            self.inflight_per_credit > 0,
+            "inflight_per_credit must be positive"
+        );
+        assert!(self.max_tenants >= 1, "need room for the default tenant");
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-tenant credit sub-pools carved from the RDMA credit window.
+//!
+//! The offload connection's credit window (`pbo_rpcrdma::Config::credits`
+//! blocks, each batching many messages) is partitioned by tenant weight
+//! into sub-pools denominated in *in-flight requests*
+//! (`credit_window × inflight_per_credit` units total). The partition is
+//! work-conserving with isolation-on-demand:
+//!
+//! * A tenant under its share always gets a grant while the pool has
+//!   capacity — its share is *reserved* against borrowers.
+//! * A tenant at or over its share may **borrow** idle tenants' units,
+//!   but only the capacity not reserved for currently-backlogged
+//!   under-share tenants. The moment an idle owner becomes backlogged,
+//!   its unused share stops being lendable (reclaim): borrowers keep
+//!   grants they already hold (credits in flight cannot be revoked) but
+//!   get no new loans until releases restore the owner's headroom.
+//!
+//! A [`FabricWindow`] — installed on the RDMA endpoints as a
+//! [`pbo_rpcrdma::CreditObserver`] — tracks how many *block* credits the
+//! fabric actually has in flight; borrowing is additionally refused while
+//! the fabric window itself is exhausted, so loans never form a queue of
+//! requests the fabric cannot absorb.
+
+use pbo_rpcrdma::CreditObserver;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Live view of the fabric's block-credit consumption, fed by the RDMA
+/// endpoint event loops via the [`pbo_rpcrdma::CreditObserver`] hook.
+#[derive(Debug, Default)]
+pub struct FabricWindow {
+    in_flight: AtomicU32,
+}
+
+impl FabricWindow {
+    /// A window with nothing in flight.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Block credits currently consumed on the fabric.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+impl CreditObserver for FabricWindow {
+    fn on_consume(&self, n: u32) {
+        self.in_flight.fetch_add(n, Ordering::Relaxed);
+    }
+    fn on_replenish(&self, n: u32) {
+        // Saturating: a replenish observed before its consume (observer
+        // installed mid-connection) must not wrap.
+        let _ = self
+            .in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+}
+
+/// Weighted partition of an in-flight-request pool with work-conserving
+/// lend/reclaim semantics.
+pub struct CreditPartition {
+    /// Total pool capacity in request units.
+    total: u32,
+    /// Per-tenant reserved share, in request units (≥ 1 each).
+    shares: Vec<u32>,
+    /// Per-tenant grants currently held.
+    in_use: Vec<u32>,
+    total_in_use: u32,
+    /// Fabric block window size (borrow gate).
+    credit_window: u32,
+    fabric: Arc<FabricWindow>,
+}
+
+impl CreditPartition {
+    /// Partitions `credit_window × inflight_per_credit` request units
+    /// across tenants proportionally to `weights` (every tenant gets at
+    /// least one unit).
+    pub fn new(
+        weights: &[u32],
+        credit_window: u32,
+        inflight_per_credit: u32,
+        fabric: Arc<FabricWindow>,
+    ) -> Self {
+        let total = credit_window.saturating_mul(inflight_per_credit).max(1);
+        let shares = Self::shares_for(weights, total);
+        Self {
+            total,
+            shares,
+            in_use: vec![0; weights.len()],
+            total_in_use: 0,
+            credit_window,
+            fabric,
+        }
+    }
+
+    fn shares_for(weights: &[u32], total: u32) -> Vec<u32> {
+        let wsum: u64 = weights.iter().map(|&w| w.max(1) as u64).sum::<u64>().max(1);
+        weights
+            .iter()
+            .map(|&w| ((total as u64 * w.max(1) as u64) / wsum).max(1) as u32)
+            .collect()
+    }
+
+    /// Adds a tenant and re-derives every share from the new weight set.
+    /// Held grants are unaffected.
+    pub fn add_tenant(&mut self, weights: &[u32]) {
+        self.in_use.push(0);
+        self.shares = Self::shares_for(weights, self.total);
+    }
+
+    /// Tenant `t`'s reserved share in request units.
+    pub fn share(&self, t: usize) -> u32 {
+        self.shares[t]
+    }
+
+    /// Grants tenant `t` currently holds.
+    pub fn in_use(&self, t: usize) -> u32 {
+        self.in_use[t]
+    }
+
+    /// Total grants outstanding across tenants.
+    pub fn total_in_use(&self) -> u32 {
+        self.total_in_use
+    }
+
+    /// Total pool capacity in request units.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Read-only form of [`CreditPartition::try_acquire`]: would a grant
+    /// to tenant `t` succeed right now? Used to precompute WDRR
+    /// eligibility without mutating the pool.
+    pub fn can_acquire(&self, t: usize, backlogged: impl Fn(usize) -> bool) -> bool {
+        if self.total_in_use >= self.total {
+            return false;
+        }
+        if self.in_use[t] < self.shares[t] {
+            return true;
+        }
+        // Borrowing: refused while the fabric window itself is exhausted…
+        if self.fabric.in_flight() >= self.credit_window {
+            return false;
+        }
+        // …and only from capacity not reserved for backlogged owners
+        // still under their share.
+        let reserved: u32 = (0..self.shares.len())
+            .filter(|&o| o != t && backlogged(o))
+            .map(|o| self.shares[o].saturating_sub(self.in_use[o]))
+            .sum();
+        self.total_in_use + 1 + reserved <= self.total
+    }
+
+    /// Tries to grant tenant `t` one in-flight unit. `backlogged(o)`
+    /// reports whether tenant `o` currently has queued work — used to
+    /// reserve under-share headroom for backlogged owners against
+    /// borrowers (the reclaim half of work conservation).
+    pub fn try_acquire(&mut self, t: usize, backlogged: impl Fn(usize) -> bool) -> bool {
+        if !self.can_acquire(t, backlogged) {
+            return false;
+        }
+        self.in_use[t] += 1;
+        self.total_in_use += 1;
+        true
+    }
+
+    /// Returns tenant `t`'s grant to the pool (request completed).
+    pub fn release(&mut self, t: usize) {
+        debug_assert!(self.in_use[t] > 0, "release without acquire");
+        self.in_use[t] = self.in_use[t].saturating_sub(1);
+        self.total_in_use = self.total_in_use.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(weights: &[u32], window: u32, per: u32) -> CreditPartition {
+        CreditPartition::new(weights, window, per, FabricWindow::new())
+    }
+
+    #[test]
+    fn shares_follow_weights() {
+        let p = part(&[1, 3], 4, 4); // 16 units
+        assert_eq!(p.share(0), 4);
+        assert_eq!(p.share(1), 12);
+    }
+
+    #[test]
+    fn idle_share_is_lendable_and_reclaimed() {
+        let mut p = part(&[1, 1], 2, 4); // 8 units, 4 each
+                                         // Tenant 0 alone: borrows through the whole pool (work
+                                         // conservation — nobody else is backlogged).
+        for _ in 0..8 {
+            assert!(p.try_acquire(0, |_| false));
+        }
+        assert!(!p.try_acquire(0, |_| false), "pool exhausted");
+        assert_eq!(p.in_use(0), 8);
+        // Tenant 1 wakes up: held loans survive, but as tenant 0
+        // releases, tenant 1's share headroom is reserved — tenant 0
+        // cannot re-borrow while tenant 1 is backlogged under-share.
+        p.release(0);
+        assert!(!p.try_acquire(0, |o| o == 1), "loan refused during reclaim");
+        assert!(p.try_acquire(1, |_| true), "owner always gets its share");
+    }
+
+    #[test]
+    fn under_share_grant_never_blocked_by_borrowers() {
+        let mut p = part(&[1, 1], 2, 2); // 4 units, 2 each
+        assert!(p.try_acquire(0, |_| false));
+        assert!(p.try_acquire(0, |_| false));
+        assert!(p.try_acquire(0, |_| false)); // 3rd is a loan
+        assert!(p.try_acquire(1, |_| true));
+        assert_eq!(p.total_in_use(), 4);
+        assert!(!p.try_acquire(1, |_| true), "pool full");
+    }
+
+    #[test]
+    fn fabric_exhaustion_blocks_loans_not_shares() {
+        let fabric = FabricWindow::new();
+        let mut p = CreditPartition::new(&[1, 1], 2, 2, fabric.clone());
+        fabric.on_consume(2); // window of 2 fully in flight
+        assert!(p.try_acquire(0, |_| false), "own share ok");
+        assert!(p.try_acquire(0, |_| false), "own share ok");
+        assert!(!p.try_acquire(0, |_| false), "loan blocked by fabric");
+        fabric.on_replenish(1);
+        assert!(p.try_acquire(0, |_| false), "loan ok with fabric spare");
+        // Observer saturates instead of wrapping.
+        fabric.on_replenish(100);
+        assert_eq!(fabric.in_flight(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Tenant-aware QoS scheduling between xRPC termination and the offload
+//! datapath.
+//!
+//! The paper's credit-based congestion control (§IV.B) treats the
+//! DPU↔host channel as one undifferentiated pipe. A production DPU
+//! terminates connections from *many* tenants, and without isolation one
+//! chatty client consumes every deserialization slot and block credit.
+//! This crate inserts a scheduling layer between protocol termination and
+//! the offload client:
+//!
+//! * **Classification** — every request maps to exactly one tenant, taken
+//!   from the gRPC-like `tenant` metadata key
+//!   ([`pbo_grpc::TENANT_KEY`]), with [`pbo_grpc::DEFAULT_TENANT`] for
+//!   unlabeled traffic.
+//! * **Weighted deficit round robin** ([`Wdrr`]) — per-tenant FIFO queues
+//!   served in deficit-round-robin order, so over any backlogged interval
+//!   each tenant's service share converges to its weight share regardless
+//!   of offered-load skew.
+//! * **Credit sub-pools** ([`CreditPartition`]) — the RDMA credit window
+//!   is carved into per-tenant shares, work-conserving: idle tenants'
+//!   credits are lendable, and reclaimed the moment the owner becomes
+//!   backlogged (no new loans while a sub-share owner waits). A
+//!   [`FabricWindow`] installed as a
+//!   [`pbo_rpcrdma::CreditObserver`] keeps the partition in sync
+//!   with what the fabric actually has in flight.
+//! * **Admission control** ([`TokenBucket`] + queue-depth shedding) —
+//!   past a tenant's token-bucket rate or queue-depth threshold, requests
+//!   are shed with a *retryable* status ([`STATUS_SHED`], classified like
+//!   `RetryClass::Transient`): clients back off and retry, the circuit
+//!   breaker never trips, and admitted goodput is protected.
+//!
+//! The facade is [`TenantScheduler`]; the DPU terminator drives it from
+//! its poller loop, and it exports per-tenant counters/gauges (bounded by
+//! the registry's tenant label-cardinality cap), `sched_wait` trace
+//! spans, per-tenant SLO burn, and shed/starvation flight-recorder
+//! triggers.
+
+#![warn(missing_docs)]
+
+mod bucket;
+mod config;
+mod credits;
+mod scheduler;
+mod wdrr;
+
+pub use bucket::TokenBucket;
+pub use config::{SchedConfig, TenantSpec};
+pub use credits::{CreditPartition, FabricWindow};
+pub use scheduler::{Scheduled, ShedReason, TenantScheduler};
+pub use wdrr::Wdrr;
+
+/// Response status for a request shed by admission control.
+///
+/// Mirrors gRPC `RESOURCE_EXHAUSTED` (8): the canonical "back off and
+/// retry" overload status. Delivered per-request like
+/// `pbo_core::STATUS_QUARANTINED`, and — like quarantine — it must never
+/// count against the offload circuit breaker: shedding is the scheduler
+/// protecting goodput, not the datapath failing.
+pub const STATUS_SHED: u16 = 8;
+
+/// Default cap on distinct `tenant` label values a registry admits before
+/// aggregating into `pbo_metrics::OVERFLOW_LABEL_VALUE`.
+pub const DEFAULT_TENANT_LABEL_CAP: usize = 32;

@@ -1,0 +1,616 @@
+//! The tenant scheduler facade: classification → admission → WDRR →
+//! credit-gated dispatch, with per-tenant observability.
+
+use crate::{CreditPartition, FabricWindow, SchedConfig, TokenBucket, Wdrr};
+use pbo_metrics::{Counter, Gauge, Histogram, Registry, SloSpec, SloTracker};
+use pbo_trace::{stages, triggers, FlightRecorder};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why a request was shed instead of admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's token bucket was empty (offered load above its rate).
+    RateLimited,
+    /// The tenant's queue hit [`SchedConfig::max_queue_depth`].
+    QueueFull,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::RateLimited => write!(f, "rate_limited"),
+            ShedReason::QueueFull => write!(f, "queue_full"),
+        }
+    }
+}
+
+/// One request handed out by [`TenantScheduler::next`].
+pub struct Scheduled<T> {
+    /// Index of the tenant served (see
+    /// [`TenantScheduler::tenant_name`]).
+    pub tenant: usize,
+    /// The queued item.
+    pub item: T,
+    /// Nanoseconds the item waited between admission and dispatch.
+    pub wait_ns: u64,
+}
+
+/// Point-in-time per-tenant accounting (plain counters, available with
+/// or without a bound registry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests handed to the datapath.
+    pub served: u64,
+    /// Requests currently queued.
+    pub depth: usize,
+}
+
+struct Queued<T> {
+    item: T,
+    enqueue_ns: u64,
+}
+
+struct TenantInstruments {
+    admitted: Counter,
+    shed: Counter,
+    served: Counter,
+    depth: Gauge,
+    depth_peak: Gauge,
+    wait: Histogram,
+}
+
+/// Tenant-aware scheduler between xRPC termination and the offload
+/// datapath (see the crate docs for the model).
+pub struct TenantScheduler<T> {
+    cfg: SchedConfig,
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    weights: Vec<u32>,
+    wdrr: Wdrr<Queued<T>>,
+    buckets: Vec<TokenBucket>,
+    partition: CreditPartition,
+    fabric: Arc<FabricWindow>,
+    registry: Option<Arc<Registry>>,
+    instruments: Vec<Option<TenantInstruments>>,
+    flight: Option<FlightRecorder>,
+    slo: Option<(SloTracker, f64)>,
+    slo_stage: Vec<String>,
+    /// Plain per-tenant tallies (usable without a registry).
+    admitted: Vec<u64>,
+    shed: Vec<u64>,
+    served: Vec<u64>,
+    /// Per-tenant shed edge state (flight trigger fires on onset).
+    shedding: Vec<bool>,
+    grant_seq: u64,
+    last_grant: Vec<u64>,
+    starved_flagged: Vec<bool>,
+}
+
+impl<T> TenantScheduler<T> {
+    /// Builds a scheduler from `cfg`. The default tenant
+    /// ([`pbo_grpc::DEFAULT_TENANT`]) always exists at index 0.
+    pub fn new(cfg: SchedConfig) -> Self {
+        cfg.validate();
+        let fabric = FabricWindow::new();
+        let mut s = Self {
+            names: Vec::new(),
+            index: HashMap::new(),
+            weights: Vec::new(),
+            wdrr: Wdrr::new(Vec::new(), cfg.quantum),
+            buckets: Vec::new(),
+            partition: CreditPartition::new(
+                &[],
+                cfg.credit_window,
+                cfg.inflight_per_credit,
+                fabric.clone(),
+            ),
+            fabric,
+            registry: None,
+            instruments: Vec::new(),
+            flight: None,
+            slo: None,
+            slo_stage: Vec::new(),
+            admitted: Vec::new(),
+            shed: Vec::new(),
+            served: Vec::new(),
+            shedding: Vec::new(),
+            grant_seq: 0,
+            last_grant: Vec::new(),
+            starved_flagged: Vec::new(),
+            cfg,
+        };
+        s.add_tenant(pbo_grpc::DEFAULT_TENANT, s.cfg.default_weight);
+        for spec in s.cfg.tenants.clone() {
+            if !s.index.contains_key(&spec.name) {
+                s.add_tenant(&spec.name, spec.weight);
+            }
+        }
+        s
+    }
+
+    /// The fabric-window observer to install on the offload RDMA client
+    /// (`RpcClient::set_credit_observer`) so sub-pool borrowing tracks
+    /// real block-credit consumption.
+    pub fn fabric(&self) -> Arc<FabricWindow> {
+        self.fabric.clone()
+    }
+
+    /// Binds a metrics registry: per-tenant counters/gauges/histograms
+    /// labeled `tenant`, with the registry's tenant label cardinality
+    /// capped at [`SchedConfig::max_tenants`] so hostile tenant-name
+    /// streams aggregate into `pbo_metrics::OVERFLOW_LABEL_VALUE`.
+    pub fn bind_metrics(&mut self, registry: &Arc<Registry>) {
+        registry.cap_label_cardinality("tenant", self.cfg.max_tenants);
+        self.registry = Some(registry.clone());
+        for t in 0..self.names.len() {
+            self.instruments[t] = Some(Self::make_instruments(registry, &self.names[t]));
+        }
+    }
+
+    /// Binds a flight recorder: shed onsets and starvation detections
+    /// take anomaly dumps ([`triggers::SHED`], [`triggers::STARVATION`]).
+    pub fn bind_flight(&mut self, recorder: FlightRecorder) {
+        self.flight = Some(recorder);
+    }
+
+    /// Binds per-tenant `sched_wait` p99 SLOs at `threshold_ns`: each
+    /// tenant gets an objective named `sched_wait_p99_{tenant}` whose
+    /// burn rate the telemetry endpoint exposes.
+    pub fn bind_slo(&mut self, tracker: SloTracker, threshold_ns: f64) {
+        for t in 0..self.names.len() {
+            tracker.add(SloSpec::p99(
+                &format!("sched_wait_p99_{}", self.names[t]),
+                &self.slo_stage[t],
+                threshold_ns,
+            ));
+        }
+        self.slo = Some((tracker, threshold_ns));
+    }
+
+    fn make_instruments(registry: &Arc<Registry>, name: &str) -> TenantInstruments {
+        let l = &[("tenant", name)];
+        TenantInstruments {
+            admitted: registry.counter(
+                "sched_admitted_total",
+                "requests admitted by the tenant scheduler",
+                l,
+            ),
+            shed: registry.counter(
+                "sched_shed_total",
+                "requests shed by tenant admission control",
+                l,
+            ),
+            served: registry.counter(
+                "sched_served_total",
+                "requests dispatched to the datapath by the tenant scheduler",
+                l,
+            ),
+            depth: registry.gauge("sched_queue_depth", "requests queued per tenant", l),
+            depth_peak: registry.gauge(
+                "sched_queue_depth_peak",
+                "high-water mark of per-tenant queue depth",
+                l,
+            ),
+            wait: registry.histogram(
+                "sched_wait_ns",
+                "nanoseconds between admission and dispatch",
+                l,
+                pbo_metrics::DEFAULT_BUCKETS,
+            ),
+        }
+    }
+
+    fn add_tenant(&mut self, name: &str, weight: u32) -> usize {
+        let weight = weight.max(1);
+        let t = self.wdrr.add_tenant(weight);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), t);
+        self.weights.push(weight);
+        self.buckets.push(TokenBucket::new(
+            self.cfg.bucket_rate * weight as f64,
+            self.cfg.bucket_burst * weight as f64,
+        ));
+        self.partition.add_tenant(&self.weights);
+        self.slo_stage
+            .push(format!("{}:{name}", stages::SCHED_WAIT));
+        self.admitted.push(0);
+        self.shed.push(0);
+        self.served.push(0);
+        self.shedding.push(false);
+        self.last_grant.push(self.grant_seq);
+        self.starved_flagged.push(false);
+        self.instruments.push(
+            self.registry
+                .as_ref()
+                .map(|r| Self::make_instruments(r, name)),
+        );
+        if let Some((tracker, threshold)) = &self.slo {
+            tracker.add(SloSpec::p99(
+                &format!("sched_wait_p99_{name}"),
+                &self.slo_stage[t],
+                *threshold,
+            ));
+        }
+        t
+    }
+
+    /// Resolves a tenant name to its index, admitting first-seen tenants
+    /// with the default weight up to [`SchedConfig::max_tenants`];
+    /// beyond the cap, unknown tenants share the default queue (index 0).
+    pub fn tenant_index(&mut self, name: &str) -> usize {
+        if let Some(&t) = self.index.get(name) {
+            return t;
+        }
+        if self.names.len() >= self.cfg.max_tenants {
+            return 0;
+        }
+        self.add_tenant(name, self.cfg.default_weight)
+    }
+
+    /// Name of tenant `t`.
+    pub fn tenant_name(&self, t: usize) -> &str {
+        &self.names[t]
+    }
+
+    /// Number of tenants currently known.
+    pub fn tenants(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Per-tenant accounting snapshot.
+    pub fn stats(&self, t: usize) -> TenantStats {
+        TenantStats {
+            admitted: self.admitted[t],
+            shed: self.shed[t],
+            served: self.served[t],
+            depth: self.wdrr.depth(t),
+        }
+    }
+
+    /// Total queued items across all tenants.
+    pub fn queued(&self) -> usize {
+        self.wdrr.len()
+    }
+
+    /// Offers one request for tenant `tenant` with service cost `cost`
+    /// (payload bytes; clamped to ≥ 1). Admitted requests join the
+    /// tenant's WDRR queue; overload sheds them back to the caller with a
+    /// [`ShedReason`] to be answered with [`crate::STATUS_SHED`].
+    pub fn offer(
+        &mut self,
+        tenant: &str,
+        item: T,
+        cost: u32,
+        now_ns: u64,
+    ) -> Result<usize, (T, ShedReason)> {
+        let t = self.tenant_index(tenant);
+        let reason = if self.wdrr.depth(t) >= self.cfg.max_queue_depth {
+            Some(ShedReason::QueueFull)
+        } else if !self.buckets[t].try_take(now_ns) {
+            Some(ShedReason::RateLimited)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            self.record_shed(t, cost, now_ns);
+            return Err((item, reason));
+        }
+        self.shedding[t] = false;
+        if self.wdrr.depth(t) == 0 {
+            // Becoming backlogged starts the starvation clock.
+            self.last_grant[t] = self.grant_seq;
+        }
+        self.wdrr.enqueue(
+            t,
+            Queued {
+                item,
+                enqueue_ns: now_ns,
+            },
+            cost,
+        );
+        self.admitted[t] += 1;
+        if let Some(ins) = &self.instruments[t] {
+            ins.admitted.inc();
+            let d = self.wdrr.depth(t) as i64;
+            ins.depth.set(d);
+            ins.depth_peak.set_max(d);
+        }
+        Ok(t)
+    }
+
+    /// Admission-only entry point for paths that do their own queueing
+    /// (the host session supervisor): runs the tenant's token bucket and
+    /// all shed accounting/triggers, but does not enqueue — the caller
+    /// dispatches immediately on `Ok`. Returns the tenant index.
+    pub fn admit(&mut self, tenant: &str, cost: u32, now_ns: u64) -> Result<usize, ShedReason> {
+        let t = self.tenant_index(tenant);
+        if !self.buckets[t].try_take(now_ns) {
+            self.record_shed(t, cost, now_ns);
+            return Err(ShedReason::RateLimited);
+        }
+        self.shedding[t] = false;
+        self.admitted[t] += 1;
+        if let Some(ins) = &self.instruments[t] {
+            ins.admitted.inc();
+        }
+        Ok(t)
+    }
+
+    fn record_shed(&mut self, t: usize, cost: u32, now_ns: u64) {
+        self.shed[t] += 1;
+        if let Some(ins) = &self.instruments[t] {
+            ins.shed.inc();
+        }
+        if !self.shedding[t] {
+            self.shedding[t] = true;
+            if let Some(f) = &self.flight {
+                f.record_mark(t as u64, triggers::SHED, now_ns, cost as u64);
+                f.trigger(triggers::SHED, now_ns);
+            }
+        }
+    }
+
+    /// Dispatches the next request in WDRR order among tenants that can
+    /// take a credit-sub-pool grant. Call [`TenantScheduler::complete`]
+    /// with the returned tenant when the request finishes (response or
+    /// failure) to return the grant.
+    pub fn next(&mut self, now_ns: u64) -> Option<Scheduled<T>> {
+        if self.wdrr.is_empty() {
+            return None;
+        }
+        let n = self.names.len();
+        let backlogged: Vec<bool> = (0..n).map(|t| self.wdrr.depth(t) > 0).collect();
+        let eligible: Vec<bool> = (0..n)
+            .map(|t| backlogged[t] && self.partition.can_acquire(t, |o| backlogged[o] && o != t))
+            .collect();
+        let (t, q) = self.wdrr.dequeue_where(|t| eligible[t])?;
+        let granted = self.partition.try_acquire(t, |o| backlogged[o] && o != t);
+        debug_assert!(granted, "eligibility precheck guarantees the grant");
+        self.grant_seq += 1;
+        self.last_grant[t] = self.grant_seq;
+        self.starved_flagged[t] = false;
+        self.served[t] += 1;
+        let wait_ns = now_ns.saturating_sub(q.enqueue_ns);
+        if let Some(ins) = &self.instruments[t] {
+            ins.served.inc();
+            ins.depth.set(self.wdrr.depth(t) as i64);
+            ins.wait.observe(wait_ns as f64);
+        }
+        if let Some((tracker, _)) = &self.slo {
+            tracker.observe_stage(&self.slo_stage[t], now_ns, wait_ns as f64);
+        }
+        self.detect_starvation(now_ns);
+        Some(Scheduled {
+            tenant: t,
+            item: q.item,
+            wait_ns,
+        })
+    }
+
+    /// Returns tenant `t`'s credit-sub-pool grant (request completed).
+    pub fn complete(&mut self, t: usize) {
+        self.partition.release(t);
+    }
+
+    /// Flags tenants that stayed backlogged while `starvation_grants ×
+    /// active-tenant-count` grants went elsewhere — with WDRR this
+    /// indicates a stuck datapath or a misconfigured credit partition,
+    /// so it takes a flight-recorder dump (once per episode).
+    fn detect_starvation(&mut self, now_ns: u64) {
+        if self.cfg.starvation_grants == 0 {
+            return;
+        }
+        let active = (0..self.names.len())
+            .filter(|&t| self.wdrr.depth(t) > 0)
+            .count() as u64;
+        let horizon = self.cfg.starvation_grants * active.max(1);
+        for t in 0..self.names.len() {
+            if self.wdrr.depth(t) > 0
+                && !self.starved_flagged[t]
+                && self.grant_seq.saturating_sub(self.last_grant[t]) > horizon
+            {
+                self.starved_flagged[t] = true;
+                if let Some(f) = &self.flight {
+                    f.record_mark(t as u64, triggers::STARVATION, now_ns, 0);
+                    f.trigger(triggers::STARVATION, now_ns);
+                }
+            }
+        }
+    }
+
+    /// Read access to the credit partition (tests, introspection).
+    pub fn partition(&self) -> &CreditPartition {
+        &self.partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedConfig;
+
+    fn sched() -> TenantScheduler<u32> {
+        TenantScheduler::new(SchedConfig::test_pair("light", "heavy"))
+    }
+
+    #[test]
+    fn classification_defaults_unlabeled_traffic() {
+        let mut s = sched();
+        let t = s.offer(pbo_grpc::DEFAULT_TENANT, 1, 1, 0).unwrap();
+        assert_eq!(t, 0);
+        assert_eq!(s.tenant_name(0), pbo_grpc::DEFAULT_TENANT);
+    }
+
+    #[test]
+    fn unknown_tenants_fold_into_default_past_the_cap() {
+        let mut s = TenantScheduler::new(SchedConfig {
+            max_tenants: 3,
+            ..SchedConfig::test_pair("a", "b")
+        });
+        assert_eq!(s.tenants(), 3); // default + a + b
+        let t = s.offer("mallory-1", 1, 1, 0).unwrap();
+        assert_eq!(t, 0, "over-cap tenant shares the default queue");
+        assert_eq!(s.tenants(), 3);
+    }
+
+    #[test]
+    fn fair_share_under_contention() {
+        let mut s = TenantScheduler::new(SchedConfig {
+            max_queue_depth: 1024,
+            credit_window: 256,
+            ..SchedConfig::test_pair("light", "heavy")
+        });
+        // 10:1 offered-load skew between equal-weight tenants.
+        for i in 0..50 {
+            s.offer("light", i, 100, 0).unwrap();
+        }
+        for i in 0..500 {
+            s.offer("heavy", i, 100, 0).unwrap();
+        }
+        // While both are backlogged, service alternates by weight: the
+        // light tenant's share of the first 100 grants is ~50%.
+        let mut light = 0;
+        for _ in 0..100 {
+            let out = s.next(0).unwrap();
+            if out.tenant == s.tenant_index("light") {
+                light += 1;
+            }
+            s.complete(out.tenant);
+        }
+        assert!((40..=60).contains(&light), "light share {light}/100");
+    }
+
+    #[test]
+    fn queue_depth_shedding_bounds_the_backlog() {
+        let mut s = sched(); // max_queue_depth = 64
+        let mut shed = 0;
+        for i in 0..200 {
+            if s.offer("heavy", i, 1, 0).is_err() {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 200 - 64);
+        let heavy = s.tenant_index("heavy");
+        assert_eq!(s.stats(heavy).depth, 64);
+        assert_eq!(s.stats(heavy).shed, 136);
+        // Other tenants are unaffected.
+        assert!(s.offer("light", 1, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_sheds_with_reason() {
+        let mut s = TenantScheduler::new(SchedConfig {
+            bucket_rate: 1000.0,
+            bucket_burst: 2.0,
+            ..SchedConfig::test_pair("a", "b")
+        });
+        assert!(s.offer("a", 1, 1, 0).is_ok());
+        assert!(s.offer("a", 2, 1, 0).is_ok());
+        let (_, reason) = s.offer("a", 3, 1, 0).unwrap_err();
+        assert_eq!(reason, ShedReason::RateLimited);
+        // One bucket-interval later the tenant admits again.
+        assert!(s.offer("a", 4, 1, 2_000_000).is_ok());
+    }
+
+    #[test]
+    fn credit_gate_blocks_dispatch_not_queueing() {
+        let mut s = TenantScheduler::new(SchedConfig {
+            credit_window: 1,
+            inflight_per_credit: 2,
+            ..SchedConfig::test_pair("a", "b")
+        });
+        for i in 0..8 {
+            s.offer("a", i, 1, 0).unwrap();
+        }
+        // Pool of 2 units: two dispatches, then the gate closes.
+        assert!(s.next(0).is_some());
+        assert!(s.next(0).is_some());
+        assert!(s.next(0).is_none(), "no credit grant available");
+        let a = s.tenant_index("a");
+        s.complete(a);
+        assert!(s.next(0).is_some(), "release reopens the gate");
+    }
+
+    #[test]
+    fn metrics_track_admit_shed_serve() {
+        let reg = Arc::new(Registry::new());
+        let mut s = TenantScheduler::new(SchedConfig {
+            max_queue_depth: 2,
+            ..SchedConfig::test_pair("a", "b")
+        });
+        s.bind_metrics(&reg);
+        for i in 0..4 {
+            let _ = s.offer("a", i, 1, 0);
+        }
+        let out = s.next(10).unwrap();
+        s.complete(out.tenant);
+        assert_eq!(
+            reg.counter_value("sched_admitted_total", &[("tenant", "a")]),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter_value("sched_shed_total", &[("tenant", "a")]),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter_value("sched_served_total", &[("tenant", "a")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.gauge_value("sched_queue_depth", &[("tenant", "a")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.gauge_value("sched_queue_depth_peak", &[("tenant", "a")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn shed_onset_fires_the_flight_trigger_once_per_episode() {
+        let fr = FlightRecorder::new(64, 4);
+        let mut s = TenantScheduler::new(SchedConfig {
+            max_queue_depth: 1,
+            ..SchedConfig::test_pair("a", "b")
+        });
+        s.bind_flight(fr.clone());
+        s.offer("a", 0, 1, 0).unwrap();
+        for i in 0..5 {
+            let _ = s.offer("a", i, 1, 0); // all shed — one episode
+        }
+        assert_eq!(fr.trigger_count(), 1, "edge-triggered, not per-shed");
+        // Draining and re-overflowing starts a new episode.
+        let out = s.next(0).unwrap();
+        s.complete(out.tenant);
+        s.offer("a", 9, 1, 0).unwrap();
+        let _ = s.offer("a", 10, 1, 0);
+        let _ = s.offer("a", 11, 1, 0);
+        assert_eq!(fr.trigger_count(), 2);
+    }
+
+    #[test]
+    fn per_tenant_slo_burn_is_registered_and_fed() {
+        let reg = Arc::new(Registry::new());
+        let tracker = SloTracker::new(
+            reg.clone(),
+            pbo_metrics::SlidingConfig {
+                window_ns: 1_000_000,
+                windows: 3,
+                bounds: vec![100.0, 10_000.0, 1_000_000.0],
+            },
+        );
+        let mut s = sched();
+        s.bind_slo(tracker.clone(), 10_000.0);
+        s.offer("light", 1, 1, 0).unwrap();
+        let out = s.next(50_000).unwrap(); // 50 µs wait: over threshold
+        s.complete(out.tenant);
+        tracker.evaluate(60_000);
+        let burn = reg.gauge_value("slo_burn_rate", &[("slo", "sched_wait_p99_light")]);
+        assert!(burn.is_some_and(|b| b > 0), "burn {burn:?}");
+    }
+}

@@ -43,6 +43,10 @@ pub mod triggers {
     pub const QUARANTINE: &str = "quarantine_trigger";
     /// An SLO burn rate breached its objective.
     pub const SLO_BURN: &str = "slo_burn";
+    /// The tenant scheduler shed a request under overload.
+    pub const SHED: &str = "shed_trigger";
+    /// A backlogged tenant went unserved for a full starvation window.
+    pub const STARVATION: &str = "starvation_trigger";
     /// Operator-requested dump.
     pub const MANUAL: &str = "manual";
 
@@ -53,6 +57,8 @@ pub mod triggers {
         CRC_FAILURE,
         QUARANTINE,
         SLO_BURN,
+        SHED,
+        STARVATION,
         MANUAL,
     ];
 }

@@ -11,6 +11,9 @@ use std::sync::Arc;
 pub mod stages {
     /// xRPC protocol termination on the DPU (frame received → forwarded).
     pub const TERMINATE: &str = "terminate";
+    /// Time a request spent queued in the tenant scheduler between
+    /// admission and being handed to the offload datapath.
+    pub const SCHED_WAIT: &str = "sched_wait";
     /// Protobuf deserialization into the native host layout.
     pub const DESERIALIZE: &str = "deserialize";
     /// Building/appending the message into an open RDMA block.
@@ -43,6 +46,7 @@ pub mod stages {
     /// Every stage name the datapath can emit, in datapath order.
     pub const ALL: &[&str] = &[
         TERMINATE,
+        SCHED_WAIT,
         DESERIALIZE,
         BLOCK_BUILD,
         CREDIT_WAIT,

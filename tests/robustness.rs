@@ -682,3 +682,117 @@ proptest! {
         prop_assert_eq!(RpcError::Transport(e).retry_class(), class);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Property: WDRR fairness invariants under adversarial arrivals.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The deficit round-robin core under arbitrary weights, quantum, and
+    /// adversarial arrival/drain interleavings holds its fairness
+    /// contract (Shreedhar & Varghese):
+    ///
+    /// * **bounded deficit** — a tenant's deficit never exceeds one
+    ///   quantum grant plus the largest request cost, so no tenant can
+    ///   hoard service credit across rounds;
+    /// * **no banking while idle** — an empty queue always has zero
+    ///   deficit (an idle tenant cannot save up a burst);
+    /// * **work conservation** — `dequeue` yields an item whenever any
+    ///   queue is non-empty;
+    /// * **no starvation** — a continuously backlogged tenant is served
+    ///   within a bounded number of grants, no matter what the others
+    ///   offer;
+    /// * **conservation** — everything enqueued is eventually dequeued,
+    ///   per tenant, exactly once.
+    #[test]
+    fn wdrr_fairness_invariants(
+        weights in proptest::collection::vec(1u32..=4, 2..6),
+        quantum in 1u32..=16,
+        arrivals in proptest::collection::vec((0usize..5, 1u32..=16), 1..200),
+        drain_hints in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        const MAX_COST: u64 = 16;
+        let n = weights.len();
+        let mut w: pbo_sched::Wdrr<u32> = pbo_sched::Wdrr::new(weights.clone(), quantum);
+        let mut enqueued = vec![0u64; n];
+        let mut served = vec![0u64; n];
+        // Starvation accounting: grant index at which each tenant last
+        // became backlogged-but-unserved.
+        let mut waiting_since = vec![None::<u64>; n];
+        let mut grants = 0u64;
+        // One round can hand tenant `o` at most quantum*weight(o) fresh
+        // deficit plus MAX_COST carried, and costs are >= 1, so that also
+        // bounds items per round. A backlogged tenant needs at most
+        // ceil(MAX_COST / (quantum*weight)) rounds to afford its head.
+        let starvation_bound = |t: usize| -> u64 {
+            let rounds = MAX_COST.div_ceil(u64::from(quantum) * u64::from(weights[t])) + 1;
+            let per_round: u64 = (0..n)
+                .filter(|&o| o != t)
+                .map(|o| u64::from(quantum) * u64::from(weights[o]) + MAX_COST)
+                .sum();
+            rounds * per_round + 1
+        };
+        let check_invariants = |w: &pbo_sched::Wdrr<u32>| {
+            for (t, &wt) in weights.iter().enumerate() {
+                prop_assert!(
+                    w.deficit(t) <= u64::from(quantum) * u64::from(wt) + MAX_COST,
+                    "tenant {} deficit {} over bound", t, w.deficit(t)
+                );
+                if w.depth(t) == 0 {
+                    prop_assert_eq!(w.deficit(t), 0, "idle tenant {} banked deficit", t);
+                }
+            }
+        };
+        let dequeue_one = |w: &mut pbo_sched::Wdrr<u32>,
+                               grants: &mut u64,
+                               served: &mut Vec<u64>,
+                               waiting_since: &mut Vec<Option<u64>>| {
+            let before = w.len();
+            let got = w.dequeue();
+            // Work conservation: backlog implies service.
+            prop_assert_eq!(got.is_some(), before > 0);
+            if let Some((t, _item)) = got {
+                *grants += 1;
+                served[t] += 1;
+                waiting_since[t] = None;
+                for (o, slot) in waiting_since.iter_mut().enumerate() {
+                    if w.depth(o) > 0 {
+                        let since = *slot.get_or_insert(*grants);
+                        prop_assert!(
+                            *grants - since <= starvation_bound(o),
+                            "tenant {} starved for {} grants (bound {})",
+                            o, *grants - since, starvation_bound(o)
+                        );
+                    } else {
+                        *slot = None;
+                    }
+                }
+            }
+        };
+        // Adversarial interleaving of arrivals and drains.
+        for (i, &(t, cost)) in arrivals.iter().enumerate() {
+            let t = t % n;
+            w.enqueue(t, cost, cost);
+            enqueued[t] += 1;
+            check_invariants(&w);
+            if drain_hints.get(i).copied().unwrap_or(false) {
+                dequeue_one(&mut w, &mut grants, &mut served, &mut waiting_since);
+                check_invariants(&w);
+            }
+        }
+        // Full drain.
+        while !w.is_empty() {
+            dequeue_one(&mut w, &mut grants, &mut served, &mut waiting_since);
+            check_invariants(&w);
+        }
+        prop_assert_eq!(w.dequeue(), None);
+        // Conservation: per tenant, served exactly what arrived.
+        for t in 0..n {
+            prop_assert_eq!(served[t], enqueued[t], "tenant {} conservation", t);
+        }
+        // After a full drain no tenant retains deficit.
+        for t in 0..n {
+            prop_assert_eq!(w.deficit(t), 0);
+        }
+    }
+}
