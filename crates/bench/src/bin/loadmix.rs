@@ -1,34 +1,49 @@
-//! E12 — open-loop multi-tenant workload generator for the tenant
-//! scheduler.
+//! E12 — open-loop workload generator for the scheduled datapath.
 //!
-//! Drives the real scheduled datapath (WDRR + per-tenant credit
-//! sub-pools + admission control) with two tenants at a configurable
-//! offered-load skew, weight split, and message-size mix, and emits a
-//! machine-readable `BENCH_sched.json` with per-tenant throughput
-//! shares, shed counts, scheduler-wait and end-to-end latency
-//! percentiles, plus a fairness verdict.
+//! Two scenarios share the machinery:
 //!
-//! Open loop: arrivals follow a precomputed schedule (`--rate` req/s;
-//! `0` = the whole backlog at t=0) regardless of completions, so a
-//! misbehaving scheduler shows up as queueing and shed — not as a
-//! quietly slowed generator.
+//! * `--scenario sched` (default) — the multi-tenant fairness bench:
+//!   WDRR + per-tenant credit sub-pools + admission control under a
+//!   configurable offered-load skew; emits `BENCH_sched.json` with
+//!   per-tenant throughput shares, shed counts, latency percentiles,
+//!   and a fairness verdict.
+//! * `--scenario policy` — the adaptive per-class offload policy bench:
+//!   a mixed workload (flat-scalar `Ints512`, char-heavy `Chars8000`,
+//!   bursty `Small`) run three times over the identical seeded arrival
+//!   schedule — adaptive policy, static all-DPU, static all-host — with
+//!   both platforms emulated as real service stations (the DPU and host
+//!   deserialize throttles spin for the dpusim-modeled cost of each
+//!   request, the DPU at half weight for its 2× core count). Emits
+//!   `BENCH_policy.json`: the adaptive split must beat both static
+//!   placements on aggregate p99, with zero route flips after
+//!   convergence.
+//!
+//! Open loop: arrivals follow a precomputed schedule regardless of
+//! completions, so an overloaded placement shows up as queueing — not
+//! as a quietly slowed generator.
 //!
 //! Run: `cargo run --release -p pbo-bench --bin loadmix -- \
-//!       [--requests N] [--skew K] [--rate R] [--weights WL,WH] \
-//!       [--bucket-rate R] [--bucket-burst B] [--seed S] [--out FILE] [--check]`
+//!       [--scenario sched|policy] [--requests N] [--skew K] [--rate R] \
+//!       [--weights WL,WH] [--bucket-rate R] [--bucket-burst B] \
+//!       [--scale S] [--duration-ms D] [--seed S] [--out FILE] [--check]`
 
 use crossbeam::channel::{bounded, Receiver};
 use pbo_core::compat::PayloadMode;
-use pbo_core::terminator::{poller_loop_scheduled, ForwardMode, ForwardRequest};
+use pbo_core::terminator::{
+    poller_loop_adaptive, poller_loop_scheduled, ForwardMode, ForwardRequest,
+};
 use pbo_core::{
     CompatServer, OffloadClient, SchedConfig, ServiceSchema, TenantScheduler, TenantSpec,
     STATUS_SHED,
 };
-use pbo_metrics::Registry;
-use pbo_protowire::encode_message;
+use pbo_dpusim::{route_prior, PriorShape, RoutePrior};
+use pbo_metrics::{Registry, SlidingConfig, SloSpec, SloTracker};
+use pbo_policy::{PolicyConfig, PolicyEngine, Route};
 use pbo_protowire::workloads::{paper_schema, Mt19937, WorkloadKind};
+use pbo_protowire::{encode_message, NullSink, StackDeserializer};
 use pbo_rpcrdma::{establish, Config};
 use pbo_simnet::Fabric;
+use pbo_trace::{TraceConfig, Tracer};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,27 +53,33 @@ const HEAVY: usize = 1;
 const NAMES: [&str; 2] = ["light", "heavy"];
 
 struct Args {
+    scenario: String,
     requests: u64,
     skew: u64,
     rate: f64,
     weights: [u32; 2],
     bucket_rate: f64,
     bucket_burst: f64,
+    scale: f64,
+    duration_ms: u64,
     seed: u32,
-    out: String,
+    out: Option<String>,
     check: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        scenario: "sched".to_string(),
         requests: 2_000,
         skew: 10,
         rate: 20_000.0,
         weights: [1, 1],
         bucket_rate: 0.0,
         bucket_burst: 0.0,
+        scale: 3_200.0,
+        duration_ms: 1_500,
         seed: 1,
-        out: "BENCH_sched.json".to_string(),
+        out: None,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -69,11 +90,21 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
         };
         match a.as_str() {
+            "--scenario" => {
+                args.scenario = it
+                    .next()
+                    .unwrap_or_else(|| usage("--scenario needs a name"));
+                if !matches!(args.scenario.as_str(), "sched" | "policy") {
+                    usage("--scenario must be sched or policy");
+                }
+            }
             "--requests" => args.requests = num("--requests") as u64,
             "--skew" => args.skew = num("--skew") as u64,
             "--rate" => args.rate = num("--rate"),
             "--bucket-rate" => args.bucket_rate = num("--bucket-rate"),
             "--bucket-burst" => args.bucket_burst = num("--bucket-burst"),
+            "--scale" => args.scale = num("--scale"),
+            "--duration-ms" => args.duration_ms = num("--duration-ms") as u64,
             "--seed" => args.seed = num("--seed") as u32,
             "--weights" => {
                 let v = it.next().unwrap_or_else(|| usage("--weights needs WL,WH"));
@@ -83,18 +114,23 @@ fn parse_args() -> Args {
                 }
                 args.weights = [parts[0], parts[1]];
             }
-            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a path"))),
             "--check" => args.check = true,
             other => usage(&format!("unknown argument {other}")),
         }
     }
-    if args.check {
+    if args.check && args.scenario == "sched" {
         // CI smoke preset: a small all-backlog run whose fairness verdict
         // is deterministic enough to assert on.
         args.requests = 440;
         args.skew = 10;
         args.rate = 0.0;
         args.bucket_rate = 0.0;
+    }
+    if args.check && args.scenario == "policy" {
+        // CI smoke preset: short run, default scale — long enough for the
+        // static placements to visibly overload.
+        args.duration_ms = 1_000;
     }
     if args.skew == 0 {
         usage("--skew must be >= 1");
@@ -105,8 +141,9 @@ fn parse_args() -> Args {
 fn usage(msg: &str) -> ! {
     eprintln!("loadmix: {msg}");
     eprintln!(
-        "usage: loadmix [--requests N] [--skew K] [--rate R] [--weights WL,WH] \
-         [--bucket-rate R] [--bucket-burst B] [--seed S] [--out FILE] [--check]"
+        "usage: loadmix [--scenario sched|policy] [--requests N] [--skew K] [--rate R] \
+         [--weights WL,WH] [--bucket-rate R] [--bucket-burst B] [--scale S] \
+         [--duration-ms D] [--seed S] [--out FILE] [--check]"
     );
     std::process::exit(2);
 }
@@ -136,6 +173,17 @@ fn pctl(sorted: &[u64], q: f64) -> u64 {
 
 fn main() {
     let args = parse_args();
+    match args.scenario.as_str() {
+        "policy" => run_policy(args),
+        _ => run_sched(args),
+    }
+}
+
+fn run_sched(args: Args) {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
     println!(
         "== loadmix: {} requests, skew {}:1, rate {} req/s, weights {:?}, seed {} ==",
         args.requests, args.skew, args.rate, args.weights, args.seed
@@ -356,8 +404,8 @@ fn main() {
         weight_share,
         within_band,
     );
-    std::fs::write(&args.out, &json).expect("write BENCH_sched.json");
-    println!("wrote {} ({} bytes)", args.out, json.len());
+    std::fs::write(&out_path, &json).expect("write BENCH_sched.json");
+    println!("wrote {} ({} bytes)", out_path, json.len());
 
     if args.check {
         // CI smoke validation: every offer was answered exactly once,
@@ -385,6 +433,558 @@ fn main() {
             within_band,
             "fairness out of band: window share {window_share:.3} (weight share {weight_share:.3})"
         );
+        println!("check: OK");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `--scenario policy`: adaptive per-class routing vs static placements.
+// ---------------------------------------------------------------------------
+
+/// One message class of the mixed workload: a name (doubles as the
+/// tenant label and the policy's class label), its procedure id, and the
+/// shape of its traffic.
+struct ClassSpec {
+    name: &'static str,
+    proc_id: u16,
+    kind: WorkloadKind,
+    /// Estimated native-layout bytes (for the PCIe-amplification term of
+    /// the route prior).
+    native_bytes: u64,
+    /// Arrival rate, req/s (for bursty classes: the *average* over the
+    /// burst period; arrivals concentrate into the on-window at 3×).
+    rate: f64,
+    /// Burst period (None = uniform arrivals).
+    burst: Option<Duration>,
+    prior: RoutePrior,
+}
+
+/// Fraction of each burst period during which a bursty class's arrivals
+/// actually happen, at `1/BURST_DUTY ×` its average rate.
+const BURST_DUTY: f64 = 1.0 / 3.0;
+
+/// Builds the three paper workload classes with dpusim-derived route
+/// priors and arrival rates calibrated against the emulated platforms:
+/// the DPU station is sized to ~`target_util` by the flat + bursty
+/// classes, the host station to ~`target_util` by the char class. Either
+/// static placement then carries both loads on one station and
+/// overloads; the adaptive split stays stable.
+fn build_classes(scale: f64, target_util: f64) -> Vec<ClassSpec> {
+    let schema = paper_schema();
+    let shape = PriorShape::default();
+    let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+    let mut spec = |name: &'static str,
+                    proc_id: u16,
+                    kind: WorkloadKind,
+                    native_bytes: u64|
+     -> (ClassSpec, RoutePrior) {
+        let wire = encode_message(&kind.generate(&schema, &mut rng));
+        let desc = schema
+            .message(match kind {
+                WorkloadKind::Small => "bench.Small",
+                WorkloadKind::Ints512 => "bench.IntArray",
+                WorkloadKind::Chars8000 => "bench.CharArray",
+            })
+            .expect("paper schema message")
+            .clone();
+        let stats = StackDeserializer::new(&schema)
+            .deserialize(&desc, &wire, &mut NullSink)
+            .expect("representative message deserializes");
+        let prior = route_prior(&stats, wire.len() as u64, native_bytes, &shape);
+        (
+            ClassSpec {
+                name,
+                proc_id,
+                kind,
+                native_bytes,
+                rate: 0.0,
+                burst: None,
+                prior,
+            },
+            prior,
+        )
+    };
+    let (mut flat, flat_p) = spec("flat", 2, WorkloadKind::Ints512, 4 * 512 + 64);
+    let (mut char_c, char_p) = spec("char", 3, WorkloadKind::Chars8000, 8_000 + 32);
+    let (mut burst, burst_p) = spec("burst", 1, WorkloadKind::Small, 64);
+    // Station service times under the emulation throttles (seconds/req):
+    // DPU spins 0.5 × scale × modeled-DPU-ns (2× cores), host spins
+    // scale × modeled-host-ns. `prior.dpu_ns` is already the
+    // capacity-normalized DPU cost (0.5 × modeled + link), `host_ns` the
+    // bottleneck-normalized host cost — use the raw station times here.
+    let d = |p: &RoutePrior| scale * p.dpu_ns * 1e-9;
+    let h = |p: &RoutePrior| scale * p.host_ns * 1e-9;
+    // Adaptive split: char → host (its prior ratio exceeds the enter
+    // threshold), flat + burst → DPU. Budget the DPU station 90/10
+    // between flat and burst, the host station wholly to char.
+    flat.rate = 0.9 * target_util / d(&flat_p);
+    burst.rate = (0.1 * target_util / d(&burst_p)).min(2_000.0);
+    burst.burst = Some(Duration::from_millis(300));
+    char_c.rate = target_util / h(&char_p);
+    vec![flat, char_c, burst]
+}
+
+/// The identical seeded open-loop arrival schedule every pass replays:
+/// `(arrival, class index, wire bytes)`, sorted by arrival time.
+fn build_schedule(
+    classes: &[ClassSpec],
+    seed: u32,
+    duration: Duration,
+) -> Vec<(Duration, usize, Vec<u8>)> {
+    let schema = paper_schema();
+    let mut rng = Mt19937::new(seed);
+    let mut schedule: Vec<(Duration, usize, Vec<u8>)> = Vec::new();
+    for (ci, c) in classes.iter().enumerate() {
+        match c.burst {
+            None => {
+                let n = (c.rate * duration.as_secs_f64()) as u64;
+                for i in 0..n {
+                    let at = Duration::from_secs_f64(i as f64 / c.rate);
+                    schedule.push((at, ci, encode_message(&c.kind.generate(&schema, &mut rng))));
+                }
+            }
+            Some(period) => {
+                // On/off square wave: all arrivals land in the first
+                // `BURST_DUTY` of each period at `rate / BURST_DUTY`.
+                let peak = c.rate / BURST_DUTY;
+                let on = period.mul_f64(BURST_DUTY);
+                let mut k = 0u32;
+                loop {
+                    let base = period * k;
+                    if base >= duration {
+                        break;
+                    }
+                    let n = (peak * on.as_secs_f64()) as u64;
+                    for i in 0..n {
+                        let at = base + Duration::from_secs_f64(i as f64 / peak);
+                        if at >= duration {
+                            break;
+                        }
+                        schedule.push((
+                            at,
+                            ci,
+                            encode_message(&c.kind.generate(&schema, &mut rng)),
+                        ));
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    schedule.sort_by_key(|(at, _, _)| *at);
+    schedule
+}
+
+/// Per-class pass outcome: (name, served, p50_ns, p99_ns, final route,
+/// flips, last flip ms, probes).
+type ClassOut = (String, u64, u64, u64, String, u64, i64, u64);
+
+/// Outcome of one pass over the schedule.
+struct PassOut {
+    name: &'static str,
+    agg_p50_ns: u64,
+    agg_p99_ns: u64,
+    served: u64,
+    shed: u64,
+    elapsed_ms: f64,
+    flips_total: u64,
+    flips_after_mid: u64,
+    amp_milli: i64,
+    classes: Vec<ClassOut>,
+}
+
+/// Runs the full scheduled datapath once over `schedule` with the given
+/// policy (adaptive or pinned), both platform-emulation throttles
+/// active, and live telemetry (queue-depth gauges, deserialize-stage
+/// SLO, PCIe-amplification ratio) wired into the control loop.
+fn run_pass(
+    name: &'static str,
+    pinned: Option<Route>,
+    classes: &[ClassSpec],
+    schedule: &[(Duration, usize, Vec<u8>)],
+    scale: f64,
+) -> PassOut {
+    let bundle = ServiceSchema::paper_bench();
+    let fabric = Fabric::new();
+    let registry = Arc::new(Registry::new());
+    let adt = bundle.adt_bytes();
+    let cfg = Config::test_small();
+    let ep = establish(&fabric, cfg, cfg, &registry, "lmpol", Some(&adt));
+    let mut client =
+        OffloadClient::new(ep.client, bundle.clone(), ep.control_blob.as_deref()).unwrap();
+    // Platform emulation: the DPU deserializes at half the modeled cost
+    // (2× cores), the host at full cost.
+    client.set_deser_throttle(Some(0.5 * scale));
+    let mut server = CompatServer::new(ep.server, PayloadMode::Native);
+    server.set_deser_throttle(Some(scale));
+    for c in classes {
+        server.register_degradable_md(
+            &bundle,
+            c.proc_id,
+            Arc::new(|_md, view, _out| {
+                // Paper-style empty business logic: touch the object.
+                let _ = view.meta().size;
+                0
+            }),
+        );
+    }
+    let host_stop = Arc::new(AtomicBool::new(false));
+    let hs = host_stop.clone();
+    let host = std::thread::spawn(move || {
+        while !hs.load(Ordering::Acquire) {
+            server.event_loop(Duration::from_millis(1)).unwrap();
+        }
+    });
+
+    let mut sched: TenantScheduler<ForwardRequest> = TenantScheduler::new(SchedConfig {
+        tenants: classes.iter().map(|c| TenantSpec::new(c.name, 1)).collect(),
+        credit_window: cfg.credits,
+        inflight_per_credit: 4,
+        // Overloaded static placements queue; they must not shed (the
+        // check asserts shed == 0 so all three passes answer the same
+        // request population).
+        max_queue_depth: 100_000,
+        bucket_rate: 0.0,
+        ..SchedConfig::default()
+    });
+    sched.bind_metrics(&registry);
+    client.rpc().set_credit_observer(sched.fabric());
+
+    // Telemetry: deserialize-stage SLO (p99 over sliding windows) fed by
+    // the tracer, and the PCIe-amplification ratio (RDMA bytes posted /
+    // xRPC wire bytes in) refreshed on every SLO evaluation.
+    let tracer = Tracer::new(TraceConfig::sampled(16));
+    tracer.bind_registry(&registry);
+    let slo = SloTracker::new(registry.clone(), SlidingConfig::seconds(2));
+    slo.add(SloSpec::p99(
+        "policy_deser_p99",
+        "deserialize",
+        4.0 * 0.5 * scale * 2_700.0, // ~4× the scaled Ints512 DPU cost
+    ));
+    let wire_in = registry.counter(
+        "xrpc_wire_bytes_total",
+        "Serialized request bytes entering the terminator",
+        &[],
+    );
+    let posted = registry.counter(
+        "rpc_bytes_sent_total",
+        "bytes posted",
+        &[("conn", "lmpol"), ("side", "client")],
+    );
+    slo.add_ratio("pcie_amplification", posted, wire_in.clone());
+    tracer.bind_slo(&slo);
+    client.set_tracer(&tracer, "lmpol");
+
+    let mut policy = PolicyEngine::new(PolicyConfig {
+        deser_slo_name: Some("policy_deser_p99".to_string()),
+        queue_depth_cap: 512,
+        pinned,
+        ..PolicyConfig::default()
+    });
+    for c in classes {
+        policy.register_class(c.proc_id, c.name, Some(c.prior), 0);
+    }
+    policy.bind_metrics(&registry);
+    policy.bind_slo(&slo);
+
+    let (tx, rx) = bounded::<ForwardRequest>(8192);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let poller =
+        std::thread::spawn(move || poller_loop_adaptive(client, rx, stop2, None, sched, policy));
+
+    // Replay the schedule open-loop.
+    let n_classes = classes.len();
+    let mut tallies: Vec<TenantTally> = (0..n_classes).map(|_| TenantTally::default()).collect();
+    let mut pending: Vec<Pending> = Vec::with_capacity(schedule.len());
+    let mut done = 0u64;
+    let read_flips = |reg: &Registry| -> u64 {
+        classes
+            .iter()
+            .map(|c| {
+                reg.counter_value("policy_flips_total", &[("class", c.name)])
+                    .unwrap_or(0)
+            })
+            .sum()
+    };
+    let duration = schedule.last().map(|(at, _, _)| *at).unwrap_or_default();
+    let mut flips_mid = None;
+    let epoch = Instant::now();
+    for (at, ci, wire) in schedule {
+        while epoch.elapsed() < *at {
+            drain_class(&mut pending, &mut tallies, &mut done);
+            std::thread::yield_now();
+        }
+        if flips_mid.is_none() && epoch.elapsed() * 2 > duration {
+            flips_mid = Some(read_flips(&registry));
+        }
+        let (resp_tx, resp_rx) = bounded(1);
+        wire_in.inc_by(wire.len() as u64);
+        tx.send(ForwardRequest {
+            proc_id: classes[*ci].proc_id,
+            wire: wire.clone(),
+            metadata: Vec::new(),
+            tenant: classes[*ci].name.to_string(),
+            resp_tx,
+            recv_ns: 0,
+        })
+        .expect("poller alive");
+        tallies[*ci].offered += 1;
+        pending.push(Pending {
+            tenant: *ci,
+            issued: Instant::now(),
+            rx: resp_rx,
+        });
+        drain_class(&mut pending, &mut tallies, &mut done);
+    }
+    let flips_mid = flips_mid.unwrap_or_else(|| read_flips(&registry));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !pending.is_empty() {
+        assert!(Instant::now() < deadline, "datapath wedged ({name})");
+        drain_class(&mut pending, &mut tallies, &mut done);
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    let elapsed = epoch.elapsed();
+    stop.store(true, Ordering::Release);
+    poller.join().unwrap().expect("poller exits cleanly");
+    host_stop.store(true, Ordering::Release);
+    host.join().unwrap();
+    // Refresh the windowed ratio gauges one last time before reading.
+    slo.evaluate(tracer.now_ns());
+
+    let mut all_lat: Vec<u64> = Vec::new();
+    let mut per_class = Vec::new();
+    for (ci, t) in tallies.iter().enumerate() {
+        let c = &classes[ci];
+        let mut lat: Vec<u64> = t
+            .completions
+            .iter()
+            .map(|&(_, d)| d.as_nanos() as u64)
+            .collect();
+        lat.sort_unstable();
+        all_lat.extend_from_slice(&lat);
+        let route = match registry.gauge_value("policy_route", &[("class", c.name)]) {
+            Some(1) => "host",
+            _ => "dpu",
+        };
+        per_class.push((
+            c.name.to_string(),
+            t.served,
+            pctl(&lat, 0.50),
+            pctl(&lat, 0.99),
+            route.to_string(),
+            registry
+                .counter_value("policy_flips_total", &[("class", c.name)])
+                .unwrap_or(0),
+            registry
+                .gauge_value("policy_last_flip_ms", &[("class", c.name)])
+                .unwrap_or(0),
+            registry
+                .counter_value("policy_probes_total", &[("class", c.name)])
+                .unwrap_or(0),
+        ));
+    }
+    all_lat.sort_unstable();
+    let flips_total = read_flips(&registry);
+    PassOut {
+        name,
+        agg_p50_ns: pctl(&all_lat, 0.50),
+        agg_p99_ns: pctl(&all_lat, 0.99),
+        served: tallies.iter().map(|t| t.served).sum(),
+        shed: tallies.iter().map(|t| t.shed).sum(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        flips_total,
+        flips_after_mid: flips_total.saturating_sub(flips_mid),
+        amp_milli: registry
+            .gauge_value("pcie_amplification_milli", &[])
+            .unwrap_or(0),
+        classes: per_class,
+    }
+}
+
+/// Drains completions for the policy scenario (class-indexed tallies).
+fn drain_class(pending: &mut Vec<Pending>, tallies: &mut [TenantTally], done: &mut u64) {
+    pending.retain(|p| match p.rx.try_recv() {
+        Ok((status, _)) => {
+            if status == STATUS_SHED {
+                tallies[p.tenant].shed += 1;
+            } else {
+                assert_eq!(status, 0, "unexpected status {status}");
+                *done += 1;
+                tallies[p.tenant].served += 1;
+                tallies[p.tenant]
+                    .completions
+                    .push((*done, p.issued.elapsed()));
+            }
+            false
+        }
+        Err(_) => true,
+    });
+}
+
+fn run_policy(args: Args) {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_policy.json".to_string());
+    let duration = Duration::from_millis(args.duration_ms);
+    let classes = build_classes(args.scale, 0.65);
+    println!(
+        "== loadmix policy: {} ms, scale {}, seed {} ==",
+        args.duration_ms, args.scale, args.seed
+    );
+    for c in &classes {
+        println!(
+            "  class {:>5} (proc {}): prior dpu {:>6.0} ns, host {:>6.0} ns, ratio {:.4}, rate {:>6.0}/s{}",
+            c.name,
+            c.proc_id,
+            c.prior.dpu_ns,
+            c.prior.host_ns,
+            c.prior.ratio(),
+            c.rate,
+            if c.burst.is_some() { " (bursty)" } else { "" }
+        );
+    }
+    let schedule = build_schedule(&classes, args.seed, duration);
+    println!("  schedule: {} requests", schedule.len());
+
+    let passes = [
+        ("adaptive", None),
+        ("static-dpu", Some(Route::Dpu)),
+        ("static-host", Some(Route::Host)),
+    ];
+    let mut outs = Vec::new();
+    for (name, pinned) in passes {
+        let out = run_pass(name, pinned, &classes, &schedule, args.scale);
+        println!(
+            "{:>12}: served {:>6}  shed {:>3}  p50/p99 {:>8}/{:>8} us  flips {} (after conv {})  amp {} milli  [{:.0} ms]",
+            out.name,
+            out.served,
+            out.shed,
+            out.agg_p50_ns / 1_000,
+            out.agg_p99_ns / 1_000,
+            out.flips_total,
+            out.flips_after_mid,
+            out.amp_milli,
+            out.elapsed_ms,
+        );
+        outs.push(out);
+    }
+
+    let adaptive = &outs[0];
+    let beats_dpu = adaptive.agg_p99_ns < outs[1].agg_p99_ns;
+    let beats_host = adaptive.agg_p99_ns < outs[2].agg_p99_ns;
+    let mut pass_json = Vec::new();
+    for o in &outs {
+        let class_json: Vec<String> = o
+            .classes
+            .iter()
+            .map(|(name, served, p50, p99, route, flips, last_ms, probes)| {
+                format!(
+                    "        {{\"name\":\"{name}\",\"served\":{served},\
+                     \"latency_ns\":{{\"p50\":{p50},\"p99\":{p99}}},\
+                     \"route_final\":\"{route}\",\"flips\":{flips},\
+                     \"last_flip_ms\":{last_ms},\"probes\":{probes}}}"
+                )
+            })
+            .collect();
+        pass_json.push(format!(
+            "    {{\"policy\":\"{}\",\"served\":{},\"shed\":{},\
+             \"latency_ns\":{{\"p50\":{},\"p99\":{}}},\
+             \"flips_total\":{},\"flips_after_convergence\":{},\
+             \"pcie_amplification_milli\":{},\"elapsed_ms\":{:.3},\n      \"classes\": [\n{}\n      ]}}",
+            o.name,
+            o.served,
+            o.shed,
+            o.agg_p50_ns,
+            o.agg_p99_ns,
+            o.flips_total,
+            o.flips_after_mid,
+            o.amp_milli,
+            o.elapsed_ms,
+            class_json.join(",\n"),
+        ));
+    }
+    let class_model: Vec<String> = classes
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"name\":\"{}\",\"proc_id\":{},\"native_bytes\":{},\
+                 \"prior_dpu_ns\":{:.1},\"prior_host_ns\":{:.1},\"prior_ratio\":{:.4},\
+                 \"rate\":{:.1},\"bursty\":{}}}",
+                c.name,
+                c.proc_id,
+                c.native_bytes,
+                c.prior.dpu_ns,
+                c.prior.host_ns,
+                c.prior.ratio(),
+                c.rate,
+                c.burst.is_some(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"loadmix-policy\",\n  \"config\": {{\"duration_ms\":{},\"scale\":{},\
+         \"seed\":{},\"requests\":{}}},\n  \"classes\": [\n{}\n  ],\n  \"passes\": [\n{}\n  ],\n  \
+         \"verdict\": {{\"adaptive_beats_static_dpu\":{},\"adaptive_beats_static_host\":{},\
+         \"adaptive_flips_total\":{},\"adaptive_flips_after_convergence\":{}}}\n}}\n",
+        args.duration_ms,
+        args.scale,
+        args.seed,
+        schedule.len(),
+        class_model.join(",\n"),
+        pass_json.join(",\n"),
+        beats_dpu,
+        beats_host,
+        adaptive.flips_total,
+        adaptive.flips_after_mid,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_policy.json");
+    println!("wrote {} ({} bytes)", out_path, json.len());
+
+    if args.check {
+        for o in &outs {
+            assert_eq!(o.shed, 0, "{}: shed traffic", o.name);
+            assert_eq!(
+                o.served,
+                schedule.len() as u64,
+                "{}: not every request served",
+                o.name
+            );
+        }
+        assert!(
+            beats_dpu && beats_host,
+            "adaptive p99 {} us must beat static-dpu {} us and static-host {} us",
+            adaptive.agg_p99_ns / 1_000,
+            outs[1].agg_p99_ns / 1_000,
+            outs[2].agg_p99_ns / 1_000,
+        );
+        assert_eq!(
+            adaptive.flips_after_mid, 0,
+            "route flapping after convergence"
+        );
+        assert!(
+            adaptive.flips_total <= 3,
+            "unbounded flips: {}",
+            adaptive.flips_total
+        );
+        for (name, pinned_route) in [("static-dpu", "dpu"), ("static-host", "host")] {
+            let o = outs.iter().find(|o| o.name == name).unwrap();
+            assert_eq!(o.flips_total, 0, "{name}: pinned engine flipped");
+            assert!(
+                o.classes.iter().all(|c| c.4 == pinned_route),
+                "{name}: class off its pinned route"
+            );
+        }
+        for field in [
+            "\"bench\"",
+            "\"classes\"",
+            "\"passes\"",
+            "\"flips_after_convergence\"",
+            "\"verdict\"",
+        ] {
+            assert!(json.contains(field), "JSON schema missing {field}");
+        }
         println!("check: OK");
     }
 }

@@ -23,12 +23,16 @@ use std::time::{Duration, Instant};
 /// grouped as `name{labels-without-le} -> [(le, cumulative_count)]`.
 /// Tenant-labeled samples are additionally kept per tenant (the headline
 /// map sums across labels), so the scheduler's per-tenant vitals can be
-/// rendered as their own rows.
+/// rendered as their own rows. Class-labeled samples (the adaptive
+/// offload policy's series) are likewise kept per class; when a series
+/// also carries a `route` label it is keyed as `name/route` so DPU and
+/// host counts stay distinguishable.
 #[derive(Default)]
 struct Scrape {
     samples: BTreeMap<String, f64>,
     buckets: BTreeMap<String, Vec<(f64, f64)>>,
     tenants: BTreeMap<(String, String), f64>,
+    classes: BTreeMap<(String, String), f64>,
 }
 
 fn fetch(addr: &str, path: &str) -> Result<String, String> {
@@ -106,6 +110,13 @@ fn parse(text: &str) -> Result<Scrape, String> {
         } else {
             if let Some((_, t)) = labels.iter().find(|(k, _)| k == "tenant") {
                 *out.tenants.entry((name.clone(), t.clone())).or_insert(0.0) += value;
+            }
+            if let Some((_, c)) = labels.iter().find(|(k, _)| k == "class") {
+                let keyed = match labels.iter().find(|(k, _)| k == "route") {
+                    Some((_, r)) => format!("{name}/{r}"),
+                    None => name.clone(),
+                };
+                *out.classes.entry((keyed, c.clone())).or_insert(0.0) += value;
             }
             // Sum label variants (conn, side) into one headline series.
             let total = out.samples.entry(name).or_insert(0.0);
@@ -250,6 +261,42 @@ fn render(cur: &Scrape, prev: Option<&Scrape>, dt: f64) {
             "  tenant {t:>12}  req/s {admitted:>8.0}  shed {shed_pct:>5.1}%  sched_wait p99 {p99:>9}"
         );
     }
+    // Adaptive offload policy rows, shown when class-labeled metrics are
+    // present (i.e. a PolicyEngine is wired and bound).
+    let mut class_names: Vec<&str> = cur
+        .classes
+        .keys()
+        .filter(|(name, _)| name == "policy_route")
+        .map(|(_, c)| c.as_str())
+        .collect();
+    class_names.sort_unstable();
+    class_names.dedup();
+    for c in class_names {
+        let cg = |name: &str| {
+            cur.classes
+                .get(&(name.to_string(), c.to_string()))
+                .copied()
+                .unwrap_or(0.0)
+        };
+        let route = if cg("policy_route") >= 1.0 {
+            "HOST"
+        } else {
+            "DPU"
+        };
+        let flips = cg("policy_flips_total");
+        let last_flip = if flips > 0.0 {
+            format!("{:.0}ms", cg("policy_last_flip_ms"))
+        } else {
+            "—".to_string()
+        };
+        println!(
+            "  policy {c:>12}  route {route:>4}  flips {flips:>3.0}  last_flip {last_flip:>9}  \
+             dpu/host {:.0}/{:.0}  probes {:.0}",
+            cg("policy_route_total/dpu"),
+            cg("policy_route_total/host"),
+            cg("policy_probes_total"),
+        );
+    }
     println!();
 }
 
@@ -350,5 +397,49 @@ rpc_requests_enqueued_total{conn=\"a\"} 55
         // The histogram key matches render's lookup format.
         let b = s.buckets.get("sched_wait_ns{tenant=light}").unwrap();
         assert_eq!(quantile(b, 0.5), Some(1000.0));
+    }
+
+    /// The policy rows depend on class-labeled samples being retained per
+    /// class and on route-labeled counters being keyed `name/route` so
+    /// the DPU and host tallies do not collapse into one number.
+    #[test]
+    fn class_series_are_retained_per_class_and_route() {
+        let text = "\
+# TYPE policy_route gauge
+policy_route{class=\"flat\"} 0
+policy_route{class=\"char\"} 1
+policy_flips_total{class=\"char\"} 2
+policy_last_flip_ms{class=\"char\"} 740
+policy_probes_total{class=\"char\"} 9
+policy_route_total{class=\"char\",route=\"dpu\"} 12
+policy_route_total{class=\"char\",route=\"host\"} 88
+";
+        let s = parse(text).unwrap();
+        assert_eq!(
+            s.classes.get(&("policy_route".into(), "flat".into())),
+            Some(&0.0)
+        );
+        assert_eq!(
+            s.classes.get(&("policy_route".into(), "char".into())),
+            Some(&1.0)
+        );
+        // Route-labeled counters stay separate per route.
+        assert_eq!(
+            s.classes
+                .get(&("policy_route_total/dpu".into(), "char".into())),
+            Some(&12.0)
+        );
+        assert_eq!(
+            s.classes
+                .get(&("policy_route_total/host".into(), "char".into())),
+            Some(&88.0)
+        );
+        assert_eq!(
+            s.classes
+                .get(&("policy_last_flip_ms".into(), "char".into())),
+            Some(&740.0)
+        );
+        // Headline still sums across classes (and routes).
+        assert_eq!(s.samples.get("policy_route_total"), Some(&100.0));
     }
 }

@@ -17,16 +17,18 @@
 //! Either way the business logic is byte-for-byte the same — the paper's
 //! "minimal code modifications" claim, demonstrated.
 
+use crate::offload::spin_until_ns;
 use crate::service::ServiceSchema;
 use parking_lot::Mutex;
 use pbo_adt::{BuildError, NativeBuilder, NativeObject, NativeWriter, WriterConfig};
+use pbo_dpusim::CostCoeffs;
 use pbo_metrics::{Counter, Registry};
-use pbo_protowire::StackDeserializer;
+use pbo_protowire::{DeserStats, StackDeserializer};
 use pbo_rpcrdma::client::PayloadError;
 use pbo_rpcrdma::server::NativeResponse;
 use pbo_rpcrdma::{RpcError, RpcServer};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shared quarantine-counter slot: handler closures hold a clone, so the
 /// binding may happen before or after registration.
@@ -43,6 +45,19 @@ fn count_quarantine(cell: &QuarantineCell) {
 /// request, so label sets follow whatever tenants actually show up (the
 /// registry's tenant cardinality cap bounds hostile streams).
 type TenantRegistryCell = Arc<Mutex<Option<Arc<Registry>>>>;
+
+/// Shared host-platform-emulation slot: when set, every host-side
+/// deserialization spin-waits until `scale ×` the modeled Xeon cost of
+/// the work it just did has elapsed, so closed-loop benchmarks see the
+/// host as a real service station instead of a zero-cost one. `None`
+/// (the default) disables the throttle entirely.
+type ThrottleCell = Arc<Mutex<Option<f64>>>;
+
+fn host_throttle(cell: &ThrottleCell, t0: Instant, stats: &DeserStats) {
+    if let Some(scale) = *cell.lock() {
+        spin_until_ns(t0, CostCoeffs::host_xeon().deser_time_ns(stats) * scale);
+    }
+}
 
 fn count_tenant_dispatch(cell: &TenantRegistryCell, tenant: &str) {
     if let Some(r) = &*cell.lock() {
@@ -98,6 +113,7 @@ pub struct CompatServer {
     mode: PayloadMode,
     quarantined: QuarantineCell,
     tenant_reg: TenantRegistryCell,
+    deser_throttle: ThrottleCell,
 }
 
 impl CompatServer {
@@ -108,7 +124,20 @@ impl CompatServer {
             mode,
             quarantined: Arc::new(Mutex::new(None)),
             tenant_reg: Arc::new(Mutex::new(None)),
+            deser_throttle: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Sets (or clears) the host-platform-emulation throttle: with
+    /// `Some(scale)`, every host-side deserialization busy-waits until
+    /// `scale ×` its modeled Xeon cost
+    /// ([`pbo_dpusim::CostCoeffs::host_xeon`] priced over the real
+    /// [`pbo_protowire::DeserStats`]) has elapsed. Benchmarks use this
+    /// to give the host and DPU honest relative service rates; `None`
+    /// (the default) is a no-op. May be called before or after handlers
+    /// are registered.
+    pub fn set_deser_throttle(&mut self, scale: Option<f64>) {
+        *self.deser_throttle.lock() = scale;
     }
 
     /// Binds a metrics registry: every request this server fails with
@@ -232,6 +261,7 @@ impl CompatServer {
         // steady-state allocation).
         let mut scratch: Vec<u8> = Vec::new();
         let quarantined = self.quarantined.clone();
+        let throttle = self.deser_throttle.clone();
 
         self.rpc.register(
             proc_id,
@@ -264,8 +294,10 @@ impl CompatServer {
                     PayloadMode::Serialized => {
                         // Baseline: deserialize here, same algorithm, same
                         // layout, into the local scratch arena.
+                        let t0 = Instant::now();
                         match host_deserialize(&adt, &schema, &desc, req.payload, &mut scratch) {
-                            Ok((skew, root_offset)) => {
+                            Ok((skew, root_offset, stats)) => {
+                                host_throttle(&throttle, t0, &stats);
                                 let view = NativeObject::from_slice(
                                     &adt,
                                     class,
@@ -323,14 +355,17 @@ impl CompatServer {
         let schema = bundle.schema().clone();
         let mut scratch: Vec<u8> = Vec::new();
         let quarantined = self.quarantined.clone();
+        let throttle = self.deser_throttle.clone();
 
         self.rpc.register(
             proc_id,
             Box::new(move |req, sink| {
                 let degraded = req.metadata.first().copied() == Some(MODE_SERIALIZED);
                 if degraded {
+                    let t0 = Instant::now();
                     match host_deserialize(&adt, &schema, &desc, req.payload, &mut scratch) {
-                        Ok((skew, root_offset)) => {
+                        Ok((skew, root_offset, stats)) => {
+                            host_throttle(&throttle, t0, &stats);
                             let view = NativeObject::from_slice(
                                 &adt,
                                 class,
@@ -361,6 +396,110 @@ impl CompatServer {
                         Ok(view) => {
                             let mut out = Vec::new();
                             let status = handler(&view, &mut out);
+                            if !out.is_empty() {
+                                sink.write(&out);
+                            }
+                            status
+                        }
+                        Err(_) => {
+                            count_quarantine(&quarantined);
+                            2
+                        }
+                    }
+                }
+            }),
+        );
+    }
+
+    /// Registers a typed metadata-aware handler that serves **both**
+    /// payload forms, routed per request by the first metadata byte —
+    /// the server-side half of the adaptive per-class offload policy's
+    /// dispatch. [`MODE_NATIVE`] payloads are viewed in place (the DPU
+    /// built the object); [`MODE_SERIALIZED`] payloads are deserialized
+    /// here on the host with the same hardened budgets, quarantine
+    /// counting, and scratch-arena layout as every other host arm — a
+    /// class the policy routes to the host loses no robustness
+    /// semantics. Bytes after the mode byte carry the encoded call
+    /// metadata (build them with [`routed_metadata`]); an absent tail
+    /// decodes as empty metadata. Per-tenant dispatch is counted either
+    /// way.
+    ///
+    /// Requires [`PayloadMode::Native`]: routing is per request, not per
+    /// connection.
+    pub fn register_degradable_md(
+        &mut self,
+        bundle: &ServiceSchema,
+        proc_id: u16,
+        handler: NativeMdHandler,
+    ) {
+        assert_eq!(
+            self.mode,
+            PayloadMode::Native,
+            "route-dispatched handlers decide per request; the server stays native"
+        );
+        let adt = bundle.adt().clone();
+        let desc = bundle
+            .request_descriptor(proc_id)
+            .unwrap_or_else(|| panic!("no method with procedure id {proc_id}"))
+            .clone();
+        let class = adt
+            .class_id(&desc.name)
+            .expect("bundle validated at construction");
+        let schema = bundle.schema().clone();
+        let mut scratch: Vec<u8> = Vec::new();
+        let quarantined = self.quarantined.clone();
+        let tenant_reg = self.tenant_reg.clone();
+        let throttle = self.deser_throttle.clone();
+
+        self.rpc.register(
+            proc_id,
+            Box::new(move |req, sink| {
+                let degraded = req.metadata.first().copied() == Some(MODE_SERIALIZED);
+                let md_tail = req.metadata.get(1..).unwrap_or(&[]);
+                let metadata = if md_tail.is_empty() {
+                    pbo_grpc::Metadata::new()
+                } else {
+                    match pbo_grpc::Metadata::decode(md_tail) {
+                        Ok((m, _)) => m,
+                        Err(_) => return 13, // INTERNAL: corrupt metadata
+                    }
+                };
+                count_tenant_dispatch(&tenant_reg, metadata.tenant());
+                if degraded {
+                    let t0 = Instant::now();
+                    match host_deserialize(&adt, &schema, &desc, req.payload, &mut scratch) {
+                        Ok((skew, root_offset, stats)) => {
+                            host_throttle(&throttle, t0, &stats);
+                            let view = NativeObject::from_slice(
+                                &adt,
+                                class,
+                                &scratch[skew..],
+                                root_offset,
+                            )
+                            .expect("just built");
+                            let mut out = Vec::new();
+                            let status = handler(&metadata, &view, &mut out);
+                            if !out.is_empty() {
+                                sink.write(&out);
+                            }
+                            status
+                        }
+                        Err(()) => {
+                            count_quarantine(&quarantined);
+                            2
+                        }
+                    }
+                } else {
+                    match NativeObject::from_addr(
+                        &adt,
+                        class,
+                        req.payload_addr,
+                        req.region_base,
+                        req.region_len,
+                    ) {
+                        Ok(view) => {
+                            let mut out = Vec::new();
+                            let status = handler(&metadata, &view, &mut out);
                             if !out.is_empty() {
                                 sink.write(&out);
                             }
@@ -476,17 +615,20 @@ impl CompatServer {
 /// stack deserializer, same native layout as the DPU path. The arena is
 /// over-allocated by a word so an 8-aligned window can be carved out
 /// regardless of where the allocator placed it. On success returns the
-/// alignment skew and root offset; view the object with
+/// alignment skew, root offset, and the work-unit counts of the
+/// deserialization (so callers can feed the adaptive policy's host-side
+/// cost model); view the object with
 /// `NativeObject::from_slice(adt, class, &scratch[skew..], root_offset)`.
 /// Shared by the baseline arm of [`CompatServer::register_native`] and the
-/// degraded arm of [`CompatServer::register_degradable`].
+/// degraded arms of [`CompatServer::register_degradable`] /
+/// [`CompatServer::register_degradable_md`].
 fn host_deserialize(
     adt: &pbo_adt::Adt,
     schema: &pbo_protowire::Schema,
     desc: &Arc<pbo_protowire::MessageDescriptor>,
     payload: &[u8],
     scratch: &mut Vec<u8>,
-) -> Result<(usize, usize), ()> {
+) -> Result<(usize, usize, DeserStats), ()> {
     let need = payload.len() * 2 + 1024 + 8;
     if scratch.len() < need {
         scratch.resize(need, 0);
@@ -499,13 +641,24 @@ fn host_deserialize(
         .and_then(|mut w| {
             // Same trust boundary as the DPU path: these bytes came off
             // the wire unvalidated, so the same budgets apply.
-            StackDeserializer::new(schema)
+            let stats = StackDeserializer::new(schema)
                 .with_limits(pbo_protowire::DeserLimits::hardened())
                 .deserialize(desc, payload, &mut w)?;
-            w.finish()
+            Ok((w.finish()?, stats))
         })
-        .map(|res| (skew, res.root_offset))
+        .map(|(res, stats)| (skew, res.root_offset, stats))
         .map_err(|_| ())
+}
+
+/// Builds the wire metadata of a route-dispatched call: the route mode
+/// byte ([`MODE_NATIVE`] or [`MODE_SERIALIZED`]) followed by the
+/// already-encoded call metadata. [`CompatServer::register_degradable_md`]
+/// decodes the same layout on the host.
+pub fn routed_metadata(mode: u8, md: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(1 + md.len());
+    v.push(mode);
+    v.extend_from_slice(md);
+    v
 }
 
 /// Maps builder failures onto payload-writer outcomes: arena exhaustion
@@ -773,5 +926,63 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 200);
         assert_eq!(small_n.load(Ordering::Relaxed), 150);
         assert_eq!(ints_n.load(Ordering::Relaxed), 50 * 32);
+    }
+
+    #[test]
+    fn degradable_md_routes_per_request_mode_byte() {
+        let bundle = ServiceSchema::paper_bench();
+        let (mut client, mut server) = stack(PayloadMode::Native);
+        let registry = Arc::new(Registry::new());
+        server.bind_tenant_metrics(&registry);
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        server.register_degradable_md(
+            &bundle,
+            1,
+            Arc::new(move |md, view, _out| {
+                // Same typed view on both routes; tenant decoded from the
+                // bytes after the mode byte.
+                assert_eq!(view.get_u32(1).unwrap(), 300);
+                assert!(!md.tenant().is_empty());
+                s2.fetch_add(1, Ordering::Relaxed);
+                0
+            }),
+        );
+        let schema = paper_schema();
+        let wire = encode_message(&gen_small(&schema));
+        let mut md_a = pbo_grpc::Metadata::new();
+        md_a.insert(pbo_grpc::TENANT_KEY, "alpha");
+        let mut md_b = pbo_grpc::Metadata::new();
+        md_b.insert(pbo_grpc::TENANT_KEY, "beta");
+
+        // One call per route over the same connection.
+        client
+            .call_offloaded_md(
+                1,
+                &wire,
+                &routed_metadata(MODE_NATIVE, &md_a.encode()),
+                Box::new(|_p, s| assert_eq!(s, 0)),
+            )
+            .unwrap();
+        client
+            .call_forwarded_md(
+                1,
+                &wire,
+                &routed_metadata(MODE_SERIALIZED, &md_b.encode()),
+                Box::new(|_p, s| assert_eq!(s, 0)),
+            )
+            .unwrap();
+        client.rpc().flush().unwrap();
+        server.event_loop(Duration::ZERO).unwrap();
+        client.event_loop(Duration::ZERO).unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            registry.counter_value("host_dispatch_total", &[("tenant", "alpha")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("host_dispatch_total", &[("tenant", "beta")]),
+            Some(1)
+        );
     }
 }

@@ -54,7 +54,7 @@ pub mod session;
 pub mod terminator;
 
 pub use alloc_track::{AllocStats, CountingAllocator, ALLOC_TRACKER};
-pub use compat::{CompatServer, MODE_NATIVE, MODE_SERIALIZED};
+pub use compat::{routed_metadata, CompatServer, MODE_NATIVE, MODE_SERIALIZED};
 pub use datapath::{
     run_scenario, run_scenario_monitored, run_scenario_traced, MeasuredStats, ScenarioConfig,
     ScenarioKind,

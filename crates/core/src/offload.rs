@@ -16,8 +16,9 @@
 
 use crate::service::ServiceSchema;
 use pbo_adt::{NativeWriter, WriterConfig};
+use pbo_dpusim::CostCoeffs;
 use pbo_metrics::Registry;
-use pbo_protowire::{DecodeError, DeserLimits, StackDeserializer};
+use pbo_protowire::{DecodeError, DeserLimits, DeserStats, StackDeserializer};
 use pbo_rpcrdma::client::{Continuation, PayloadError};
 use pbo_rpcrdma::{RpcClient, RpcError};
 use pbo_trace::{stages, Span, SpanSink, Tracer};
@@ -43,6 +44,16 @@ pub struct OffloadClient {
     limits: DeserLimits,
     /// Metrics binding for budget rejections (`(registry, conn label)`).
     metrics: Option<(Arc<Registry>, String)>,
+    /// Work-unit counts and native size of the most recent successful
+    /// offloaded deserialization (consumed by the adaptive offload
+    /// policy to refresh its per-class cost prior).
+    last_deser: Option<(DeserStats, u64)>,
+    /// Platform-emulation throttle: when set, each offloaded
+    /// deserialization spins until it has taken at least
+    /// `scale × dpu_a78().deser_time_ns(stats)` wall ns, turning the
+    /// modelled BlueField-3 service time into real occupancy of the
+    /// poller thread (bench-only; `None` in production paths).
+    throttle: Option<f64>,
 }
 
 impl OffloadClient {
@@ -68,7 +79,24 @@ impl OffloadClient {
             forced_failures: 0,
             limits: DeserLimits::hardened(),
             metrics: None,
+            last_deser: None,
+            throttle: None,
         })
+    }
+
+    /// Enables (or clears) the platform-emulation throttle: each
+    /// offloaded deserialization additionally spins the calling thread
+    /// until `scale ×` the modelled DPU deserialization time has
+    /// elapsed, so same-silicon benchmarks pay realistic BlueField-3
+    /// service times on the DPU route.
+    pub fn set_deser_throttle(&mut self, scale: Option<f64>) {
+        self.throttle = scale;
+    }
+
+    /// Takes the work-unit counts and native (block) size of the most
+    /// recent successful offloaded deserialization, clearing them.
+    pub fn take_deser_outcome(&mut self) -> Option<(DeserStats, u64)> {
+        self.last_deser.take()
     }
 
     /// Replaces the resource budgets enforced on incoming wire bytes.
@@ -169,14 +197,18 @@ impl OffloadClient {
         // (last attempt wins — NeedMore retries rerun the writer) and
         // attribute it once the enqueue commits and reports a sampled id.
         let deser_window: Cell<(u64, u64)> = Cell::new((0, 0));
+        let deser_out: Cell<Option<(DeserStats, u64)>> = Cell::new(None);
         let clock = self.trace.as_ref().map(|(t, _)| t.clone());
         let limits = self.limits;
         let metrics = self.metrics.clone();
+        let throttle = self.throttle;
+        self.last_deser = None;
         self.rpc.enqueue_with_meta(
             proc_id,
             hint,
             metadata,
             &mut |dst: &mut [u8], host_addr: u64| {
+                let t0 = std::time::Instant::now();
                 let start_ns = clock.as_ref().map(|c| c.now_ns()).unwrap_or(0);
                 let mut writer = NativeWriter::new(
                     &adt,
@@ -187,7 +219,7 @@ impl OffloadClient {
                     },
                 )
                 .map_err(map_decode_err)?;
-                StackDeserializer::new(&schema)
+                let stats = StackDeserializer::new(&schema)
                     .with_limits(limits)
                     .deserialize(&desc, wire, &mut writer)
                     .map_err(|e| {
@@ -204,6 +236,10 @@ impl OffloadClient {
                         map_decode_err(e)
                     })?;
                 let result = writer.finish().map_err(map_decode_err)?;
+                if let Some(scale) = throttle {
+                    spin_until_ns(t0, CostCoeffs::dpu_a78().deser_time_ns(&stats) * scale);
+                }
+                deser_out.set(Some((stats, result.used as u64)));
                 if let Some(c) = &clock {
                     deser_window.set((start_ns, c.now_ns()));
                 }
@@ -211,6 +247,7 @@ impl OffloadClient {
             },
             cont,
         )?;
+        self.last_deser = deser_out.take();
         if let Some((_, sink)) = &self.trace {
             if let Some(ctx) = self.rpc.last_trace_ctx() {
                 let (start_ns, end_ns) = deser_window.get();
@@ -306,6 +343,15 @@ impl OffloadClient {
     /// [`RpcClient::event_loop`].
     pub fn event_loop(&mut self, timeout: Duration) -> Result<usize, RpcError> {
         self.rpc.event_loop(timeout)
+    }
+}
+
+/// Spins the calling thread until at least `target_ns` have elapsed
+/// since `t0` (platform-emulation throttle; sub-microsecond precision is
+/// all the cost model needs).
+pub(crate) fn spin_until_ns(t0: std::time::Instant, target_ns: f64) {
+    while (t0.elapsed().as_nanos() as f64) < target_ns {
+        std::hint::spin_loop();
     }
 }
 

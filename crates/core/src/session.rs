@@ -35,6 +35,7 @@ use crate::offload::OffloadClient;
 use crate::service::ServiceSchema;
 use parking_lot::Mutex;
 use pbo_metrics::{Counter, Gauge, Registry};
+use pbo_policy::{PolicyEngine, Route};
 use pbo_rpcrdma::client::Continuation;
 use pbo_rpcrdma::{
     try_establish, Config, JournalEntry, ReplayJournal, RetryClass, RetryPolicy, RpcError,
@@ -273,6 +274,10 @@ pub struct ResilientSession {
     /// (admission-only — this path does its own queueing via the journal).
     sched: Option<TenantScheduler<()>>,
     sched_epoch: Instant,
+    /// Adaptive per-class offload policy. Consulted only while the
+    /// breaker is closed — the breaker is a fault response and always
+    /// takes precedence; its degrades are not policy decisions.
+    policy: Option<PolicyEngine>,
 }
 
 impl ResilientSession {
@@ -329,7 +334,39 @@ impl ResilientSession {
             flight: None,
             sched: None,
             sched_epoch: Instant::now(),
+            policy: None,
         })
+    }
+
+    /// Installs the adaptive per-class offload policy. While the breaker
+    /// is closed, each call's route comes from the policy (per
+    /// procedure id); successful offloaded deserializations feed their
+    /// work-unit counts back as cost observations, and
+    /// [`ResilientSession::tick`] drives the control loop. While the
+    /// breaker is *open* the policy is neither consulted nor fed —
+    /// breaker-forced degrades are not policy decisions — and when the
+    /// breaker closes again routing returns to the policy's verdict
+    /// rather than unconditionally restoring offload.
+    pub fn set_policy(&mut self, mut policy: PolicyEngine) {
+        policy.bind_metrics(&self.registry);
+        if let Some((t, _)) = &self.trace {
+            policy.set_tracer(t, &self.conn_label);
+        }
+        if let Some((_, f)) = &self.flight {
+            policy.bind_flight(f);
+        }
+        self.policy = Some(policy);
+    }
+
+    /// Read access to the installed policy engine.
+    pub fn policy(&self) -> Option<&PolicyEngine> {
+        self.policy.as_ref()
+    }
+
+    /// Mutable access to the installed policy engine (signal injection,
+    /// class registration with priors).
+    pub fn policy_mut(&mut self) -> Option<&mut PolicyEngine> {
+        self.policy.as_mut()
     }
 
     /// Installs a tenant scheduler for [`ResilientSession::call_tenant`]:
@@ -436,12 +473,23 @@ impl ResilientSession {
         let seq = self.next_seq;
         let slot: SharedCont = Arc::new(Mutex::new(Some(cont)));
         let start_ns = self.trace.as_ref().map(|(t, _)| t.now_ns());
+        let breaker_open = self.breaker.is_open();
         let mut native = self.breaker.route_native();
-        if self.breaker.is_open() {
+        // Breaker-forced host routing is a *fault* response, distinct
+        // from the policy's *cost* decision: only the former counts as
+        // degraded and only the latter touches the policy metrics.
+        let mut breaker_degraded = false;
+        if breaker_open {
             if native {
                 self.counters.breaker_probes.inc();
             } else {
                 self.counters.degraded_calls.inc();
+                breaker_degraded = true;
+            }
+        } else if let Some(policy) = &mut self.policy {
+            let now_ns = self.sched_epoch.elapsed().as_nanos() as u64;
+            if policy.route(proc_id, now_ns).route == Route::Host {
+                native = false;
             }
         }
         let mut result = self.enqueue_once(native, proc_id, wire, seq, &slot);
@@ -451,6 +499,13 @@ impl ResilientSession {
                     if self.breaker.on_success() {
                         self.counters.breaker_restores.inc();
                         self.counters.breaker_open.set(0);
+                    }
+                    // Feed the real work-unit counts back into the
+                    // policy's per-class cost estimate.
+                    let outcome = self.client.take_deser_outcome();
+                    if let (Some(policy), Some((stats, used))) = (&mut self.policy, outcome) {
+                        let now_ns = self.sched_epoch.elapsed().as_nanos() as u64;
+                        policy.observe_stats(proc_id, &stats, wire.len() as u64, used, now_ns);
                     }
                 }
                 Err(RpcError::Quarantined(_)) => {
@@ -493,6 +548,7 @@ impl ResilientSession {
                         }
                     }
                     native = false;
+                    breaker_degraded = true;
                     self.counters.degraded_calls.inc();
                     result = self.enqueue_once(false, proc_id, wire, seq, &slot);
                 }
@@ -509,7 +565,10 @@ impl ResilientSession {
             self.reconnect()?;
             self.enqueue_once(native, proc_id, wire, seq, &slot)?;
         }
-        if !native {
+        if breaker_degraded {
+            // Only breaker-forced host routing is "degraded"; a class
+            // the policy routed to host is operating as intended and
+            // gets policy metrics/spans instead.
             if let (Some((t, sink)), Some(start_ns)) = (&self.trace, start_ns) {
                 sink.record(Span {
                     trace_id: seq,
@@ -566,6 +625,12 @@ impl ResilientSession {
             Err(e) => self.absorb(e)?,
         }
         self.drain_acks();
+        if let Some(policy) = &mut self.policy {
+            // Drive the control loop: scrape pressure signals (throttled
+            // internally) and re-evaluate routes.
+            let now_ns = self.sched_epoch.elapsed().as_nanos() as u64;
+            policy.refresh_signals(now_ns);
+        }
         if let Some(deadline) = self.cfg.request_deadline {
             let oldest_expired = self
                 .issued_at

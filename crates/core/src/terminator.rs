@@ -11,9 +11,11 @@
 //! poller thread over a channel and block on a per-call response slot —
 //! the many-to-one-to-one model of §III.C.
 
+use crate::compat::{routed_metadata, MODE_NATIVE, MODE_SERIALIZED};
 use crate::offload::OffloadClient;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use pbo_grpc::{spawn_server, ServerHandle, ServiceRegistry};
+use pbo_policy::{PolicyEngine, Route};
 use pbo_rpcrdma::RpcError;
 use pbo_sched::{Scheduled, TenantScheduler, STATUS_SHED};
 use pbo_simnet::TcpFabric;
@@ -186,6 +188,52 @@ impl XrpcTerminator {
             .then(|| tracer.sink(&format!("{conn_label}/client")));
         let poller = std::thread::spawn(move || {
             poller_loop_scheduled(client, rx, mode, stop2, trace, sched)
+        });
+        Self {
+            grpc,
+            poller: Some(poller),
+            stop,
+        }
+    }
+
+    /// [`XrpcTerminator::spawn_scheduled`] with the adaptive per-class
+    /// offload policy in the dispatch path: instead of one static
+    /// [`ForwardMode`] for the whole run, every request consults
+    /// `policy` for its message class and routes DPU-deserialize
+    /// ([`MODE_NATIVE`]) or host-deserialize ([`MODE_SERIALIZED`])
+    /// accordingly, with the mode byte prefixed to the forwarded
+    /// metadata so [`crate::CompatServer::register_degradable_md`]
+    /// handlers dispatch per request. DPU-side deserializations feed
+    /// their real work-unit counts back into the policy's cost
+    /// estimates, and the control loop's telemetry signals are
+    /// refreshed every poller iteration.
+    ///
+    /// The policy's tracer is wired to `{conn_label}/policy` so route
+    /// flips land on the same timeline as the datapath spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_adaptive(
+        fabric: &TcpFabric,
+        addr: &str,
+        mut client: OffloadClient,
+        sched: TenantScheduler<ForwardRequest>,
+        mut policy: PolicyEngine,
+        tracer: &Tracer,
+        conn_label: &str,
+    ) -> Self {
+        client.set_tracer(tracer, conn_label);
+        client.rpc().set_credit_observer(sched.fabric());
+        policy.set_tracer(tracer, conn_label);
+        let (tx, rx) = bounded::<ForwardRequest>(4096);
+        let registry = forwarding_registry_traced(client.bundle(), tx, tracer);
+        let listener = fabric.bind(addr);
+        let grpc = spawn_server(listener, registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let trace = tracer
+            .is_enabled()
+            .then(|| tracer.sink(&format!("{conn_label}/client")));
+        let poller = std::thread::spawn(move || {
+            poller_loop_adaptive(client, rx, stop2, trace, sched, policy)
         });
         Self {
             grpc,
@@ -429,6 +477,162 @@ pub fn poller_loop_scheduled(
                 | Err(RpcError::SendBufferFull)
                 | Err(RpcError::TooManyOutstanding) => {
                     pending = Some(out);
+                    break;
+                }
+                Err(RpcError::Quarantined(_))
+                | Err(RpcError::PayloadWriter(_))
+                | Err(RpcError::NoSuchProcedure(_)) => {
+                    let _ = out.item.resp_tx.send((3, Vec::new()));
+                    sched.complete(tenant);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        client.event_loop(Duration::from_millis(1))?;
+        while let Ok(t) = done_rx.try_recv() {
+            sched.complete(t);
+        }
+        if stop.load(Ordering::Acquire)
+            && pending.is_none()
+            && sched.queued() == 0
+            && client.rpc().outstanding() == 0
+            && rx.is_empty()
+        {
+            return Ok(());
+        }
+    }
+}
+
+/// [`poller_loop_scheduled`] with the adaptive per-class offload policy
+/// choosing the route of every dispatched request. The route is decided
+/// **once**, when the scheduler first hands the request out — a
+/// backpressure retry reuses the held decision, so
+/// `policy_route_total{class,route}` counts requests, not attempts.
+/// Offloaded deserializations report their [`pbo_protowire::DeserStats`]
+/// back into the policy (one observation refreshes both routes' cost
+/// estimates — the coefficients price the same work-unit counts on
+/// either platform), and `policy.refresh_signals` runs every iteration
+/// so pressure reacts at telemetry speed, throttled only by the
+/// policy's own `signal_refresh_ns`.
+pub fn poller_loop_adaptive(
+    mut client: OffloadClient,
+    rx: Receiver<ForwardRequest>,
+    stop: Arc<AtomicBool>,
+    trace: Option<SpanSink>,
+    mut sched: TenantScheduler<ForwardRequest>,
+    mut policy: PolicyEngine,
+) -> Result<(), RpcError> {
+    let epoch = Instant::now();
+    let (done_tx, done_rx) = unbounded::<usize>();
+    // A dispatched request the RDMA client pushed back on, with the
+    // route already decided (and counted): it retries verbatim.
+    let mut pending: Option<(Scheduled<ForwardRequest>, Route)> = None;
+    loop {
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        policy.refresh_signals(now_ns);
+        // Classify + admit everything the xRPC side has forwarded.
+        loop {
+            match rx.try_recv() {
+                Ok(req) => {
+                    let tenant = req.tenant.clone();
+                    let cost = req.wire.len() as u32;
+                    if let Err((req, _reason)) = sched.offer(&tenant, req, cost, now_ns) {
+                        let _ = req.resp_tx.send((STATUS_SHED, Vec::new()));
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if pending.is_none()
+                        && sched.queued() == 0
+                        && stop.load(Ordering::Acquire)
+                        && client.rpc().outstanding() == 0
+                    {
+                        return Ok(());
+                    }
+                    break;
+                }
+            }
+            if sched.queued() >= 512 {
+                break;
+            }
+        }
+        while let Ok(t) = done_rx.try_recv() {
+            sched.complete(t);
+        }
+        // Dispatch in WDRR order; the pending slot goes first and keeps
+        // its original route decision.
+        loop {
+            let (out, route) = match pending.take() {
+                Some(held) => held,
+                None => match sched.next(epoch.elapsed().as_nanos() as u64) {
+                    Some(out) => {
+                        let choice =
+                            policy.route(out.item.proc_id, epoch.elapsed().as_nanos() as u64);
+                        (out, choice.route)
+                    }
+                    None => break,
+                },
+            };
+            let tenant = out.tenant;
+            let req = &out.item;
+            let resp_tx = req.resp_tx.clone();
+            let done = done_tx.clone();
+            let cont: pbo_rpcrdma::client::Continuation = Box::new(move |payload, status| {
+                let _ = resp_tx.send((status, payload.to_vec()));
+                let _ = done.send(tenant);
+            });
+            let result = match route {
+                Route::Dpu => client.call_offloaded_md(
+                    req.proc_id,
+                    &req.wire,
+                    &routed_metadata(MODE_NATIVE, &req.metadata),
+                    cont,
+                ),
+                Route::Host => client.call_forwarded_md(
+                    req.proc_id,
+                    &req.wire,
+                    &routed_metadata(MODE_SERIALIZED, &req.metadata),
+                    cont,
+                ),
+            };
+            match result {
+                Ok(()) => {
+                    if route == Route::Dpu {
+                        // Feed the real work-unit counts of this DPU-side
+                        // deserialization back into the cost estimates.
+                        if let Some((stats, used)) = client.take_deser_outcome() {
+                            policy.observe_stats(
+                                req.proc_id,
+                                &stats,
+                                req.wire.len() as u64,
+                                used,
+                                epoch.elapsed().as_nanos() as u64,
+                            );
+                        }
+                    }
+                    if let (Some(sink), true) = (&trace, req.recv_ns != 0) {
+                        if let Some(ctx) = client.rpc().last_trace_ctx() {
+                            sink.record(Span {
+                                trace_id: ctx.trace_id,
+                                stage: stages::SCHED_WAIT,
+                                start_ns: ctx.begin_ns.saturating_sub(out.wait_ns),
+                                end_ns: ctx.begin_ns,
+                                bytes: req.wire.len() as u64,
+                            });
+                            sink.record(Span {
+                                trace_id: ctx.trace_id,
+                                stage: stages::TERMINATE,
+                                start_ns: req.recv_ns,
+                                end_ns: ctx.begin_ns,
+                                bytes: req.wire.len() as u64,
+                            });
+                        }
+                    }
+                }
+                Err(RpcError::NoCredits)
+                | Err(RpcError::SendBufferFull)
+                | Err(RpcError::TooManyOutstanding) => {
+                    pending = Some((out, route));
                     break;
                 }
                 Err(RpcError::Quarantined(_))

@@ -27,7 +27,7 @@ pub mod datapath;
 pub mod eventsim;
 pub mod platform;
 
-pub use cost::{CostCoeffs, Platform};
+pub use cost::{route_prior, CostCoeffs, Platform, PriorShape, RoutePrior};
 pub use datapath::{
     paper_shape, simulate, DatapathConfig, DatapathResult, LinkModel, PaperWorkload, Scenario,
     WorkloadShape,

@@ -1,0 +1,829 @@
+//! The per-class routing control loop.
+
+use crate::signals::PolicySignals;
+use pbo_dpusim::{route_prior, PriorShape, RoutePrior};
+use pbo_metrics::{Counter, Gauge, Registry, SloTracker};
+use pbo_protowire::DeserStats;
+use pbo_trace::{stages, triggers, FlightRecorder, Span, SpanSink, Tracer};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which side deserializes a message class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// Deserialize on the DPU; the host receives a native object.
+    Dpu,
+    /// Forward serialized bytes; the host deserializes (degraded /
+    /// SIMD-advantaged path).
+    Host,
+}
+
+impl Route {
+    /// Stable metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Dpu => "dpu",
+            Route::Host => "host",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Route::Dpu => 0,
+            Route::Host => 1,
+        }
+    }
+}
+
+/// One routing decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteChoice {
+    /// The route this request should take.
+    pub route: Route,
+    /// True when this is a probe: the class is host-resident but this
+    /// request samples the DPU route to refresh the cost estimate.
+    /// Probes are not flips and are not counted as such.
+    pub probe: bool,
+}
+
+/// Control-loop knobs. Defaults are production-shaped; benches and
+/// tests tighten the dwell to their own timescales.
+#[derive(Clone, Debug)]
+pub struct PolicyConfig {
+    /// Platform shape used to capacity-normalize per-route costs.
+    pub shape: PriorShape,
+    /// A DPU-resident class flips to host when its biased DPU/host cost
+    /// ratio exceeds this (must be > `exit_host_score`).
+    pub enter_host_score: f64,
+    /// A host-resident class returns to the DPU when its biased ratio
+    /// drops below this. The `(exit, enter)` gap is the hysteresis band.
+    pub exit_host_score: f64,
+    /// Minimum time between route changes of one class, ns.
+    pub dwell_ns: u64,
+    /// Smoothing factor for the per-route cost EWMAs.
+    pub ewma_alpha: f64,
+    /// Every `probe_every`-th request of a host-resident class samples
+    /// the DPU route to keep its cost estimate fresh (0 disables).
+    pub probe_every: u64,
+    /// How strongly pressure above target inflates the effective DPU
+    /// cost: bias = 1 + gain × max(0, pressure − target).
+    pub pressure_gain: f64,
+    /// Pressure level considered "at capacity" (1.0 = an SLO burning
+    /// exactly at budget).
+    pub pressure_target: f64,
+    /// Scheduler backlog (sum of `sched_queue_depth`) treated as
+    /// pressure 1.0 (0 disables the queue-depth term).
+    pub queue_depth_cap: i64,
+    /// Name of the deserialize-stage SLO whose burn rate feeds the
+    /// pressure (None disables the term).
+    pub deser_slo_name: Option<String>,
+    /// `pcie_amplification_milli` gauge value treated as pressure 1.0
+    /// (0 disables the amplification term).
+    pub amp_budget_milli: i64,
+    /// Minimum interval between telemetry scrapes in
+    /// [`PolicyEngine::refresh_signals`], ns.
+    pub signal_refresh_ns: u64,
+    /// Static override: every class always takes this route and nothing
+    /// ever flips (the bench's all-DPU / all-host arms).
+    pub pinned: Option<Route>,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self {
+            shape: PriorShape::default(),
+            enter_host_score: 1.15,
+            exit_host_score: 1.0,
+            dwell_ns: 50_000_000,
+            ewma_alpha: 0.2,
+            probe_every: 64,
+            pressure_gain: 0.5,
+            pressure_target: 1.0,
+            queue_depth_cap: 64,
+            deser_slo_name: None,
+            amp_budget_milli: 0,
+            signal_refresh_ns: 1_000_000,
+            pinned: None,
+        }
+    }
+}
+
+/// Point-in-time view of one class (for `pbo_top` and benches).
+#[derive(Clone, Debug)]
+pub struct ClassSnapshot {
+    /// Procedure id.
+    pub class: u16,
+    /// Display label.
+    pub label: String,
+    /// Current route.
+    pub route: Route,
+    /// Route changes so far.
+    pub flips: u64,
+    /// Engine-clock timestamp of the last flip (None = never flipped).
+    pub last_flip_ns: Option<u64>,
+    /// Current (unbiased) DPU/host cost ratio estimate.
+    pub ratio: f64,
+}
+
+struct ClassMetrics {
+    route_total: [Counter; 2],
+    probes: Counter,
+    flips: Counter,
+    route_gauge: Gauge,
+    last_flip_ms: Gauge,
+}
+
+struct ClassState {
+    label: String,
+    route: Route,
+    dpu_ewma: f64,
+    host_ewma: f64,
+    /// Registration or last-flip timestamp (engine clock) — the dwell
+    /// floor is measured from here.
+    since_ns: u64,
+    last_flip_ns: Option<u64>,
+    flips: u64,
+    calls_since_probe: u64,
+    samples: u64,
+    metrics: Option<ClassMetrics>,
+}
+
+impl ClassState {
+    fn ratio(&self) -> f64 {
+        if self.host_ewma <= 0.0 {
+            1.0
+        } else {
+            self.dpu_ewma / self.host_ewma
+        }
+    }
+}
+
+/// The adaptive offload policy: per-class route state plus the control
+/// loop that moves it. Single-owner (lives on the session or poller
+/// thread); all decision inputs arrive through explicit calls.
+pub struct PolicyEngine {
+    cfg: PolicyConfig,
+    classes: BTreeMap<u16, ClassState>,
+    signals: PolicySignals,
+    last_refresh_ns: u64,
+    registry: Option<Arc<Registry>>,
+    slo: Option<SloTracker>,
+    flight: Option<FlightRecorder>,
+    trace: Option<(Tracer, SpanSink)>,
+}
+
+impl PolicyEngine {
+    /// An engine with the given knobs.
+    pub fn new(cfg: PolicyConfig) -> Self {
+        assert!(
+            cfg.pinned.is_some() || cfg.enter_host_score > cfg.exit_host_score,
+            "hysteresis requires enter_host_score > exit_host_score"
+        );
+        Self {
+            cfg,
+            classes: BTreeMap::new(),
+            signals: PolicySignals::default(),
+            last_refresh_ns: 0,
+            registry: None,
+            slo: None,
+            flight: None,
+            trace: None,
+        }
+    }
+
+    /// A statically pinned engine: every class always routes to `route`
+    /// (the bench's all-DPU / all-host comparison arms).
+    pub fn pinned(route: Route) -> Self {
+        Self::new(PolicyConfig {
+            pinned: Some(route),
+            ..PolicyConfig::default()
+        })
+    }
+
+    /// The knobs in force.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.cfg
+    }
+
+    /// Binds a metrics registry: decisions feed
+    /// `policy_route_total{class,route}`, flips feed
+    /// `policy_flips_total{class}` / `policy_route{class}` /
+    /// `policy_last_flip_ms{class}`, probes feed
+    /// `policy_probes_total{class}`.
+    pub fn bind_metrics(&mut self, registry: &Arc<Registry>) {
+        self.registry = Some(registry.clone());
+        let reg = registry.clone();
+        for st in self.classes.values_mut() {
+            Self::ensure_metrics(&reg, st);
+        }
+    }
+
+    /// Attaches the flight recorder: each flip records a
+    /// [`pbo_trace::triggers::POLICY_FLIP`] mark and raises the trigger
+    /// (route changes are exactly the anomalies the ring is for).
+    pub fn bind_flight(&mut self, flight: &FlightRecorder) {
+        self.flight = Some(flight.clone());
+    }
+
+    /// Attaches a tracer: each flip emits a
+    /// [`pbo_trace::stages::POLICY_FLIP`] span on the `{label}/policy`
+    /// sink (trace id = class, bytes = cumulative flip count).
+    pub fn set_tracer(&mut self, tracer: &Tracer, label: &str) {
+        self.trace = if tracer.is_enabled() {
+            Some((tracer.clone(), tracer.sink(&format!("{label}/policy"))))
+        } else {
+            None
+        };
+    }
+
+    /// Attaches the SLO tracker whose burn rates feed the pressure
+    /// signal (see [`PolicyConfig::deser_slo_name`]).
+    pub fn bind_slo(&mut self, slo: &SloTracker) {
+        self.slo = Some(slo.clone());
+    }
+
+    /// Registers a message class with an optional cost prior. A class
+    /// starts offloaded — this is an offload engine, the host is the
+    /// degradation path — unless its prior already exceeds the enter
+    /// threshold (a class known to be char-heavy never pays the first
+    /// excursion).
+    pub fn register_class(
+        &mut self,
+        class: u16,
+        label: &str,
+        prior: Option<RoutePrior>,
+        now_ns: u64,
+    ) {
+        let (dpu, host) = match prior {
+            Some(p) => (p.dpu_ns, p.host_ns),
+            None => (1.0, 1.0),
+        };
+        let ratio = if host > 0.0 { dpu / host } else { 1.0 };
+        let route = match self.cfg.pinned {
+            Some(p) => p,
+            None if ratio > self.cfg.enter_host_score => Route::Host,
+            None => Route::Dpu,
+        };
+        let mut st = ClassState {
+            label: label.to_string(),
+            route,
+            dpu_ewma: dpu,
+            host_ewma: host,
+            since_ns: now_ns,
+            last_flip_ns: None,
+            flips: 0,
+            calls_since_probe: 0,
+            samples: 0,
+            metrics: None,
+        };
+        if let Some(reg) = &self.registry {
+            Self::ensure_metrics(reg, &mut st);
+        }
+        self.classes.insert(class, st);
+    }
+
+    fn ensure_metrics(reg: &Arc<Registry>, st: &mut ClassState) {
+        if st.metrics.is_some() {
+            return;
+        }
+        let c = st.label.as_str();
+        let m = ClassMetrics {
+            route_total: [
+                reg.counter(
+                    "policy_route_total",
+                    "Requests routed per class and route by the offload policy",
+                    &[("class", c), ("route", Route::Dpu.name())],
+                ),
+                reg.counter(
+                    "policy_route_total",
+                    "Requests routed per class and route by the offload policy",
+                    &[("class", c), ("route", Route::Host.name())],
+                ),
+            ],
+            probes: reg.counter(
+                "policy_probes_total",
+                "Host-resident requests sampled on the DPU route to refresh the cost estimate",
+                &[("class", c)],
+            ),
+            flips: reg.counter(
+                "policy_flips_total",
+                "Route changes per class",
+                &[("class", c)],
+            ),
+            route_gauge: reg.gauge(
+                "policy_route",
+                "Current route per class (0 = DPU, 1 = host)",
+                &[("class", c)],
+            ),
+            last_flip_ms: reg.gauge(
+                "policy_last_flip_ms",
+                "Engine-clock time of the last route change, ms (0 = never)",
+                &[("class", c)],
+            ),
+        };
+        m.route_gauge.set(st.route.idx() as i64);
+        m.last_flip_ms.set(0);
+        st.metrics = Some(m);
+    }
+
+    /// Decides the route for one request of `class`. Unknown classes are
+    /// auto-registered without a prior. This is the hot path: O(1), no
+    /// allocation after a class's first call.
+    pub fn route(&mut self, class: u16, now_ns: u64) -> RouteChoice {
+        if !self.classes.contains_key(&class) {
+            self.register_class(class, &format!("class{class}"), None, now_ns);
+        }
+        let pinned = self.cfg.pinned;
+        let probe_every = self.cfg.probe_every;
+        let st = self.classes.get_mut(&class).expect("registered above");
+        let mut probe = false;
+        let route = match pinned {
+            Some(p) => p,
+            None => match st.route {
+                Route::Host if probe_every > 0 => {
+                    st.calls_since_probe += 1;
+                    if st.calls_since_probe >= probe_every {
+                        st.calls_since_probe = 0;
+                        probe = true;
+                        Route::Dpu
+                    } else {
+                        Route::Host
+                    }
+                }
+                r => r,
+            },
+        };
+        if let Some(m) = &st.metrics {
+            m.route_total[route.idx()].inc();
+            if probe {
+                m.probes.inc();
+            }
+        }
+        RouteChoice { route, probe }
+    }
+
+    /// Feeds the real work-unit counts of one deserialized request back
+    /// into the class's cost estimate. One observation refreshes *both*
+    /// routes' estimates — the model coefficients price the same work on
+    /// either platform.
+    pub fn observe_stats(
+        &mut self,
+        class: u16,
+        stats: &DeserStats,
+        wire_bytes: u64,
+        native_bytes: u64,
+        now_ns: u64,
+    ) {
+        if !self.classes.contains_key(&class) {
+            self.register_class(class, &format!("class{class}"), None, now_ns);
+        }
+        let p = route_prior(stats, wire_bytes, native_bytes, &self.cfg.shape);
+        let a = self.cfg.ewma_alpha;
+        let st = self.classes.get_mut(&class).expect("registered above");
+        if st.samples == 0 {
+            st.dpu_ewma = p.dpu_ns;
+            st.host_ewma = p.host_ns;
+        } else {
+            st.dpu_ewma += a * (p.dpu_ns - st.dpu_ewma);
+            st.host_ewma += a * (p.host_ns - st.host_ewma);
+        }
+        st.samples += 1;
+    }
+
+    /// Overrides the telemetry signals directly (tests; production paths
+    /// use [`PolicyEngine::refresh_signals`]).
+    pub fn set_signals(&mut self, s: PolicySignals) {
+        self.signals = s;
+    }
+
+    /// The signals last scraped or set.
+    pub fn signals(&self) -> PolicySignals {
+        self.signals
+    }
+
+    /// Scrapes the bound registry / SLO tracker for fresh pressure
+    /// signals and re-evaluates routes. Throttled to
+    /// [`PolicyConfig::signal_refresh_ns`]; call freely from the hot
+    /// loop.
+    pub fn refresh_signals(&mut self, now_ns: u64) {
+        if self.last_refresh_ns != 0
+            && now_ns.saturating_sub(self.last_refresh_ns) < self.cfg.signal_refresh_ns
+        {
+            return;
+        }
+        self.last_refresh_ns = now_ns;
+        if let Some(reg) = &self.registry {
+            self.signals = PolicySignals::scrape(
+                reg,
+                self.slo.as_ref(),
+                self.cfg.deser_slo_name.as_deref(),
+                now_ns,
+            );
+        }
+        self.reevaluate(now_ns);
+    }
+
+    /// The scalar pressure the control loop currently sees: the max of
+    /// the enabled normalized signal terms (1.0 = at capacity).
+    pub fn pressure(&self) -> f64 {
+        let mut p = 0.0f64;
+        if self.cfg.queue_depth_cap > 0 {
+            p = p.max(self.signals.queue_depth as f64 / self.cfg.queue_depth_cap as f64);
+        }
+        if self.cfg.amp_budget_milli > 0 {
+            p = p.max(self.signals.amp_milli as f64 / self.cfg.amp_budget_milli as f64);
+        }
+        if self.cfg.deser_slo_name.is_some() && self.signals.deser_burn > 0.0 {
+            p = p.max(self.signals.deser_burn);
+        }
+        p
+    }
+
+    /// Runs one control-loop evaluation: computes the pressure bias,
+    /// scores every class, and flips **at most one** — the one furthest
+    /// past its threshold — subject to each class's dwell floor.
+    pub fn reevaluate(&mut self, now_ns: u64) {
+        if self.cfg.pinned.is_some() {
+            return;
+        }
+        let bias =
+            1.0 + self.cfg.pressure_gain * (self.pressure() - self.cfg.pressure_target).max(0.0);
+        let mut best: Option<(u16, Route)> = None;
+        let mut best_margin = 0.0f64;
+        for (&class, st) in &self.classes {
+            if now_ns.saturating_sub(st.since_ns) < self.cfg.dwell_ns {
+                continue;
+            }
+            let score = st.ratio() * bias;
+            let (margin, to) = match st.route {
+                Route::Dpu => (score - self.cfg.enter_host_score, Route::Host),
+                Route::Host => (self.cfg.exit_host_score - score, Route::Dpu),
+            };
+            if margin > best_margin {
+                best_margin = margin;
+                best = Some((class, to));
+            }
+        }
+        if let Some((class, to)) = best {
+            self.flip(class, to, now_ns);
+        }
+    }
+
+    fn flip(&mut self, class: u16, to: Route, now_ns: u64) {
+        let st = self.classes.get_mut(&class).expect("scored above");
+        st.route = to;
+        st.flips += 1;
+        st.since_ns = now_ns;
+        st.last_flip_ns = Some(now_ns);
+        st.calls_since_probe = 0;
+        if let Some(m) = &st.metrics {
+            m.flips.inc();
+            m.route_gauge.set(to.idx() as i64);
+            m.last_flip_ms.set((now_ns / 1_000_000) as i64);
+        }
+        let flips = st.flips;
+        let wall_ns = self
+            .trace
+            .as_ref()
+            .map(|(t, _)| t.now_ns())
+            .unwrap_or(now_ns);
+        if let Some(f) = &self.flight {
+            f.record_mark(class as u64, triggers::POLICY_FLIP, wall_ns, flips);
+            f.trigger(triggers::POLICY_FLIP, wall_ns);
+        }
+        if let Some((_, sink)) = &self.trace {
+            sink.record(Span {
+                trace_id: class as u64,
+                stage: stages::POLICY_FLIP,
+                start_ns: wall_ns,
+                end_ns: wall_ns,
+                bytes: flips,
+            });
+        }
+    }
+
+    /// The current route of a class, if registered.
+    pub fn route_of(&self, class: u16) -> Option<Route> {
+        self.classes.get(&class).map(|s| s.route)
+    }
+
+    /// Route changes of one class so far.
+    pub fn flips(&self, class: u16) -> u64 {
+        self.classes.get(&class).map(|s| s.flips).unwrap_or(0)
+    }
+
+    /// Route changes across all classes.
+    pub fn total_flips(&self) -> u64 {
+        self.classes.values().map(|s| s.flips).sum()
+    }
+
+    /// Snapshot of every registered class, in class order.
+    pub fn snapshot(&self) -> Vec<ClassSnapshot> {
+        self.classes
+            .iter()
+            .map(|(&class, st)| ClassSnapshot {
+                class,
+                label: st.label.clone(),
+                route: st.route,
+                flips: st.flips,
+                last_flip_ns: st.last_flip_ns,
+                ratio: st.ratio(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_metrics::Registry;
+    use pbo_protowire::workloads::{gen_char_array, gen_int_array, paper_schema, Mt19937};
+    use pbo_protowire::{encode_message, NullSink, StackDeserializer};
+
+    fn stats_of(kind: &str, n: usize) -> (DeserStats, u64) {
+        let schema = paper_schema();
+        let mut rng = Mt19937::new(Mt19937::PAPER_SEED);
+        let (msg, ty) = match kind {
+            "ints" => (gen_int_array(&schema, &mut rng, n), "bench.IntArray"),
+            "chars" => (gen_char_array(&schema, &mut rng, n), "bench.CharArray"),
+            _ => unreachable!(),
+        };
+        let bytes = encode_message(&msg);
+        let desc = schema.message(ty).unwrap();
+        let stats = StackDeserializer::new(&schema)
+            .deserialize(desc, &bytes, &mut NullSink)
+            .unwrap();
+        (stats, bytes.len() as u64)
+    }
+
+    fn quick_cfg() -> PolicyConfig {
+        PolicyConfig {
+            dwell_ns: 0,
+            probe_every: 4,
+            ..PolicyConfig::default()
+        }
+    }
+
+    #[test]
+    fn prior_seeds_initial_routes_per_paper_split() {
+        let mut e = PolicyEngine::new(quick_cfg());
+        let (ints, iw) = stats_of("ints", 512);
+        let (chars, cw) = stats_of("chars", 8000);
+        let shape = PriorShape::default();
+        e.register_class(
+            2,
+            "ints512",
+            Some(route_prior(&ints, iw, 4 * 512 + 64, &shape)),
+            0,
+        );
+        e.register_class(
+            3,
+            "chars8000",
+            Some(route_prior(&chars, cw, cw + 32, &shape)),
+            0,
+        );
+        assert_eq!(e.route_of(2), Some(Route::Dpu), "flat-scalar offloads");
+        assert_eq!(e.route_of(3), Some(Route::Host), "char-heavy stays host");
+        assert_eq!(e.total_flips(), 0, "initial placement is not a flip");
+    }
+
+    #[test]
+    fn unknown_class_defaults_to_dpu() {
+        let mut e = PolicyEngine::new(quick_cfg());
+        assert_eq!(e.route(9, 0).route, Route::Dpu);
+        assert!(!e.route(9, 0).probe);
+    }
+
+    #[test]
+    fn pinned_engine_never_flips_or_probes() {
+        let mut e = PolicyEngine::pinned(Route::Host);
+        let (chars, cw) = stats_of("chars", 8000);
+        for t in 0..200u64 {
+            assert_eq!(e.route(3, t).route, Route::Host);
+            e.observe_stats(3, &chars, cw, cw + 32, t);
+            e.reevaluate(t);
+        }
+        assert_eq!(e.total_flips(), 0);
+        assert!(!e.route(3, 999).probe, "pinned engines do not probe");
+    }
+
+    #[test]
+    fn observations_move_a_class_across_the_thresholds() {
+        let mut e = PolicyEngine::new(quick_cfg());
+        e.register_class(7, "mutable", None, 0);
+        assert_eq!(e.route_of(7), Some(Route::Dpu));
+        // Char-heavy observations push the ratio above enter_host_score.
+        let (chars, cw) = stats_of("chars", 8000);
+        for t in 0..16u64 {
+            e.observe_stats(7, &chars, cw, cw + 32, t);
+        }
+        e.reevaluate(16);
+        assert_eq!(e.route_of(7), Some(Route::Host), "degraded to host");
+        assert_eq!(e.flips(7), 1);
+        // Flat-scalar observations bring it back under exit_host_score.
+        let (ints, iw) = stats_of("ints", 512);
+        for t in 17..64u64 {
+            e.observe_stats(7, &ints, iw, 4 * 512 + 64, t);
+        }
+        e.reevaluate(64);
+        assert_eq!(e.route_of(7), Some(Route::Dpu), "restored to DPU");
+        assert_eq!(e.flips(7), 2);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_current_route() {
+        // A ratio between exit (1.0) and enter (1.15) must flip nothing,
+        // whichever side the class currently sits on.
+        let mut e = PolicyEngine::new(quick_cfg());
+        e.register_class(
+            1,
+            "banded_dpu",
+            Some(RoutePrior {
+                dpu_ns: 105.0,
+                host_ns: 100.0,
+            }),
+            0,
+        );
+        e.register_class(
+            2,
+            "banded_host",
+            Some(RoutePrior {
+                dpu_ns: 105.0,
+                host_ns: 100.0,
+            }),
+            0,
+        );
+        // Park class 2 on the host side of the band.
+        e.classes.get_mut(&2).unwrap().route = Route::Host;
+        for t in 0..100u64 {
+            e.reevaluate(t);
+        }
+        assert_eq!(e.route_of(1), Some(Route::Dpu));
+        assert_eq!(e.route_of(2), Some(Route::Host));
+        assert_eq!(e.total_flips(), 0);
+    }
+
+    #[test]
+    fn dwell_floor_blocks_immediate_flip_back() {
+        let mut e = PolicyEngine::new(PolicyConfig {
+            dwell_ns: 1_000,
+            ..quick_cfg()
+        });
+        e.register_class(
+            5,
+            "c",
+            Some(RoutePrior {
+                dpu_ns: 200.0,
+                host_ns: 100.0,
+            }),
+            0,
+        );
+        assert_eq!(e.route_of(5), Some(Route::Host), "prior places it host");
+        // Make DPU look cheap: candidate flip Host→Dpu, but dwell runs
+        // from registration at t=0.
+        e.classes.get_mut(&5).unwrap().dpu_ewma = 50.0;
+        e.reevaluate(500);
+        assert_eq!(e.route_of(5), Some(Route::Host), "dwell not yet served");
+        e.reevaluate(1_000);
+        assert_eq!(e.route_of(5), Some(Route::Dpu), "flips once dwell elapses");
+        // And the return trip also waits a full dwell.
+        e.classes.get_mut(&5).unwrap().dpu_ewma = 200.0;
+        e.reevaluate(1_500);
+        assert_eq!(e.route_of(5), Some(Route::Dpu));
+        e.reevaluate(2_100);
+        assert_eq!(e.route_of(5), Some(Route::Host));
+    }
+
+    #[test]
+    fn at_most_one_flip_per_evaluation() {
+        let mut e = PolicyEngine::new(quick_cfg());
+        for c in 0..4u16 {
+            e.register_class(
+                c,
+                &format!("c{c}"),
+                Some(RoutePrior {
+                    dpu_ns: 300.0,
+                    host_ns: 100.0,
+                }),
+                0,
+            );
+            // register puts ratio-3 classes on host; force them DPU-resident.
+            e.classes.get_mut(&c).unwrap().route = Route::Dpu;
+        }
+        e.reevaluate(1);
+        assert_eq!(e.total_flips(), 1, "one class per evaluation");
+        e.reevaluate(2);
+        e.reevaluate(3);
+        e.reevaluate(4);
+        assert_eq!(e.total_flips(), 4, "the rest follow one at a time");
+    }
+
+    #[test]
+    fn pressure_bias_degrades_marginal_class() {
+        let mut e = PolicyEngine::new(PolicyConfig {
+            queue_depth_cap: 10,
+            ..quick_cfg()
+        });
+        // Ratio 1.05: inside the band at zero pressure.
+        e.register_class(
+            4,
+            "marginal",
+            Some(RoutePrior {
+                dpu_ns: 105.0,
+                host_ns: 100.0,
+            }),
+            0,
+        );
+        e.reevaluate(1);
+        assert_eq!(e.route_of(4), Some(Route::Dpu));
+        // Queue backlog at 3× capacity: bias = 1 + 0.5×2 = 2 → score 2.1.
+        e.set_signals(PolicySignals {
+            queue_depth: 30,
+            ..PolicySignals::default()
+        });
+        assert!(e.pressure() > 2.9);
+        e.reevaluate(2);
+        assert_eq!(e.route_of(4), Some(Route::Host), "pressure degrades it");
+        // Pressure clears: score back to 1.05 > exit 1.0 — it stays on
+        // host until the ratio itself justifies restoring.
+        e.set_signals(PolicySignals::default());
+        e.reevaluate(3);
+        assert_eq!(e.route_of(4), Some(Route::Host));
+    }
+
+    #[test]
+    fn host_resident_class_probes_every_nth_call() {
+        let mut e = PolicyEngine::new(quick_cfg()); // probe_every = 4
+        e.register_class(
+            6,
+            "h",
+            Some(RoutePrior {
+                dpu_ns: 300.0,
+                host_ns: 100.0,
+            }),
+            0,
+        );
+        let mut dpu = 0;
+        let mut probes = 0;
+        for t in 0..20u64 {
+            let c = e.route(6, t);
+            if c.route == Route::Dpu {
+                dpu += 1;
+                assert!(c.probe);
+                probes += 1;
+            }
+        }
+        assert_eq!(dpu, 5, "every 4th of 20 calls probes the DPU route");
+        assert_eq!(probes, 5);
+        assert_eq!(e.total_flips(), 0, "probes are not flips");
+    }
+
+    #[test]
+    fn flips_are_counted_gauged_and_flight_recorded() {
+        let reg = Arc::new(Registry::new());
+        let flight = FlightRecorder::new(64, 4);
+        let mut e = PolicyEngine::new(quick_cfg());
+        e.bind_metrics(&reg);
+        e.bind_flight(&flight);
+        e.register_class(
+            2,
+            "ints512",
+            Some(RoutePrior {
+                dpu_ns: 90.0,
+                host_ns: 100.0,
+            }),
+            0,
+        );
+        e.route(2, 1);
+        e.route(2, 2);
+        assert_eq!(
+            reg.counter_value(
+                "policy_route_total",
+                &[("class", "ints512"), ("route", "dpu")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            reg.gauge_value("policy_route", &[("class", "ints512")]),
+            Some(0)
+        );
+        // Degrade it.
+        e.classes.get_mut(&2).unwrap().dpu_ewma = 300.0;
+        e.reevaluate(5_000_000);
+        assert_eq!(
+            reg.counter_value("policy_flips_total", &[("class", "ints512")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.gauge_value("policy_route", &[("class", "ints512")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.gauge_value("policy_last_flip_ms", &[("class", "ints512")]),
+            Some(5)
+        );
+        assert_eq!(flight.trigger_count(), 1, "flip raised the flight trigger");
+        let recs = flight.snapshot();
+        assert!(recs.iter().any(|r| r.stage == triggers::POLICY_FLIP));
+    }
+}

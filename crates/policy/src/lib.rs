@@ -1,0 +1,48 @@
+//! Adaptive per-class offload routing.
+//!
+//! The paper's own caveat is PCIe amplification: DPU-side
+//! deserialization *loses* for char-heavy message classes ("the string
+//! deserialization is much faster without offloading since x86 SIMD
+//! instructions permit processing the Unicode validation very quickly",
+//! §V), yet the offload-vs-host choice elsewhere in this codebase was
+//! static per run — only the circuit breaker, a blunt all-or-nothing
+//! fault response, ever moved traffic back to the host.
+//!
+//! [`PolicyEngine`] makes that decision **per message class** (per
+//! procedure id) and keeps making it: a graceful-degradation control
+//! loop that starts from the dpusim cost coefficients as a prior
+//! ([`pbo_dpusim::route_prior`]) and folds in live telemetry as
+//! feedback — PCIe-amplification SLO burn, the DPU-side `deserialize`
+//! stage p99, and per-tenant queue depth from the scheduler. The loop:
+//!
+//! 1. Each class carries EWMA estimates of its capacity-normalized
+//!    per-route cost, seeded from the prior and refreshed from the real
+//!    work-unit counts ([`pbo_protowire::DeserStats`]) of live
+//!    deserializations.
+//! 2. A scalar *pressure* is scraped from telemetry (max of the
+//!    normalized signal terms). Pressure above target inflates the
+//!    effective DPU cost — under DPU-side stress, marginal classes
+//!    degrade to the host first, cheapest-to-offload classes last.
+//! 3. The biased DPU/host cost ratio is compared against **dual
+//!    thresholds** with a **dwell-time floor** (the same hysteresis
+//!    discipline as the circuit breaker): a class flips to host only
+//!    above `enter_host_score`, back to DPU only below
+//!    `exit_host_score`, never sooner than `dwell_ns` after its last
+//!    transition, and at most one class flips per evaluation.
+//!
+//! Route flips are rare, observable events: each one is counted
+//! (`policy_flips_total{class}`), gauged (`policy_route{class}`),
+//! flight-recorded and trace-staged
+//! ([`pbo_trace::stages::POLICY_FLIP`]). The breaker always takes
+//! precedence: a breaker-forced host degrade is *not* a policy decision
+//! and is never recorded as one — and when the breaker closes again the
+//! caller re-consults the policy instead of unconditionally restoring
+//! offload.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod signals;
+
+pub use engine::{ClassSnapshot, PolicyConfig, PolicyEngine, Route, RouteChoice};
+pub use signals::PolicySignals;

@@ -1,0 +1,100 @@
+//! Telemetry scraping: turns the live metrics surface into the control
+//! loop's pressure inputs.
+
+use pbo_metrics::{Registry, SloTracker};
+
+/// Gauge holding the windowed PCIe amplification ratio in milli units
+/// (registered via `SloTracker::add_ratio("pcie_amplification", ..)`:
+/// DMA'd native bytes over wire bytes).
+pub const AMP_GAUGE: &str = "pcie_amplification_milli";
+
+/// Per-tenant scheduler backlog gauge (from
+/// `TenantScheduler::bind_metrics`); the policy reads the sum across
+/// tenants.
+pub const QUEUE_DEPTH_GAUGE: &str = "sched_queue_depth";
+
+/// The raw telemetry inputs one control-loop evaluation sees.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PolicySignals {
+    /// Total scheduler backlog (requests queued across tenants).
+    pub queue_depth: i64,
+    /// PCIe amplification ratio, milli units (1000 = native bytes equal
+    /// wire bytes; 0 = unknown).
+    pub amp_milli: i64,
+    /// Burn rate of the DPU-side deserialize-stage SLO (1.0 = consuming
+    /// its error budget exactly at rate; 0 = healthy or absent).
+    pub deser_burn: f64,
+}
+
+impl PolicySignals {
+    /// Scrapes the current signal values.
+    ///
+    /// * queue depth — sum of [`QUEUE_DEPTH_GAUGE`] across tenants;
+    /// * amplification — the [`AMP_GAUGE`] gauge, if registered;
+    /// * deserialize p99 burn — evaluates `slo` at `now_ns` (which also
+    ///   refreshes the windowed ratio gauges, amplification included)
+    ///   and reads the burn rate of the objective named `slo_name`.
+    pub fn scrape(
+        registry: &Registry,
+        slo: Option<&SloTracker>,
+        slo_name: Option<&str>,
+        now_ns: u64,
+    ) -> Self {
+        let deser_burn = match (slo, slo_name) {
+            (Some(t), Some(name)) => t
+                .evaluate(now_ns)
+                .into_iter()
+                .find(|s| s.name == name)
+                .map(|s| s.burn_rate)
+                .unwrap_or(0.0),
+            _ => 0.0,
+        };
+        Self {
+            queue_depth: registry.gauge_sum(QUEUE_DEPTH_GAUGE),
+            amp_milli: registry.gauge_value(AMP_GAUGE, &[]).unwrap_or(0),
+            deser_burn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbo_metrics::{SlidingConfig, SloSpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn scrape_reads_queue_depth_and_amp() {
+        let reg = Arc::new(Registry::new());
+        reg.gauge(QUEUE_DEPTH_GAUGE, "", &[("tenant", "a")]).set(7);
+        reg.gauge(QUEUE_DEPTH_GAUGE, "", &[("tenant", "b")]).set(5);
+        reg.gauge(AMP_GAUGE, "", &[]).set(2500);
+        let s = PolicySignals::scrape(&reg, None, None, 0);
+        assert_eq!(s.queue_depth, 12);
+        assert_eq!(s.amp_milli, 2500);
+        assert_eq!(s.deser_burn, 0.0);
+    }
+
+    #[test]
+    fn scrape_reads_slo_burn_by_name() {
+        let reg = Arc::new(Registry::new());
+        let slo = SloTracker::new(reg.clone(), SlidingConfig::seconds(4));
+        slo.add(SloSpec::p99("policy_deser_p99", "deserialize", 1_000.0));
+        // Every observation over threshold: burn far above 1.0.
+        for i in 0..100u64 {
+            slo.observe_stage("deserialize", i * 1_000, 50_000.0);
+        }
+        let s = PolicySignals::scrape(&reg, Some(&slo), Some("policy_deser_p99"), 100_000);
+        assert!(s.deser_burn > 1.0, "burn {}", s.deser_burn);
+        // Unknown objective name reads as healthy.
+        let s2 = PolicySignals::scrape(&reg, Some(&slo), Some("nope"), 100_000);
+        assert_eq!(s2.deser_burn, 0.0);
+    }
+
+    #[test]
+    fn missing_metrics_read_as_zero() {
+        let reg = Registry::new();
+        let s = PolicySignals::scrape(&reg, None, Some("x"), 0);
+        assert_eq!(s, PolicySignals::default());
+    }
+}

@@ -47,6 +47,8 @@ pub mod triggers {
     pub const SHED: &str = "shed_trigger";
     /// A backlogged tenant went unserved for a full starvation window.
     pub const STARVATION: &str = "starvation_trigger";
+    /// The adaptive offload policy flipped a message class's route.
+    pub const POLICY_FLIP: &str = "policy_flip_trigger";
     /// Operator-requested dump.
     pub const MANUAL: &str = "manual";
 
@@ -59,6 +61,7 @@ pub mod triggers {
         SLO_BURN,
         SHED,
         STARVATION,
+        POLICY_FLIP,
         MANUAL,
     ];
 }

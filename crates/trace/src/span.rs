@@ -42,6 +42,9 @@ pub mod stages {
     /// A malformed (poison) request was rejected with a per-request error
     /// response instead of entering the datapath.
     pub const QUARANTINE: &str = "quarantine";
+    /// The adaptive offload policy flipped a message class between the
+    /// DPU-deserialize and host-deserialize routes.
+    pub const POLICY_FLIP: &str = "policy_flip";
 
     /// Every stage name the datapath can emit, in datapath order.
     pub const ALL: &[&str] = &[
@@ -59,6 +62,7 @@ pub mod stages {
         RECONNECT,
         DEGRADED,
         QUARANTINE,
+        POLICY_FLIP,
     ];
 }
 

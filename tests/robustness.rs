@@ -796,3 +796,118 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Property: offload-policy hysteresis bounds flip churn under oscillation.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// An adversary oscillates every class's measured cost between a
+    /// firmly DPU-favored profile and a firmly host-favored one — the
+    /// worst case for a threshold controller — while pressure square-waves
+    /// between idle and saturated. The dwell floor must still hold:
+    ///
+    /// * **dwell floor** — two consecutive flips of the same class are at
+    ///   least `dwell_ns` apart on the engine clock;
+    /// * **bounded churn** — per class, total flips never exceed
+    ///   `elapsed / dwell_ns + 1`, no matter the oscillation period or
+    ///   phase (without hysteresis the adversary would force a flip on
+    ///   nearly every re-evaluation).
+    #[test]
+    fn policy_hysteresis_bounds_flip_rate(
+        n_classes in 1usize..=4,
+        step_ms in 1u64..=8,
+        flip_period in 1usize..=6,
+        pressure_period in 1usize..=7,
+        steps in 20usize..=120,
+        host_first in any::<bool>(),
+    ) {
+        use pbo_dpusim::route_prior;
+        use pbo_policy::{PolicyConfig, PolicyEngine, PolicySignals};
+        use pbo_protowire::workloads::{gen_char_array, gen_int_array};
+        use pbo_protowire::{NullSink, StackDeserializer};
+
+        // Real work-unit profiles straddling the hysteresis band: packed
+        // ints deserialize cheaper on the DPU (ratio < exit_host_score),
+        // long char arrays cheaper on the host (ratio > enter_host_score).
+        let schema = paper_schema();
+        let deser = StackDeserializer::new(&schema);
+        let mut rng = Mt19937::new(7);
+        let ints = encode_message(&gen_int_array(&schema, &mut rng, 512));
+        let chars = encode_message(&gen_char_array(&schema, &mut rng, 8000));
+        let ints_desc = schema.message("bench.IntArray").unwrap().clone();
+        let chars_desc = schema.message("bench.CharArray").unwrap().clone();
+        let ints_stats = deser.deserialize(&ints_desc, &ints, &mut NullSink).unwrap();
+        let chars_stats = deser.deserialize(&chars_desc, &chars, &mut NullSink).unwrap();
+        let dwell_ns = 20_000_000u64; // 20ms << steps * step_ms worst case
+        let cfg = PolicyConfig {
+            dwell_ns,
+            ewma_alpha: 1.0, // adversary fully controls the estimate
+            signal_refresh_ns: 0,
+            ..PolicyConfig::default()
+        };
+        let shape = cfg.shape;
+        let ints_prior = route_prior(&ints_stats, ints.len() as u64, 4 * 512 + 64, &shape);
+        let chars_prior = route_prior(&chars_stats, chars.len() as u64, chars.len() as u64 + 32, &shape);
+        // Precondition: the two profiles really do straddle the band.
+        prop_assert!(ints_prior.dpu_ns / ints_prior.host_ns < cfg.exit_host_score);
+        prop_assert!(chars_prior.dpu_ns / chars_prior.host_ns > cfg.enter_host_score);
+
+        let mut engine = PolicyEngine::new(cfg);
+        for c in 0..n_classes {
+            engine.register_class(c as u16, &format!("osc{c}"), Some(ints_prior), 0);
+        }
+        let step_ns = step_ms * 1_000_000;
+        let mut last_flip: Vec<Option<u64>> = vec![None; n_classes];
+        let mut flips_seen: Vec<u64> = vec![0; n_classes];
+        let mut now = 0u64;
+        for i in 0..steps {
+            now += step_ns;
+            let host_phase = (i / flip_period) % 2 == usize::from(host_first);
+            let (stats, wire, native) = if host_phase {
+                (&chars_stats, chars.len() as u64, chars.len() as u64 + 32)
+            } else {
+                (&ints_stats, ints.len() as u64, 4 * 512 + 64)
+            };
+            for c in 0..n_classes {
+                engine.observe_stats(c as u16, stats, wire, native, now);
+            }
+            engine.set_signals(PolicySignals {
+                queue_depth: if (i / pressure_period) % 2 == 0 { 0 } else { 4096 },
+                amp_milli: 0,
+                deser_burn: 0.0,
+            });
+            engine.reevaluate(now);
+            for (c, snap) in engine.snapshot().into_iter().enumerate() {
+                if snap.flips > flips_seen[c] {
+                    // At most one flip per class per evaluation.
+                    prop_assert_eq!(snap.flips, flips_seen[c] + 1);
+                    let t = snap.last_flip_ns.expect("flip recorded a timestamp");
+                    if let Some(prev) = last_flip[c] {
+                        prop_assert!(
+                            t - prev >= dwell_ns,
+                            "class {} flipped {}ns apart (dwell {}ns)",
+                            c, t - prev, dwell_ns
+                        );
+                    }
+                    last_flip[c] = Some(t);
+                    flips_seen[c] = snap.flips;
+                }
+            }
+        }
+        let elapsed = now;
+        for (c, &flips) in flips_seen.iter().enumerate() {
+            prop_assert!(
+                flips <= elapsed / dwell_ns + 1,
+                "class {} churned {} flips in {}ns (dwell {}ns)",
+                c, flips, elapsed, dwell_ns
+            );
+        }
+        // Non-vacuity: with the adversary alternating at least once past
+        // the dwell floor, *some* flip must have happened — otherwise the
+        // dwell assertions above never executed.
+        if steps * (step_ns as usize) >= 2 * dwell_ns as usize && flip_period <= 3 && steps >= 40 {
+            prop_assert!(flips_seen.iter().sum::<u64>() > 0, "oscillation never flipped any class");
+        }
+    }
+}
